@@ -1,0 +1,76 @@
+package repro
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/alignment"
+	"repro/internal/wavefront"
+)
+
+// WriteClustal writes an alignment in CLUSTAL-style text format.
+func WriteClustal(w io.Writer, a *Alignment) error { return alignment.WriteClustal(w, a) }
+
+// WriteAlignedFASTA writes the three gapped rows as FASTA records.
+func WriteAlignedFASTA(w io.Writer, a *Alignment, width int) error {
+	return alignment.WriteAlignedFASTA(w, a, width)
+}
+
+// ParseAlignedFASTA reads three equal-length gapped FASTA rows back into an
+// Alignment. The score is not stored in the format; re-score with SPScore.
+func ParseAlignedFASTA(r io.Reader, alpha *Alphabet) (*Alignment, error) {
+	return alignment.ParseAlignedFASTA(r, alpha)
+}
+
+// BatchResult is the outcome of one triple in an AlignBatch call.
+type BatchResult struct {
+	Index  int
+	Result *Result
+	Err    error
+}
+
+// AlignBatch aligns many triples concurrently — the throughput mode for
+// screening workloads (e.g. ranking candidate third sequences against a
+// reference pair). Triples are distributed over a pool of opt.Workers
+// goroutines and each alignment runs single-threaded, which beats
+// intra-alignment parallelism when there are at least as many triples as
+// workers. Results are returned in input order; per-triple failures are
+// reported in BatchResult.Err without aborting the batch.
+func AlignBatch(triples []Triple, opt Options) []BatchResult {
+	out := make([]BatchResult, len(triples))
+	if len(triples) == 0 {
+		return out
+	}
+	// Inner alignments run sequentially; the batch supplies parallelism.
+	inner := opt
+	inner.Workers = 1
+	if inner.Algorithm == AlgorithmAuto {
+		inner.Algorithm = AlgorithmFull
+	}
+	workers := wavefront.Workers(opt.Workers)
+	if workers > len(triples) {
+		workers = len(triples)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(triples) {
+					return
+				}
+				res, err := Align(triples[i], inner)
+				out[i] = BatchResult{Index: i, Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

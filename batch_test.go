@@ -1,0 +1,98 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAlignBatchOrderAndScores(t *testing.T) {
+	g := NewGenerator(DNA, 55)
+	var triples []Triple
+	for i := 0; i < 9; i++ {
+		triples = append(triples, g.RelatedTriple(15+i, MutationModel{SubstitutionRate: 0.2}))
+	}
+	results := AlignBatch(triples, Options{Workers: 4})
+	if len(results) != len(triples) {
+		t.Fatalf("got %d results, want %d", len(results), len(triples))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("triple %d: %v", i, r.Err)
+		}
+		if r.Index != i {
+			t.Fatalf("result %d has Index %d", i, r.Index)
+		}
+		ref, err := Align(triples[i], Options{Algorithm: AlgorithmFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Result.Score != ref.Score {
+			t.Fatalf("triple %d: batch score %d != %d", i, r.Result.Score, ref.Score)
+		}
+	}
+}
+
+func TestAlignBatchEmpty(t *testing.T) {
+	if got := AlignBatch(nil, Options{}); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+func TestAlignBatchPartialFailure(t *testing.T) {
+	good := mustTriple(t, "ACGT", "ACG", "AGT")
+	bad := Triple{A: good.A, B: good.B} // missing C
+	results := AlignBatch([]Triple{good, bad, good}, Options{Workers: 2})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("good triples failed: %v %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("invalid triple did not report an error")
+	}
+}
+
+func TestAlignBatchHeuristicAlgorithm(t *testing.T) {
+	g := NewGenerator(DNA, 56)
+	triples := []Triple{
+		g.RelatedTriple(20, MutationModel{SubstitutionRate: 0.1}),
+		g.RelatedTriple(25, MutationModel{SubstitutionRate: 0.1}),
+	}
+	results := AlignBatch(triples, Options{Algorithm: AlgorithmCenterStar, Workers: 2})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("triple %d: %v", i, r.Err)
+		}
+		if r.Result.Algorithm != AlgorithmCenterStar {
+			t.Fatalf("triple %d ran %q", i, r.Result.Algorithm)
+		}
+	}
+}
+
+func TestFormatReExportsRoundTrip(t *testing.T) {
+	tr := mustTriple(t, "ACGTAC", "ACGAC", "ACTAC")
+	res, err := Align(tr, Options{Algorithm: AlgorithmFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clustal strings.Builder
+	if err := WriteClustal(&clustal, res.Alignment); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(clustal.String(), "CLUSTAL") {
+		t.Error("clustal header missing")
+	}
+	var fasta strings.Builder
+	if err := WriteAlignedFASTA(&fasta, res.Alignment, 60); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAlignedFASTA(strings.NewReader(fasta.String()), DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := DefaultScheme(DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SPScore(sch) != res.Score {
+		t.Fatalf("round trip score %d != %d", back.SPScore(sch), res.Score)
+	}
+}

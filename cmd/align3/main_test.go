@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	repro "repro"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const testFASTA = ">s1\nACGTACGT\n>s2\nACGACGT\n>s3\nACGTACG\n"
+
+func runCLI(t *testing.T, args []string, stdin string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, strings.NewReader(stdin), &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestRunDefault(t *testing.T) {
+	out := runCLI(t, nil, testFASTA)
+	for _, want := range []string{"algorithm: parallel", "score:", "s1", "s2", "s3", "identity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	out := runCLI(t, []string{"-format", "quiet"}, testFASTA)
+	if strings.TrimSpace(out) == "" || strings.Contains(out, "algorithm") {
+		t.Fatalf("quiet output wrong: %q", out)
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	clustal := runCLI(t, []string{"-format", "clustal"}, testFASTA)
+	if !strings.Contains(clustal, "CLUSTAL") {
+		t.Errorf("clustal output missing header:\n%s", clustal)
+	}
+	fasta := runCLI(t, []string{"-format", "fasta"}, testFASTA)
+	if strings.Count(fasta, ">") != 3 {
+		t.Errorf("fasta output should have 3 records:\n%s", fasta)
+	}
+	stats := runCLI(t, []string{"-format", "stats"}, testFASTA)
+	if !strings.Contains(stats, "columns:") {
+		t.Errorf("stats output:\n%s", stats)
+	}
+}
+
+func TestRunAlgorithmsAgree(t *testing.T) {
+	var scores []string
+	for _, algo := range []string{"full", "parallel", "linear", "parallel-linear", "diagonal", "pruned", "pruned-parallel"} {
+		out := runCLI(t, []string{"-format", "quiet", "-algorithm", algo}, testFASTA)
+		scores = append(scores, strings.TrimSpace(out))
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i] != scores[0] {
+			t.Fatalf("algorithm %d score %s != %s", i, scores[i], scores[0])
+		}
+	}
+}
+
+func TestRunPrunedPrintsStats(t *testing.T) {
+	out := runCLI(t, []string{"-algorithm", "pruned"}, testFASTA)
+	if !strings.Contains(out, "carrillo-lipman") {
+		t.Errorf("pruned run missing pruning stats:\n%s", out)
+	}
+}
+
+func TestRunInputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.fasta")
+	if err := os.WriteFile(path, []byte(testFASTA), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, []string{"-in", path, "-format", "quiet"}, "")
+	if strings.TrimSpace(out) == "" {
+		t.Fatal("no output from file input")
+	}
+}
+
+func TestRunGapOverride(t *testing.T) {
+	// Harsher gaps must not raise the score on inputs needing gaps.
+	base := runCLI(t, []string{"-format", "quiet"}, testFASTA)
+	harsh := runCLI(t, []string{"-format", "quiet", "-gap-extend", "-10"}, testFASTA)
+	b, err := strconv.Atoi(strings.TrimSpace(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := strconv.Atoi(strings.TrimSpace(harsh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h > b {
+		t.Fatalf("harsher gaps raised score: %d > %d", h, b)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-alphabet", "klingon"},
+		{"-scheme", "bogus"},
+		{"-algorithm", "bogus"},
+		{"-format", "bogus"},
+		{"-in", "/nonexistent/file.fasta"},
+		{"-notaflag"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, strings.NewReader(testFASTA), &out); err == nil {
+			t.Errorf("run(%v): error expected", args)
+		}
+	}
+}
+
+func TestRunRejectsBadFASTA(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(">a\nAC\n"), &out); err == nil {
+		t.Fatal("single-record FASTA accepted")
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	out := runCLI(t, []string{"-format", "json", "-algorithm", "pruned"}, testFASTA)
+	var rep struct {
+		Algorithm    string    `json:"algorithm"`
+		Score        int32     `json:"score"`
+		Columns      int       `json:"columns"`
+		Rows         [3]string `json:"rows"`
+		Consensus    string    `json:"consensus"`
+		Conservation string    `json:"conservation"`
+		Prune        *struct {
+			EvaluatedCells int64 `json:"EvaluatedCells"`
+		} `json:"prune"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Algorithm != "pruned" || rep.Columns == 0 {
+		t.Fatalf("report content wrong: %+v", rep)
+	}
+	if len(rep.Rows[0]) != rep.Columns || len(rep.Conservation) != rep.Columns {
+		t.Fatalf("row/conservation lengths inconsistent: %+v", rep)
+	}
+	if rep.Prune == nil || rep.Prune.EvaluatedCells <= 0 {
+		t.Fatalf("prune stats missing from JSON: %s", out)
+	}
+}
+
+func TestRunGzipInput(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(testFASTA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.fasta.gz")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gz := runCLI(t, []string{"-in", path, "-format", "quiet"}, "")
+	plain := runCLI(t, []string{"-format", "quiet"}, testFASTA)
+	if gz != plain {
+		t.Fatalf("gzip input score %q != plain %q", gz, plain)
+	}
+}
+
+func TestRunBothStrands(t *testing.T) {
+	// s3 is the reverse complement of a sequence similar to s1/s2: on the
+	// given strand it aligns poorly, on the flipped strand well.
+	in := ">s1\nACGTACGTACGTACGT\n>s2\nACGTACGTACGTACGT\n>s3\nACGTACGTACGTACGT\n"
+	// reverse complement of s1 == ACGTACGTACGTACGT reversed-complemented:
+	// complement(TGCATGCA...)... compute via library in the assertion below.
+	fwd := runCLI(t, []string{"-format", "quiet"}, in)
+	both := runCLI(t, []string{"-format", "quiet", "-both-strands"}, in)
+	f, err := strconv.Atoi(strings.TrimSpace(fwd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := strconv.Atoi(strings.TrimSpace(both))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < f {
+		t.Fatalf("both-strands score %d below single-strand %d", b, f)
+	}
+
+	// Now flip s3 so that only the reverse complement matches.
+	flipped := ">s1\nAAAATTTTAAAACCCC\n>s2\nAAAATTTTAAAACCCC\n>s3\nAAAATTTTAAAACCCC\n"
+	tr, err := seqReadTriple(flipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := tr.C.ReverseComplement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := ">s1\nAAAATTTTAAAACCCC\n>s2\nAAAATTTTAAAACCCC\n>s3\n" + rc.String() + "\n"
+	single := runCLI(t, []string{"-format", "quiet"}, mixed)
+	dual := runCLI(t, []string{"-format", "quiet", "-both-strands"}, mixed)
+	s, _ := strconv.Atoi(strings.TrimSpace(single))
+	d, _ := strconv.Atoi(strings.TrimSpace(dual))
+	if d <= s {
+		t.Fatalf("flipped strand: both-strands %d should beat single %d", d, s)
+	}
+}
+
+func seqReadTriple(in string) (repro.Triple, error) {
+	return repro.ReadTripleFASTA(strings.NewReader(in), repro.DNA)
+}
+
+func TestRunBothStrandsProteinErrors(t *testing.T) {
+	in := ">a\nMKT\n>b\nMKT\n>c\nMKT\n"
+	var out strings.Builder
+	if err := run([]string{"-alphabet", "protein", "-both-strands"}, strings.NewReader(in), &out); err == nil {
+		t.Fatal("protein both-strands accepted")
+	}
+}

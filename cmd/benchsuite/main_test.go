@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The smoke tests run the cheapest experiments at quick sizes; they verify
+// the drivers execute end to end and emit the expected table structure.
+
+func TestRunT2(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-exp", "t2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"benchsuite:", "T2:", "full bytes", "ratio", "expected:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-reps", "1", "-exp", "t2,t3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "T2:") || !strings.Contains(out.String(), "T3:") {
+		t.Fatalf("expected both tables:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "zzz"}, &out); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-notaflag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.title == "" || e.run == nil {
+			t.Errorf("experiment %q incomplete", e.id)
+		}
+	}
+	if len(experiments) != 12 {
+		t.Errorf("expected 12 experiments, found %d", len(experiments))
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-exp", "t2", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# T2:") || !strings.Contains(out.String(), "n,full bytes,linear bytes,ratio") {
+		t.Fatalf("CSV output malformed:\n%s", out.String())
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-n", "50", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "50", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+	var c strings.Builder
+	if err := run([]string{"-n", "50", "-seed", "10"}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestRunProducesValidTriple(t *testing.T) {
+	for _, alpha := range []string{"dna", "rna", "protein"} {
+		var out strings.Builder
+		if err := run([]string{"-alphabet", alpha, "-n", "80"}, &out); err != nil {
+			t.Fatalf("%s: %v", alpha, err)
+		}
+		var a *seq.Alphabet
+		switch alpha {
+		case "dna":
+			a = seq.DNA
+		case "rna":
+			a = seq.RNA
+		case "protein":
+			a = seq.Protein
+		}
+		tr, err := seq.ReadTripleFASTA(strings.NewReader(out.String()), a)
+		if err != nil {
+			t.Fatalf("%s: output not a valid triple: %v", alpha, err)
+		}
+		if tr.A.Len() == 0 || tr.B.Len() == 0 || tr.C.Len() == 0 {
+			t.Fatalf("%s: empty sequence generated", alpha)
+		}
+	}
+}
+
+func TestRunExactLengths(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "60", "-nb", "40", "-nc", "80"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := seq.ReadTripleFASTA(strings.NewReader(out.String()), seq.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.A.Len() != 60 || tr.B.Len() != 40 || tr.C.Len() != 80 {
+		t.Fatalf("lengths = %d/%d/%d, want 60/40/80", tr.A.Len(), tr.B.Len(), tr.C.Len())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-alphabet", "klingon"},
+		{"-n", "-5"},
+		{"-sub", "1.5"},
+		{"-indel", "-0.1"},
+		{"-notaflag"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): error expected", args)
+		}
+	}
+}

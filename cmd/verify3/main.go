@@ -1,0 +1,111 @@
+// Command verify3 checks a claimed three-sequence alignment: it parses an
+// aligned FASTA file (three equal-length gapped rows), validates its
+// structure, recomputes its SP score independently, and — unless -no-opt
+// is given — compares it against the true optimum for its sequences.
+//
+// Usage:
+//
+//	align3 -in triple.fasta -format fasta > aln.fasta
+//	verify3 -in aln.fasta                  # exits 0 iff optimal
+//	verify3 -in aln.fasta -no-opt          # structural + score check only
+//
+// Exit status: 0 valid and optimal (or -no-opt), 1 invalid input or
+// sub-optimal alignment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	repro "repro"
+	"repro/internal/seq"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("verify3", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var (
+		in       = fs.String("in", "-", "aligned FASTA with 3 gapped rows ('-' = stdin)")
+		alphabet = fs.String("alphabet", "dna", "residue alphabet: dna, rna, protein")
+		scheme   = fs.String("scheme", "", "scoring scheme (default per alphabet)")
+		noOpt    = fs.Bool("no-opt", false, "skip the optimality check (structure and score only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1, fmt.Errorf("verify3: %w", err)
+	}
+
+	var alpha *seq.Alphabet
+	switch *alphabet {
+	case "dna":
+		alpha = seq.DNA
+	case "rna":
+		alpha = seq.RNA
+	case "protein":
+		alpha = seq.Protein
+	default:
+		return 1, fmt.Errorf("verify3: unknown alphabet %q", *alphabet)
+	}
+	r := stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return 1, err
+		}
+		defer f.Close()
+		r = f
+	}
+	r, err := seq.MaybeDecompress(r)
+	if err != nil {
+		return 1, err
+	}
+	aln, err := repro.ParseAlignedFASTA(r, alpha)
+	if err != nil {
+		return 1, fmt.Errorf("verify3: %w", err)
+	}
+
+	sch, err := schemeFor(*scheme, alpha)
+	if err != nil {
+		return 1, err
+	}
+	score := aln.SPScore(sch)
+	fmt.Fprintf(stdout, "structure: valid (%d columns)\nsp score: %d\n", aln.Columns(), score)
+	if *noOpt {
+		return 0, nil
+	}
+
+	res, err := repro.Align(aln.Triple, repro.Options{Scheme: sch})
+	if err != nil {
+		return 1, fmt.Errorf("verify3: recomputing optimum: %w", err)
+	}
+	fmt.Fprintf(stdout, "optimum: %d\n", res.Score)
+	if score < res.Score {
+		fmt.Fprintf(stdout, "verdict: SUB-OPTIMAL by %d\n", res.Score-score)
+		return 1, nil
+	}
+	fmt.Fprintln(stdout, "verdict: OPTIMAL")
+	return 0, nil
+}
+
+func schemeFor(name string, alpha *seq.Alphabet) (*repro.Scheme, error) {
+	if name == "" {
+		return repro.DefaultScheme(alpha)
+	}
+	s, ok := repro.SchemeByName(name)
+	if !ok {
+		return nil, fmt.Errorf("verify3: unknown scheme %q", name)
+	}
+	return s, nil
+}

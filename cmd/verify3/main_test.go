@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// optimalAligned is the aligned-FASTA output of the exact aligner for a
+// small triple (verified by TestVerifyOptimal itself — the checker
+// recomputes the optimum).
+const optimalAligned = ">s1\nACGTACGT\n>s2\nACG-ACGT\n>s3\nACGTACG-\n"
+
+// worseAligned aligns the same sequences with gratuitous extra gaps.
+const worseAligned = ">s1\nACGTACGT--\n>s2\nACG-ACG--T\n>s3\nACGTAC--G-\n"
+
+func TestVerifyOptimal(t *testing.T) {
+	var out strings.Builder
+	code, err := run(nil, strings.NewReader(optimalAligned), &out)
+	if err != nil {
+		t.Fatalf("err: %v\n%s", err, out.String())
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "OPTIMAL") {
+		t.Fatalf("missing verdict:\n%s", out.String())
+	}
+}
+
+func TestVerifySubOptimal(t *testing.T) {
+	var out strings.Builder
+	code, err := run(nil, strings.NewReader(worseAligned), &out)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "SUB-OPTIMAL") {
+		t.Fatalf("missing verdict:\n%s", out.String())
+	}
+}
+
+func TestVerifyNoOpt(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-no-opt"}, strings.NewReader(worseAligned), &out)
+	if err != nil || code != 0 {
+		t.Fatalf("no-opt check failed: code=%d err=%v", code, err)
+	}
+	if strings.Contains(out.String(), "verdict") {
+		t.Fatalf("no-opt printed a verdict:\n%s", out.String())
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	cases := []struct {
+		args  []string
+		stdin string
+	}{
+		{nil, ">a\nAC\n>b\nAC\n"},              // two records
+		{[]string{"-alphabet", "klingon"}, ""}, // bad alphabet
+		{[]string{"-scheme", "bogus"}, ""},     // bad scheme
+		{[]string{"-in", "/nonexistent"}, ""},  // missing file
+		{nil, ">a\nA-\n>b\nA-\n>c\nA-\n"},      // all-gap column
+	}
+	for i, c := range cases {
+		var out strings.Builder
+		code, err := run(c.args, strings.NewReader(c.stdin), &out)
+		if err == nil || code == 0 {
+			t.Errorf("case %d: expected failure, got code=%d err=%v", i, code, err)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package repro is an open-source reproduction of "Efficient Parallel
+// Algorithm for Optimal Three-Sequences Alignment" (Lin, Huang, Chung,
+// Tang; ICPP 2007): exact, optimal alignment of three biological sequences
+// under the sum-of-pairs objective, parallelized with a blocked-wavefront
+// schedule over goroutines, with a linear-space divide-and-conquer variant
+// for long sequences and Carrillo–Lipman pruning.
+//
+// This package is the public facade. The one-call entry point:
+//
+//	tr, _ := repro.ReadTripleFASTA(f, repro.DNA)
+//	res, err := repro.Align(tr, repro.Options{})
+//	fmt.Println(res.Alignment)
+//
+// Pick an algorithm and tune parallelism through Options:
+//
+//	res, err := repro.Align(tr, repro.Options{
+//	    Algorithm: repro.AlgorithmParallel,
+//	    Workers:   8,
+//	    BlockSize: 16,
+//	})
+//
+// The underlying algorithm implementations live in internal/core; sequence
+// and scoring substrates in internal/seq and internal/scoring; heuristic
+// baselines in internal/msa. DESIGN.md maps every subsystem, and
+// bench_test.go regenerates every table and figure of the evaluation.
+package repro

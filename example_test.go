@@ -1,0 +1,103 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	repro "repro"
+)
+
+// ExampleAlign shows the one-call path from residue strings to an optimal
+// alignment.
+func ExampleAlign() {
+	tr, err := repro.NewTriple("GATTACA", "GATACA", "GATTACA", repro.DNA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Align(tr, repro.Options{Algorithm: repro.AlgorithmFull})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ra, rb, rc := res.Rows()
+	fmt.Println("score:", res.Score)
+	fmt.Println(ra)
+	fmt.Println(rb)
+	fmt.Println(rc)
+	// Output:
+	// score: 34
+	// GATTACA
+	// GA-TACA
+	// GATTACA
+}
+
+// ExampleAlign_pruned demonstrates the Carrillo–Lipman variant and its
+// statistics.
+func ExampleAlign_pruned() {
+	g := repro.NewGenerator(repro.DNA, 1)
+	tr := g.RelatedTriple(60, repro.MutationModel{SubstitutionRate: 0.05})
+	res, err := repro.Align(tr, repro.Options{Algorithm: repro.AlgorithmPruned})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimal:", res.Score == mustScore(tr))
+	fmt.Println("pruned most of the lattice:", res.Prune.Fraction() < 0.10)
+	// Output:
+	// optimal: true
+	// pruned most of the lattice: true
+}
+
+func mustScore(tr repro.Triple) int32 {
+	res, err := repro.Align(tr, repro.Options{Algorithm: repro.AlgorithmFull})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Score
+}
+
+// ExampleReadTripleFASTA parses three FASTA records and aligns them.
+func ExampleReadTripleFASTA() {
+	fasta := ">x\nACGT\n>y\nACG\n>z\nAGT\n"
+	tr, err := repro.ReadTripleFASTA(strings.NewReader(fasta), repro.DNA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Align(tr, repro.Options{Algorithm: repro.AlgorithmFull})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tr.A.Name(), tr.B.Name(), tr.C.Name(), "score:", res.Score)
+	// Output:
+	// x y z score: 8
+}
+
+// ExampleAlignBatch ranks candidate third sequences against a fixed pair.
+func ExampleAlignBatch() {
+	g := repro.NewGenerator(repro.DNA, 7)
+	anc := g.Random("anc", 40)
+	a := g.Mutate("a", anc, repro.MutationModel{SubstitutionRate: 0.05})
+	b := g.Mutate("b", anc, repro.MutationModel{SubstitutionRate: 0.05})
+	relative := g.Mutate("rel", anc, repro.MutationModel{SubstitutionRate: 0.10})
+	decoy := g.Random("decoy", 40)
+
+	results := repro.AlignBatch([]repro.Triple{
+		{A: a, B: b, C: relative},
+		{A: a, B: b, C: decoy},
+	}, repro.Options{Algorithm: repro.AlgorithmFull})
+	fmt.Println("relative beats decoy:", results[0].Result.Score > results[1].Result.Score)
+	// Output:
+	// relative beats decoy: true
+}
+
+// ExampleAlignment_Consensus derives a consensus sequence from an optimal
+// alignment.
+func ExampleAlignment_Consensus() {
+	tr, _ := repro.NewTriple("ACGTT", "ACGT", "ACTTT", repro.DNA)
+	res, err := repro.Align(tr, repro.Options{Algorithm: repro.AlgorithmFull})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Consensus())
+	// Output:
+	// ACGTT
+}

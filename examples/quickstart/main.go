@@ -1,0 +1,35 @@
+// Quickstart: align three short DNA sequences with the default (parallel
+// exact) algorithm and print the alignment.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	repro "repro"
+)
+
+func main() {
+	tr, err := repro.NewTriple(
+		"GATTACAGATTACA",
+		"GATCACAGATACA",
+		"GATTACAGTTACA",
+		repro.DNA,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := repro.Align(tr, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("optimal SP score: %d (algorithm %s, %s)\n\n", res.Score, res.Algorithm, res.Elapsed)
+	if err := res.Format(os.Stdout, 60); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+// Scaling: measure the blocked-wavefront parallel aligner across worker
+// counts and print measured wall-clock time next to the simulated
+// multi-processor speedup of the same schedule — the F1 figure in
+// miniature. On a single-core host the measured column stays flat while
+// the simulated column shows the scaling the schedule achieves with real
+// processors.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	repro "repro"
+	"repro/internal/core"
+	"repro/internal/wavefront"
+)
+
+func main() {
+	const n = 120
+	g := repro.NewGenerator(repro.DNA, 99)
+	tr := g.RelatedTriple(n, repro.MutationModel{SubstitutionRate: 0.3, InsertionRate: 0.02, DeletionRate: 0.02})
+
+	si := wavefront.Partition(tr.A.Len()+1, core.DefaultBlockSize)
+	sj := wavefront.Partition(tr.B.Len()+1, core.DefaultBlockSize)
+	sk := wavefront.Partition(tr.C.Len()+1, core.DefaultBlockSize)
+	cost := wavefront.SpanCost(si, sj, sk, 1)
+	sim1 := wavefront.Simulate(len(si), len(sj), len(sk), 1, cost)
+
+	fmt.Printf("n=%d, block=%d, GOMAXPROCS=%d\n", n, core.DefaultBlockSize, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-8s %-12s %-14s %s\n", "workers", "measured", "meas-speedup", "sim-speedup")
+	var t1 time.Duration
+	for _, w := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		res, err := repro.Align(tr, repro.Options{Algorithm: repro.AlgorithmParallel, Workers: w})
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if w == 1 {
+			t1 = elapsed
+		}
+		sim := sim1 / wavefront.Simulate(len(si), len(sj), len(sk), w, cost)
+		fmt.Printf("%-8d %-12s %-14.2f %.2f   (score %d)\n",
+			w, elapsed.Round(time.Microsecond), float64(t1)/float64(elapsed), sim, res.Score)
+	}
+}

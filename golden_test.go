@@ -1,0 +1,81 @@
+package repro
+
+import (
+	"os"
+	"testing"
+)
+
+// The golden tests anchor the scoring pipeline to bundled datasets: any
+// change to the scoring tables, gap models, or DP recurrences that shifts
+// an optimum shows up here as a concrete number.
+
+func loadTriple(t *testing.T, path string, alpha *Alphabet) Triple {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ReadTripleFASTA(f, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGoldenDNATriple(t *testing.T) {
+	tr := loadTriple(t, "testdata/triple_dna_40.fasta", DNA)
+	res, err := Align(tr, Options{Algorithm: AlgorithmFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 102 {
+		t.Fatalf("golden DNA optimum = %d, want 102", res.Score)
+	}
+	// Every exact algorithm reproduces the golden value.
+	for _, algo := range []Algorithm{AlgorithmParallel, AlgorithmLinear, AlgorithmDiagonal, AlgorithmPruned} {
+		r, err := Align(tr, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if r.Score != 102 {
+			t.Fatalf("%s golden = %d, want 102", algo, r.Score)
+		}
+	}
+}
+
+func TestGoldenProteinTriple(t *testing.T) {
+	tr := loadTriple(t, "testdata/triple_protein_60.fasta", Protein)
+	// Linear-gap optimum under BLOSUM62's extend penalty.
+	lin, err := Align(tr, Options{Algorithm: AlgorithmFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Score != 726 {
+		t.Fatalf("golden protein linear optimum = %d, want 726", lin.Score)
+	}
+	// Quasi-natural affine optimum under BLOSUM62 (-11/-1).
+	aff, err := Align(tr, Options{Algorithm: AlgorithmAffine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aff.Score != 590 {
+		t.Fatalf("golden protein affine optimum = %d, want 590", aff.Score)
+	}
+	if got, err := Align(tr, Options{Algorithm: AlgorithmAffineLinear}); err != nil || got.Score != 590 {
+		t.Fatalf("affine-linear golden = %v/%v, want 590", got, err)
+	}
+}
+
+func TestGoldenHeuristicsBounded(t *testing.T) {
+	tr := loadTriple(t, "testdata/triple_dna_40.fasta", DNA)
+	for _, algo := range []Algorithm{AlgorithmCenterStar, AlgorithmCenterStarRefined, AlgorithmProgressive} {
+		r, err := Align(tr, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if r.Score > 102 {
+			t.Fatalf("%s = %d beats the optimum 102", algo, r.Score)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package alignment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConsensusIdenticalRows(t *testing.T) {
+	a := &Alignment{
+		Triple: triple(t, "ACGT", "ACGT", "ACGT"),
+		Moves:  []Move{MoveXXX, MoveXXX, MoveXXX, MoveXXX},
+	}
+	if got := a.Consensus(); got != "ACGT" {
+		t.Fatalf("Consensus = %q, want ACGT", got)
+	}
+	if got := a.Conservation(); got != "****" {
+		t.Fatalf("Conservation = %q, want ****", got)
+	}
+}
+
+func TestConsensusMajorityWins(t *testing.T) {
+	// Column 2: A, G, G -> G.
+	a := &Alignment{
+		Triple: triple(t, "AA", "AG", "AG"),
+		Moves:  []Move{MoveXXX, MoveXXX},
+	}
+	if got := a.Consensus(); got != "AG" {
+		t.Fatalf("Consensus = %q, want AG", got)
+	}
+	if got := a.Conservation(); got != "*:" {
+		t.Fatalf("Conservation = %q, want *:", got)
+	}
+}
+
+func TestConsensusGapMajorityDropped(t *testing.T) {
+	// Second column: only A consumes -> (C, -, -): gap majority, dropped.
+	a := &Alignment{
+		Triple: triple(t, "AC", "A", "A"),
+		Moves:  []Move{MoveXXX, MoveXGG},
+	}
+	if got := a.Consensus(); got != "A" {
+		t.Fatalf("Consensus = %q, want A (gap-majority column dropped)", got)
+	}
+}
+
+func TestConsensusThreeWayTiePrefersResidue(t *testing.T) {
+	// Column (A, C, -): 1-1-1 tie -> first sequence's residue A.
+	a := &Alignment{
+		Triple: triple(t, "A", "C", ""),
+		Moves:  []Move{MoveXXG},
+	}
+	if got := a.Consensus(); got != "A" {
+		t.Fatalf("Consensus = %q, want A", got)
+	}
+}
+
+func TestConsensusEmpty(t *testing.T) {
+	a := &Alignment{Triple: triple(t, "", "", ""), Moves: nil}
+	if got := a.Consensus(); got != "" {
+		t.Fatalf("Consensus of empty = %q", got)
+	}
+}
+
+func TestConservationLengthMatchesColumns(t *testing.T) {
+	a := sampleAlignment(t)
+	if len(a.Conservation()) != a.Columns() {
+		t.Fatalf("Conservation length %d != columns %d", len(a.Conservation()), a.Columns())
+	}
+	if !strings.ContainsAny(a.Conservation(), "*:") {
+		t.Fatal("Conservation has no marks for a mostly identical alignment")
+	}
+}

@@ -1,0 +1,122 @@
+package alignment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+func sampleAlignment(t *testing.T) *Alignment {
+	t.Helper()
+	a := &Alignment{
+		Triple: triple(t, "ACGTACGTACGT", "ACGACGTACGTA", "ACGTACGACGTA"),
+		Moves: []Move{
+			MoveXXX, MoveXXX, MoveXXX, MoveXGX, MoveXXX, MoveXXX, MoveXXX,
+			MoveXXG, MoveXXX, MoveXXX, MoveXXX, MoveXXX, MoveGXX,
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("sample invalid: %v", err)
+	}
+	return a
+}
+
+func TestWriteClustal(t *testing.T) {
+	a := sampleAlignment(t)
+	var b strings.Builder
+	if err := WriteClustal(&b, a); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "CLUSTAL") {
+		t.Error("missing CLUSTAL header")
+	}
+	// Cumulative residue counts at line ends: each row consumes 12.
+	if got := strings.Count(out, " 12\n"); got != 3 {
+		t.Errorf("want 3 cumulative counts of 12, got %d:\n%s", got, out)
+	}
+	for _, name := range []string{"A ", "B ", "C "} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing row for %q", name)
+		}
+	}
+}
+
+func TestWriteClustalRejectsInvalid(t *testing.T) {
+	bad := &Alignment{Triple: triple(t, "AC", "AC", "AC"), Moves: []Move{MoveXXX}}
+	if err := WriteClustal(&strings.Builder{}, bad); err == nil {
+		t.Fatal("invalid alignment written")
+	}
+}
+
+func TestAlignedFASTARoundTrip(t *testing.T) {
+	a := sampleAlignment(t)
+	var b strings.Builder
+	if err := WriteAlignedFASTA(&b, a, 7); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAlignedFASTA(strings.NewReader(b.String()), seq.DNA)
+	if err != nil {
+		t.Fatalf("parse: %v\ninput:\n%s", err, b.String())
+	}
+	if len(back.Moves) != len(a.Moves) {
+		t.Fatalf("round trip: %d moves, want %d", len(back.Moves), len(a.Moves))
+	}
+	for i := range a.Moves {
+		if back.Moves[i] != a.Moves[i] {
+			t.Fatalf("move %d: %s != %s", i, back.Moves[i], a.Moves[i])
+		}
+	}
+	if !back.Triple.A.Equal(a.Triple.A) || !back.Triple.B.Equal(a.Triple.B) || !back.Triple.C.Equal(a.Triple.C) {
+		t.Fatal("round trip changed sequences")
+	}
+	// Scores recompute identically.
+	sch := scoring.DNADefault()
+	if back.SPScore(sch) != a.SPScore(sch) {
+		t.Fatalf("round trip changed SP score: %d != %d", back.SPScore(sch), a.SPScore(sch))
+	}
+}
+
+func TestParseAlignedFASTAErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"two records", ">a\nAC\n>b\nAC\n"},
+		{"unequal rows", ">a\nACG\n>b\nAC\n>c\nACG\n"},
+		{"all-gap column", ">a\nA-C\n>b\nA-C\n>c\nA-C\n"},
+		{"bad residue", ">a\nAXC\n>b\nAAC\n>c\nAAC\n"},
+		{"data before header", "ACGT\n>a\nAC\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := ParseAlignedFASTA(strings.NewReader(c.in), seq.DNA); err == nil {
+			t.Errorf("%s: error expected", c.name)
+		}
+	}
+}
+
+func TestParseAlignedFASTADotGaps(t *testing.T) {
+	// '.' is accepted as a gap character on input.
+	in := ">a\nAC.T\n>b\nACGT\n>c\nAC-T\n"
+	aln, err := ParseAlignedFASTA(strings.NewReader(in), seq.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aln.Triple.A.String() != "ACT" || aln.Triple.C.String() != "ACT" {
+		t.Fatalf("degapped rows wrong: %q %q", aln.Triple.A.String(), aln.Triple.C.String())
+	}
+	if aln.Moves[2] != MoveGXG {
+		t.Fatalf("column 3 move = %s, want GXG", aln.Moves[2])
+	}
+}
+
+func TestWriteAlignedFASTAEmpty(t *testing.T) {
+	a := &Alignment{Triple: triple(t, "", "", ""), Moves: nil}
+	var b strings.Builder
+	if err := WriteAlignedFASTA(&b, a, 10); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), ">") != 3 {
+		t.Fatalf("expected 3 headers:\n%s", b.String())
+	}
+}

@@ -1,0 +1,267 @@
+// Package bench provides the measurement and reporting substrate for the
+// experiment suite: repeated wall-clock timing, summary statistics,
+// speedup/efficiency derivation, and fixed-width text tables matching the
+// shape of the paper's tables and figures.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timing summarizes repeated measurements of one configuration.
+type Timing struct {
+	N    int           // number of measured repetitions
+	Min  time.Duration // fastest repetition
+	Mean time.Duration
+	Max  time.Duration
+	Std  time.Duration // population standard deviation
+}
+
+// Measure runs f once to warm up, then reps more times, and summarizes the
+// measured repetitions. reps < 1 is treated as 1.
+func Measure(reps int, f func()) Timing {
+	if reps < 1 {
+		reps = 1
+	}
+	f() // warm-up: page in lattices, stabilize the scheduler
+	samples := make([]time.Duration, reps)
+	for i := range samples {
+		start := time.Now()
+		f()
+		samples[i] = time.Since(start)
+	}
+	return Summarize(samples)
+}
+
+// Summarize computes the Timing statistics of a sample set.
+func Summarize(samples []time.Duration) Timing {
+	if len(samples) == 0 {
+		return Timing{}
+	}
+	t := Timing{N: len(samples), Min: samples[0], Max: samples[0]}
+	var sum float64
+	for _, s := range samples {
+		if s < t.Min {
+			t.Min = s
+		}
+		if s > t.Max {
+			t.Max = s
+		}
+		sum += float64(s)
+	}
+	mean := sum / float64(len(samples))
+	t.Mean = time.Duration(mean)
+	var ss float64
+	for _, s := range samples {
+		d := float64(s) - mean
+		ss += d * d
+	}
+	t.Std = time.Duration(math.Sqrt(ss / float64(len(samples))))
+	return t
+}
+
+// Speedup is t1/tp: how much faster p workers are than one.
+func Speedup(t1, tp time.Duration) float64 {
+	if tp <= 0 {
+		return 0
+	}
+	return float64(t1) / float64(tp)
+}
+
+// Efficiency is Speedup divided by the worker count.
+func Efficiency(t1, tp time.Duration, workers int) float64 {
+	if workers <= 0 {
+		return 0
+	}
+	return Speedup(t1, tp) / float64(workers)
+}
+
+// CellRate converts a lattice size and a duration into cells per second,
+// the throughput unit used by the runtime tables.
+func CellRate(cells int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(cells) / d.Seconds()
+}
+
+// Table is a fixed-width text table with a title and caption, rendered in
+// the style of the paper's tables.
+type Table struct {
+	Title   string
+	Caption string
+	Header  []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped and
+// missing cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells; each argument is rendered with
+// %v except float64, which uses two decimals, and time.Duration, which uses
+// its native formatting rounded to 10µs.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		case time.Duration:
+			row = append(row, v.Round(10*time.Microsecond).String())
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render writes the table: title, underline, aligned header and rows, and
+// the caption. Numeric-looking cells are right-aligned.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if numericCell(c) {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := len(widths) - 1
+	if total < 0 {
+		total = 0
+	}
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func numericCell(s string) bool {
+	if s == "" {
+		return false
+	}
+	digits := 0
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case strings.ContainsRune(".-+eEx%sµmnh", r):
+			// signs, exponents, duration suffixes, percent
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// RenderCSV writes the table as RFC-4180 CSV: a comment line with the
+// title, the header row, then the data rows. Machine-readable counterpart
+// of Render for plotting pipelines.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// GeoMean returns the geometric mean of positive values; zero or negative
+// inputs are skipped. It is used to aggregate speedups across lengths.
+func GeoMean(vals []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			logSum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Median returns the median of the values (the mean of the middle pair for
+// even lengths). It does not modify its argument.
+func Median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}

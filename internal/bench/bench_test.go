@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]time.Duration{10, 20, 30})
+	if s.N != 3 || s.Min != 10 || s.Max != 30 || s.Mean != 20 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	// Population std of {10,20,30} is sqrt(200/3) ≈ 8.16.
+	if s.Std < 8 || s.Std > 9 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("Summarize(nil) = %+v", z)
+	}
+}
+
+func TestMeasureRuns(t *testing.T) {
+	n := 0
+	got := Measure(3, func() { n++ })
+	if n != 4 { // 1 warm-up + 3 measured
+		t.Fatalf("f ran %d times, want 4", n)
+	}
+	if got.N != 3 {
+		t.Fatalf("N = %d, want 3", got.N)
+	}
+	n = 0
+	Measure(0, func() { n++ })
+	if n != 2 {
+		t.Fatalf("reps<1: f ran %d times, want 2", n)
+	}
+}
+
+func TestSpeedupEfficiency(t *testing.T) {
+	if s := Speedup(100, 25); s != 4 {
+		t.Errorf("Speedup = %v, want 4", s)
+	}
+	if s := Speedup(100, 0); s != 0 {
+		t.Errorf("Speedup(÷0) = %v, want 0", s)
+	}
+	if e := Efficiency(100, 25, 8); e != 0.5 {
+		t.Errorf("Efficiency = %v, want 0.5", e)
+	}
+	if e := Efficiency(100, 25, 0); e != 0 {
+		t.Errorf("Efficiency(0 workers) = %v, want 0", e)
+	}
+}
+
+func TestCellRate(t *testing.T) {
+	if r := CellRate(1_000_000, time.Second); r != 1e6 {
+		t.Errorf("CellRate = %v, want 1e6", r)
+	}
+	if r := CellRate(10, 0); r != 0 {
+		t.Errorf("CellRate(0s) = %v, want 0", r)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("T1: runtimes", "n", "time", "rate")
+	tab.Caption = "lower is better"
+	tab.AddRowf(64, 1500*time.Microsecond, 12.3456)
+	tab.AddRow("128", "12ms")
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T1: runtimes", "=====", "n", "time", "rate", "12.35", "1.5ms", "128", "lower is better"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("Rows = %d, want 2", tab.Rows())
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tab := NewTable("x", "a", "b")
+	tab.AddRow("1")           // short row padded
+	tab.AddRow("1", "2", "3") // long row truncated
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "3") {
+		t.Errorf("overflow cell rendered:\n%s", b.String())
+	}
+}
+
+func TestNumericCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"123", true}, {"1.5ms", true}, {"-0.25", true}, {"1.2e6", true},
+		{"abc", false}, {"", false}, {"n=64", false}, {"12%", true},
+	}
+	for _, c := range cases {
+		if got := numericCell(c.in); got != c.want {
+			t.Errorf("numericCell(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 4", g)
+	}
+	if g := GeoMean([]float64{0, -1}); g != 0 {
+		t.Errorf("GeoMean of nonpositives = %v, want 0", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", g)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("Median odd = %v, want 2", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("Median even = %v, want 2.5", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Errorf("Median(nil) = %v, want 0", m)
+	}
+	in := []float64{9, 1}
+	Median(in)
+	if in[0] != 9 {
+		t.Error("Median mutated its argument")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := NewTable("T9: demo", "n", "time")
+	tab.AddRowf(64, 1500*time.Microsecond)
+	tab.AddRow("has,comma", "x")
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "# T9: demo\n") {
+		t.Errorf("missing title comment:\n%s", out)
+	}
+	if !strings.Contains(out, "n,time\n") {
+		t.Errorf("missing header row:\n%s", out)
+	}
+	if !strings.Contains(out, "64,1.5ms\n") {
+		t.Errorf("missing data row:\n%s", out)
+	}
+	if !strings.Contains(out, `"has,comma",x`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+}

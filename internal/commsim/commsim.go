@@ -1,0 +1,262 @@
+// Package commsim simulates executing the blocked-wavefront three-sequence
+// DP on a distributed-memory cluster — the testbed class the ICPP 2007
+// paper evaluated on — under an α–β communication model.
+//
+// Each block of the 3D lattice is owned by a rank. A block may start once
+// its axis predecessors have finished and their boundary faces have
+// arrived: a face crossing ranks costs α (per-message latency) plus
+// β·bytes (inverse bandwidth); a face staying on-rank is free. Ranks
+// execute one block at a time (single-core processes, the 2007 norm), and
+// communication overlaps computation (non-blocking sends).
+//
+// The simulation is deterministic, so cluster speedup curves —
+// T(1 rank)/T(P ranks) including communication — are reproducible on any
+// host. It substitutes for the paper's physical cluster: the dependency
+// structure, distribution policy, and α–β costs are what shape the curves,
+// not the brand of interconnect.
+package commsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/wavefront"
+)
+
+// Params describes the simulated machine and kernel.
+type Params struct {
+	Ranks        int     // number of processes (≥ 1)
+	Alpha        float64 // per-message latency, seconds
+	Beta         float64 // per-byte transfer time, seconds
+	CellTime     float64 // compute time per lattice cell, seconds
+	BytesPerCell int     // payload bytes per boundary-face cell
+}
+
+// GigabitCluster2007 returns parameters typical of the paper's era: a
+// gigabit-Ethernet PC cluster (≈50 µs MPI latency, ≈100 MB/s effective
+// bandwidth) and a cell rate calibrated to this repository's measured
+// sequential kernel (≈20 ns/cell).
+func GigabitCluster2007(ranks int) Params {
+	return Params{
+		Ranks:        ranks,
+		Alpha:        50e-6,
+		Beta:         1.0 / 100e6,
+		CellTime:     20e-9,
+		BytesPerCell: 4,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Ranks < 1 {
+		return fmt.Errorf("commsim: ranks %d < 1", p.Ranks)
+	}
+	if p.Alpha < 0 || p.Beta < 0 || p.CellTime <= 0 || p.BytesPerCell < 0 {
+		return fmt.Errorf("commsim: invalid cost parameters %+v", p)
+	}
+	return nil
+}
+
+// Dist selects the block-to-rank distribution policy.
+type Dist int
+
+const (
+	// DistSlabI assigns contiguous slabs of i-block layers to ranks: rank
+	// r owns i-blocks [r·L/P, (r+1)·L/P). Minimal communication, but the
+	// wavefront keeps late slabs idle at the start and early slabs idle at
+	// the end.
+	DistSlabI Dist = iota
+	// DistCyclicI deals i-block layers round-robin: rank(bi) = bi mod P.
+	// Every rank participates in every wavefront stage at the cost of one
+	// cross-rank face per i-neighbor.
+	DistCyclicI
+	// DistCyclicIJ deals (i,j) block columns round-robin, the 2D analogue
+	// of block-cyclic layouts.
+	DistCyclicIJ
+)
+
+// String names the policy.
+func (d Dist) String() string {
+	switch d {
+	case DistSlabI:
+		return "slab-i"
+	case DistCyclicI:
+		return "cyclic-i"
+	case DistCyclicIJ:
+		return "cyclic-ij"
+	default:
+		return fmt.Sprintf("dist(%d)", int(d))
+	}
+}
+
+// Result reports one simulated execution.
+type Result struct {
+	Makespan    float64 // wall-clock seconds
+	ComputeTime float64 // total cell work in seconds (= T on 1 rank)
+	Messages    int64   // cross-rank faces sent
+	BytesSent   int64   // cross-rank payload bytes
+}
+
+// Speedup is ComputeTime / Makespan: how much faster than one rank.
+func (r Result) Speedup() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return r.ComputeTime / r.Makespan
+}
+
+// Efficiency is Speedup divided by the rank count used.
+func (r Result) Efficiency(ranks int) float64 {
+	if ranks <= 0 {
+		return 0
+	}
+	return r.Speedup() / float64(ranks)
+}
+
+// Simulate runs the blocked wavefront over the given partitions on the
+// simulated cluster and returns the communication-inclusive result.
+func Simulate(si, sj, sk []wavefront.Span, p Params, dist Dist) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	nbi, nbj, nbk := len(si), len(sj), len(sk)
+	total := nbi * nbj * nbk
+	if total == 0 {
+		return Result{}, nil
+	}
+
+	owner := ownerFunc(nbi, nbj, dist, p.Ranks)
+	idx := func(bi, bj, bk int) int { return (bi*nbj+bj)*nbk + bk }
+	coords := func(id int) (int, int, int) { return id / (nbj * nbk), (id / nbk) % nbj, id % nbk }
+
+	blockCost := func(bi, bj, bk int) float64 {
+		return p.CellTime * float64(si[bi].Len()) * float64(sj[bj].Len()) * float64(sk[bk].Len())
+	}
+	// faceBytes(d, bi, bj, bk) is the payload a block sends to its
+	// successor along axis d: the boundary face perpendicular to d.
+	faceBytes := func(d, bi, bj, bk int) int64 {
+		var cellsInFace int64
+		switch d {
+		case 0:
+			cellsInFace = int64(sj[bj].Len()) * int64(sk[bk].Len())
+		case 1:
+			cellsInFace = int64(si[bi].Len()) * int64(sk[bk].Len())
+		default:
+			cellsInFace = int64(si[bi].Len()) * int64(sj[bj].Len())
+		}
+		return cellsInFace * int64(p.BytesPerCell)
+	}
+
+	remaining := make([]int, total)
+	readyAt := make([]float64, total) // max arrival time of predecessor data
+	var computeTotal float64
+	for bi := 0; bi < nbi; bi++ {
+		for bj := 0; bj < nbj; bj++ {
+			for bk := 0; bk < nbk; bk++ {
+				deps := 0
+				if bi > 0 {
+					deps++
+				}
+				if bj > 0 {
+					deps++
+				}
+				if bk > 0 {
+					deps++
+				}
+				remaining[idx(bi, bj, bk)] = deps
+				computeTotal += blockCost(bi, bj, bk)
+			}
+		}
+	}
+
+	res := Result{ComputeTime: computeTotal}
+	rankFree := make([]float64, p.Ranks)
+	// Global queue of runnable blocks ordered by data-arrival time; a
+	// popped block runs as soon as its owner rank is free.
+	var queue pendQueue
+	heap.Push(&queue, pendItem{at: 0, id: 0})
+	done := 0
+	for queue.Len() > 0 {
+		pd := heap.Pop(&queue).(pendItem)
+		bi, bj, bk := coords(pd.id)
+		r := owner(bi, bj, bk)
+		start := pd.at
+		if rankFree[r] > start {
+			start = rankFree[r]
+		}
+		end := start + blockCost(bi, bj, bk)
+		rankFree[r] = end
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		done++
+		succ := [3][3]int{{bi + 1, bj, bk}, {bi, bj + 1, bk}, {bi, bj, bk + 1}}
+		for d, s := range succ {
+			if s[0] >= nbi || s[1] >= nbj || s[2] >= nbk {
+				continue
+			}
+			sid := idx(s[0], s[1], s[2])
+			arrive := end
+			if owner(s[0], s[1], s[2]) != r {
+				bytes := faceBytes(d, bi, bj, bk)
+				arrive += p.Alpha + p.Beta*float64(bytes)
+				res.Messages++
+				res.BytesSent += bytes
+			}
+			if arrive > readyAt[sid] {
+				readyAt[sid] = arrive
+			}
+			remaining[sid]--
+			if remaining[sid] == 0 {
+				heap.Push(&queue, pendItem{at: readyAt[sid], id: sid})
+			}
+		}
+	}
+	if done != total {
+		return Result{}, fmt.Errorf("commsim: scheduled %d of %d blocks (dependency bug)", done, total)
+	}
+	return res, nil
+}
+
+func ownerFunc(nbi, nbj int, dist Dist, ranks int) func(bi, bj, bk int) int {
+	switch dist {
+	case DistSlabI:
+		// Contiguous slabs, balanced to within one layer.
+		return func(bi, _, _ int) int {
+			return bi * ranks / nbi
+		}
+	case DistCyclicI:
+		return func(bi, _, _ int) int {
+			return bi % ranks
+		}
+	default: // DistCyclicIJ
+		return func(bi, bj, _ int) int {
+			return (bi*nbj + bj) % ranks
+		}
+	}
+}
+
+// pendItem is a runnable block: at is its data-arrival time.
+type pendItem struct {
+	at float64
+	id int
+}
+
+type pendQueue []pendItem
+
+func (q pendQueue) Len() int { return len(q) }
+func (q pendQueue) Less(a, b int) bool {
+	if q[a].at != q[b].at {
+		return q[a].at < q[b].at
+	}
+	return q[a].id < q[b].id
+}
+func (q pendQueue) Swap(a, b int) { q[a], q[b] = q[b], q[a] }
+func (q *pendQueue) Push(x any)   { *q = append(*q, x.(pendItem)) }
+func (q *pendQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

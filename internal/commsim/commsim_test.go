@@ -1,0 +1,252 @@
+package commsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wavefront"
+)
+
+func spans(n, bs int) []wavefront.Span { return wavefront.Partition(n, bs) }
+
+func freeComm(ranks int) Params {
+	return Params{Ranks: ranks, Alpha: 0, Beta: 0, CellTime: 1e-9, BytesPerCell: 4}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{Ranks: 0, CellTime: 1}).Validate(); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if err := (Params{Ranks: 1, CellTime: 0}).Validate(); err == nil {
+		t.Error("zero cell time accepted")
+	}
+	if err := (Params{Ranks: 1, CellTime: 1, Alpha: -1}).Validate(); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if err := GigabitCluster2007(8).Validate(); err != nil {
+		t.Errorf("GigabitCluster2007 invalid: %v", err)
+	}
+}
+
+func TestSingleRankIsSerial(t *testing.T) {
+	si, sj, sk := spans(65, 16), spans(65, 16), spans(65, 16)
+	res, err := Simulate(si, sj, sk, freeComm(1), DistSlabI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 65.0 * 65 * 65 * 1e-9
+	if math.Abs(res.Makespan-want) > 1e-12 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+	if res.Messages != 0 || res.BytesSent != 0 {
+		t.Fatalf("single rank sent %d messages", res.Messages)
+	}
+	if s := res.Speedup(); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("speedup = %v, want 1", s)
+	}
+}
+
+func TestFreeCommunicationMatchesSharedMemorySim(t *testing.T) {
+	// With α = β = 0 and cyclic-ij distribution the cluster behaves like a
+	// shared-memory pool except for rank affinity; its makespan can never
+	// beat (and with one block queue should approach) the ideal list
+	// schedule. Check it stays within a reasonable envelope.
+	si, sj, sk := spans(129, 16), spans(129, 16), spans(129, 16)
+	for _, ranks := range []int{2, 4, 8} {
+		res, err := Simulate(si, sj, sk, freeComm(ranks), DistCyclicIJ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := wavefront.SpanCost(si, sj, sk, 1e-9)
+		ideal := wavefront.Simulate(len(si), len(sj), len(sk), ranks, cost)
+		if res.Makespan < ideal-1e-12 {
+			t.Fatalf("ranks=%d: cluster %v beats ideal shared-memory %v", ranks, res.Makespan, ideal)
+		}
+		if res.Makespan > 1.5*ideal {
+			t.Fatalf("ranks=%d: cluster %v much worse than ideal %v with free communication", ranks, res.Makespan, ideal)
+		}
+	}
+}
+
+func TestSpeedupCurveShape(t *testing.T) {
+	// The headline cluster result: speedup grows with ranks and efficiency
+	// decays, under realistic gigabit parameters.
+	si, sj, sk := spans(257, 16), spans(257, 16), spans(257, 16)
+	prev := 0.0
+	for _, ranks := range []int{1, 2, 4, 8} {
+		res, err := Simulate(si, sj, sk, GigabitCluster2007(ranks), DistCyclicI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Speedup()
+		if s < prev {
+			t.Fatalf("speedup not monotone: %v after %v at ranks=%d", s, prev, ranks)
+		}
+		if s > float64(ranks)+1e-9 {
+			t.Fatalf("speedup %v exceeds ranks %d", s, ranks)
+		}
+		prev = s
+	}
+	if prev < 3.0 {
+		t.Fatalf("8-rank speedup %v implausibly low for a 257³ lattice", prev)
+	}
+}
+
+func TestCommunicationCostsHurt(t *testing.T) {
+	si, sj, sk := spans(129, 16), spans(129, 16), spans(129, 16)
+	free, err := Simulate(si, sj, sk, freeComm(8), DistCyclicI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly := freeComm(8)
+	costly.Alpha = 1e-3 // brutal latency
+	slow, err := Simulate(si, sj, sk, costly, DistCyclicI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Makespan <= free.Makespan {
+		t.Fatalf("latency did not hurt: %v <= %v", slow.Makespan, free.Makespan)
+	}
+	if slow.Messages != free.Messages {
+		t.Fatalf("message count changed with latency: %d vs %d", slow.Messages, free.Messages)
+	}
+}
+
+func TestDistributionPoliciesDiffer(t *testing.T) {
+	// Cyclic layouts keep all ranks busy across the wavefront; slab keeps
+	// communication down. With zero comm cost, cyclic must be at least as
+	// fast as slab for a deep lattice.
+	si, sj, sk := spans(257, 16), spans(65, 16), spans(65, 16)
+	slab, err := Simulate(si, sj, sk, freeComm(8), DistSlabI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := Simulate(si, sj, sk, freeComm(8), DistCyclicI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc.Makespan > slab.Makespan+1e-12 {
+		t.Fatalf("free comm: cyclic %v slower than slab %v", cyc.Makespan, slab.Makespan)
+	}
+	// Slab sends fewer cross-rank messages.
+	if slab.Messages >= cyc.Messages {
+		t.Fatalf("slab messages %d not fewer than cyclic %d", slab.Messages, cyc.Messages)
+	}
+}
+
+func TestMessagesAccounting(t *testing.T) {
+	// Two i-layers on two ranks (cyclic-i): every block in layer 1 receives
+	// exactly one cross-rank face from layer 0: nbj*nbk messages.
+	si, sj, sk := spans(32, 16), spans(48, 16), spans(48, 16) // 2 x 3 x 3 blocks
+	res, err := Simulate(si, sj, sk, freeComm(2), DistCyclicI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(3 * 3); res.Messages != want {
+		t.Fatalf("messages = %d, want %d", res.Messages, want)
+	}
+	// Each face is 16x16 j,k cells... the face perpendicular to i has
+	// sj.Len()*sk.Len() cells of the sending block: 16*16*4 bytes each.
+	if want := int64(3*3) * 16 * 16 * 4; res.BytesSent != want {
+		t.Fatalf("bytes = %d, want %d", res.BytesSent, want)
+	}
+}
+
+func TestEmptyGrid(t *testing.T) {
+	res, err := Simulate(nil, nil, nil, freeComm(4), DistCyclicI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 || res.Messages != 0 {
+		t.Fatalf("empty grid: %+v", res)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	si, sj, sk := spans(100, 8), spans(80, 8), spans(60, 8)
+	a, err := Simulate(si, sj, sk, GigabitCluster2007(5), DistCyclicIJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(si, sj, sk, GigabitCluster2007(5), DistCyclicIJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDistString(t *testing.T) {
+	if DistSlabI.String() != "slab-i" || DistCyclicI.String() != "cyclic-i" || DistCyclicIJ.String() != "cyclic-ij" {
+		t.Fatal("Dist.String wrong")
+	}
+	if Dist(99).String() == "" {
+		t.Fatal("unknown dist has empty name")
+	}
+}
+
+func TestEfficiencyHelpers(t *testing.T) {
+	r := Result{Makespan: 2, ComputeTime: 8}
+	if r.Speedup() != 4 {
+		t.Fatalf("Speedup = %v", r.Speedup())
+	}
+	if r.Efficiency(8) != 0.5 {
+		t.Fatalf("Efficiency = %v", r.Efficiency(8))
+	}
+	if (Result{}).Speedup() != 0 || r.Efficiency(0) != 0 {
+		t.Fatal("degenerate helpers wrong")
+	}
+}
+
+func TestPropertyMakespanBounds(t *testing.T) {
+	// For any grid and rank count: total/ranks <= makespan <= total, and
+	// speedup within [1, ranks].
+	f := func(a, b, c, r uint8) bool {
+		nbi, nbj, nbk := int(a)%6+1, int(b)%6+1, int(c)%6+1
+		ranks := int(r)%8 + 1
+		si := spans(nbi*16, 16)
+		sj := spans(nbj*16, 16)
+		sk := spans(nbk*16, 16)
+		res, err := Simulate(si, sj, sk, freeComm(ranks), DistCyclicIJ)
+		if err != nil {
+			return false
+		}
+		lower := res.ComputeTime / float64(ranks)
+		if res.Makespan < lower-1e-9 || res.Makespan > res.ComputeTime+1e-9 {
+			return false
+		}
+		s := res.Speedup()
+		return s >= 1-1e-9 && s <= float64(ranks)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCommunicationMonotone(t *testing.T) {
+	// Raising alpha or beta never shortens the makespan.
+	f := func(seed uint8) bool {
+		si := spans(97, 16)
+		base := freeComm(4)
+		base.Alpha = float64(seed%5) * 1e-5
+		base.Beta = float64(seed%3) * 1e-9
+		r1, err := Simulate(si, si, si, base, DistCyclicI)
+		if err != nil {
+			return false
+		}
+		worse := base
+		worse.Alpha *= 2
+		worse.Alpha += 1e-5
+		worse.Beta = worse.Beta*2 + 1e-9
+		r2, err := Simulate(si, si, si, worse, DistCyclicI)
+		if err != nil {
+			return false
+		}
+		return r2.Makespan >= r1.Makespan-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alignment"
+	"repro/internal/mat"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// AlignAffineLinear computes the same quasi-natural affine optimum as
+// AlignAffine in O(7·m·p) working memory instead of seven full lattices —
+// the three-dimensional, seven-state analogue of Myers–Miller. The
+// divide-and-conquer splits A at its midpoint; the state joined across the
+// split plane is the mask of the prefix's last column, so gap runs
+// crossing the plane charge their opens exactly once. Sub-problems inherit
+// boundary masks (q0 entering, sEnd leaving) and bottom out in the
+// boundary-aware full DP.
+func AlignAffineLinear(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+	ca, cb, cc, err := prepare(tr, sch)
+	if err != nil {
+		return nil, err
+	}
+	// Peak lattice memory: 7 state planes ×2 (sweep double-buffer) ×2
+	// (forward and backward concurrently live at the join).
+	if need := 28 * mat.PlaneBytes(len(cb)+1, len(cc)+1); need > opt.maxBytes() {
+		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, need, opt.maxBytes())
+	}
+	moves, err := affineLinearRec(ca, cb, cc, sch, 7, 0)
+	if err != nil {
+		return nil, err
+	}
+	aln := &alignment.Alignment{Triple: tr, Moves: moves}
+	if err := aln.Validate(); err != nil {
+		return nil, fmt.Errorf("core: affine linear produced inconsistent alignment: %w", err)
+	}
+	aln.Score = QuasiNaturalScore(aln, sch)
+	return aln, nil
+}
+
+// affineSmallVolume bounds the box size at which the recursion switches to
+// the boundary-aware full DP; the 7-state lattice costs 7×4 bytes per
+// cell, so this keeps leaf allocations around a megabyte.
+const affineSmallVolume = 1 << 14
+
+func affineLinearRec(ca, cb, cc []int8, sch *scoring.Scheme, q0, sEnd alignment.Move) ([]alignment.Move, error) {
+	if len(ca) <= 1 || (len(ca)+1)*(len(cb)+1)*(len(cc)+1) <= affineSmallVolume {
+		moves, _, err := affineDPMoves(ca, cb, cc, sch, q0, sEnd)
+		return moves, err
+	}
+	mid := len(ca) / 2
+	fwd := affineForwardPlanes(ca[:mid], cb, cc, sch, q0)
+	bwd := affineBackwardPlanes(ca[mid:], cb, cc, sch, sEnd)
+
+	m, p := len(cb), len(cc)
+	bestV := mat.NegInf
+	bestJ, bestK := 0, 0
+	var bestS alignment.Move
+	for s := alignment.Move(1); s <= 7; s++ {
+		fp, bp := fwd[s-1], bwd[s-1]
+		for j := 0; j <= m; j++ {
+			for k := 0; k <= p; k++ {
+				f := fp.At(j, k)
+				if f <= mat.NegInf/2 {
+					continue
+				}
+				b := bp.At(j, k)
+				if b <= mat.NegInf/2 {
+					continue
+				}
+				if v := f + b; v > bestV {
+					bestV, bestJ, bestK, bestS = v, j, k, s
+				}
+			}
+		}
+	}
+	if bestV <= mat.NegInf/2 {
+		return nil, fmt.Errorf("core: affine linear join infeasible (box %d,%d,%d end %s)", len(ca), m, p, sEnd)
+	}
+
+	left, err := affineLinearRec(ca[:mid], cb[:bestJ], cc[:bestK], sch, q0, bestS)
+	if err != nil {
+		return nil, err
+	}
+	right, err := affineLinearRec(ca[mid:], cb[bestJ:], cc[bestK:], sch, bestS, sEnd)
+	if err != nil {
+		return nil, err
+	}
+	return append(left, right...), nil
+}
+
+// affineForwardPlanes sweeps the 7-state recurrence over all of ca and
+// returns, per state s, the plane F[s](j, k): the best score of aligning
+// ca, cb[:j], cc[:k] ending with column mask s, with q0 as the virtual
+// mask before the first column.
+func affineForwardPlanes(ca, cb, cc []int8, sch *scoring.Scheme, q0 alignment.Move) [7]*mat.Plane {
+	m, p := len(cb), len(cc)
+	go_ := sch.GapOpen()
+	var prev, cur [7]*mat.Plane
+	for s := 0; s < 7; s++ {
+		prev[s] = mat.NewPlane(m+1, p+1)
+		cur[s] = mat.NewPlane(m+1, p+1)
+	}
+
+	fill := func(i int) {
+		var ai int8
+		if i > 0 {
+			ai = ca[i-1]
+		}
+		for j := 0; j <= m; j++ {
+			var bj int8
+			if j > 0 {
+				bj = cb[j-1]
+			}
+			for k := 0; k <= p; k++ {
+				var ck int8
+				if k > 0 {
+					ck = cc[k-1]
+				}
+				if i == 0 && j == 0 && k == 0 {
+					continue // origin cell carries the q0 seed
+				}
+				for s := alignment.Move(1); s <= 7; s++ {
+					di, dj, dk := moveDelta(s)
+					pj, pk := j-dj, k-dk
+					if pj < 0 || pk < 0 || (di == 1 && i == 0) {
+						cur[s-1].Set(j, k, mat.NegInf)
+						continue
+					}
+					src := &cur
+					if di == 1 {
+						src = &prev
+					}
+					best := mat.NegInf
+					for q := alignment.Move(1); q <= 7; q++ {
+						pv := src[q-1].At(pj, pk)
+						if pv <= mat.NegInf/2 {
+							continue
+						}
+						if v := pv + mat.Score(openCount[q][s])*go_; v > best {
+							best = v
+						}
+					}
+					if best <= mat.NegInf/2 {
+						cur[s-1].Set(j, k, mat.NegInf)
+						continue
+					}
+					cur[s-1].Set(j, k, best+colBaseAffine(sch, s, ai, bj, ck))
+				}
+			}
+		}
+	}
+
+	// Plane i = 0: seed the origin in state q0, then fill in-plane cells.
+	for s := 0; s < 7; s++ {
+		cur[s].Fill(mat.NegInf)
+	}
+	cur[q0-1].Set(0, 0, 0)
+	fill(0)
+	prev, cur = cur, prev
+
+	for i := 1; i <= len(ca); i++ {
+		fill(i)
+		prev, cur = cur, prev
+	}
+	return prev
+}
+
+// affineBackwardPlanes computes, per prev-mask q, the plane G[q](j, k):
+// the best score of aligning all of ca with cb[j:], cc[k:] when the column
+// immediately before this suffix had mask q, under the end constraint
+// sEnd (0 = unconstrained; otherwise the suffix's final column — or, for
+// an empty suffix, q itself — must be sEnd).
+func affineBackwardPlanes(ca, cb, cc []int8, sch *scoring.Scheme, sEnd alignment.Move) [7]*mat.Plane {
+	n, m, p := len(ca), len(cb), len(cc)
+	go_ := sch.GapOpen()
+	var next, cur [7]*mat.Plane
+	for s := 0; s < 7; s++ {
+		next[s] = mat.NewPlane(m+1, p+1)
+		cur[s] = mat.NewPlane(m+1, p+1)
+	}
+
+	fill := func(i int, base bool) {
+		var ai int8
+		if i < n {
+			ai = ca[i]
+		}
+		for j := m; j >= 0; j-- {
+			var bj int8
+			if j < m {
+				bj = cb[j]
+			}
+			for k := p; k >= 0; k-- {
+				var ck int8
+				if k < p {
+					ck = cc[k]
+				}
+				for q := alignment.Move(1); q <= 7; q++ {
+					best := mat.NegInf
+					if base && j == m && k == p {
+						// Empty suffix: valid iff the constraint is
+						// already satisfied by the previous column.
+						if sEnd == 0 || q == sEnd {
+							best = 0
+						}
+						cur[q-1].Set(j, k, best)
+						continue
+					}
+					for s := alignment.Move(1); s <= 7; s++ {
+						di, dj, dk := moveDelta(s)
+						nj, nk := j+dj, k+dk
+						if nj > m || nk > p || (di == 1 && i >= n) {
+							continue
+						}
+						src := &cur
+						if di == 1 {
+							src = &next
+						}
+						sv := src[s-1].At(nj, nk)
+						if sv <= mat.NegInf/2 {
+							continue
+						}
+						v := mat.Score(openCount[q][s])*go_ + colBaseAffine(sch, s, ai, bj, ck) + sv
+						if v > best {
+							best = v
+						}
+					}
+					cur[q-1].Set(j, k, best)
+				}
+			}
+		}
+	}
+
+	fill(n, true)
+	next, cur = cur, next
+	for i := n - 1; i >= 0; i-- {
+		fill(i, false)
+		next, cur = cur, next
+	}
+	return next
+}
+
+// QuasiNaturalScore evaluates an alignment under the quasi-natural affine
+// objective the affine DP optimizes: column base costs plus a gap-open per
+// induced pair whose one-sided pattern differs from the previous column's
+// (the first column compares against the all-consume mask).
+func QuasiNaturalScore(a *alignment.Alignment, sch *scoring.Scheme) mat.Score {
+	ca, cb, cc := a.Triple.A.Codes(), a.Triple.B.Codes(), a.Triple.C.Codes()
+	var total mat.Score
+	prev := alignment.Move(7)
+	i, j, k := 0, 0, 0
+	for _, mv := range a.Moves {
+		var ai, bj, ck int8
+		if mv&alignment.ConsumeA != 0 {
+			ai = ca[i]
+			i++
+		}
+		if mv&alignment.ConsumeB != 0 {
+			bj = cb[j]
+			j++
+		}
+		if mv&alignment.ConsumeC != 0 {
+			ck = cc[k]
+			k++
+		}
+		total += colBaseAffine(sch, mv, ai, bj, ck) + mat.Score(openCount[prev][mv])*sch.GapOpen()
+		prev = mv
+	}
+	return total
+}

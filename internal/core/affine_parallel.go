@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alignment"
+	"repro/internal/mat"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/wavefront"
+)
+
+// fillRangeAffine evaluates all seven state lattices over one block in
+// lexicographic order. Every predecessor cell a state transition reads lies
+// in this block or in an axis-predecessor block, so the blocked wavefront
+// schedule of Run3D is sufficient — the same argument as the linear-gap
+// kernel, applied per state.
+func fillRangeAffine(d *[7]*mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme, si, sj, sk wavefront.Span) {
+	go_ := sch.GapOpen()
+	for i := si.Lo; i < si.Hi; i++ {
+		var ai int8
+		if i > 0 {
+			ai = ca[i-1]
+		}
+		for j := sj.Lo; j < sj.Hi; j++ {
+			var bj int8
+			if j > 0 {
+				bj = cb[j-1]
+			}
+			for k := sk.Lo; k < sk.Hi; k++ {
+				if i == 0 && j == 0 && k == 0 {
+					continue // origin carries the boundary seed
+				}
+				var ck int8
+				if k > 0 {
+					ck = cc[k-1]
+				}
+				for s := alignment.Move(1); s <= 7; s++ {
+					di, dj, dk := moveDelta(s)
+					pi, pj, pk := i-di, j-dj, k-dk
+					if pi < 0 || pj < 0 || pk < 0 {
+						continue
+					}
+					best := mat.NegInf
+					for q := alignment.Move(1); q <= 7; q++ {
+						pv := d[q-1].At(pi, pj, pk)
+						if pv <= mat.NegInf/2 {
+							continue
+						}
+						if v := pv + mat.Score(openCount[q][s])*go_; v > best {
+							best = v
+						}
+					}
+					if best > mat.NegInf/2 {
+						d[s-1].Set(i, j, k, best+colBaseAffine(sch, s, ai, bj, ck))
+					}
+				}
+			}
+		}
+	}
+}
+
+// AlignAffineParallel computes the same quasi-natural affine optimum as
+// AlignAffine with the blocked-wavefront schedule over a goroutine pool —
+// the paper's parallelization applied to the seven-state recurrence.
+func AlignAffineParallel(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+	ca, cb, cc, err := prepare(tr, sch)
+	if err != nil {
+		return nil, err
+	}
+	if 7*FullMatrixBytes(tr) > opt.maxBytes() {
+		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, 7*FullMatrixBytes(tr), opt.maxBytes())
+	}
+	if len(ca) == 0 && len(cb) == 0 && len(cc) == 0 {
+		return &alignment.Alignment{Triple: tr, Moves: nil, Score: 0}, nil
+	}
+	n, m, p := len(ca), len(cb), len(cc)
+	var d [7]*mat.Tensor3
+	for s := 0; s < 7; s++ {
+		d[s] = mat.NewTensor3(n+1, m+1, p+1)
+		d[s].Fill(mat.NegInf)
+	}
+	d[6].Set(0, 0, 0, 0) // origin in state 7: the first column pays its opens
+
+	bs := opt.blockSize()
+	si := wavefront.Partition(n+1, bs)
+	sj := wavefront.Partition(m+1, bs)
+	sk := wavefront.Partition(p+1, bs)
+	wavefront.Run3D(len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
+		fillRangeAffine(&d, ca, cb, cc, sch, si[bi], sj[bj], sk[bk])
+	})
+
+	moves, score, err := affineTraceback(d, ca, cb, cc, sch, 0)
+	if err != nil {
+		return nil, err
+	}
+	aln := &alignment.Alignment{Triple: tr, Moves: moves, Score: score}
+	if err := aln.Validate(); err != nil {
+		return nil, fmt.Errorf("core: parallel affine alignment invalid: %w", err)
+	}
+	return aln, nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alignment"
+	"repro/internal/mat"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// AlignBanded computes a three-way alignment restricted to a tube of the
+// given width around the scaled main diagonal: cell (i, j, k) is evaluated
+// only when both j and k are within width of i scaled to their axes. The
+// result is a valid alignment whose score never exceeds the optimum and
+// equals it whenever an optimal path stays inside the tube — the usual
+// regime for highly similar sequences, where the tube shrinks the O(n³)
+// work to O(n·width²). Width must be at least 1 (the tube always contains
+// the scaled-diagonal path, so a result always exists).
+func AlignBanded(tr seq.Triple, sch *scoring.Scheme, opt Options, width int) (*alignment.Alignment, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("core: band width %d must be at least 1", width)
+	}
+	ca, cb, cc, err := prepare(tr, sch)
+	if err != nil {
+		return nil, err
+	}
+	if FullMatrixBytes(tr) > opt.maxBytes() {
+		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, FullMatrixBytes(tr), opt.maxBytes())
+	}
+	n, m, p := len(ca), len(cb), len(cc)
+	inBand := bandPredicate(n, m, p, width)
+
+	t := mat.NewTensor3(n+1, m+1, p+1)
+	ge2 := 2 * sch.GapExtend()
+	for i := 0; i <= n; i++ {
+		var ai int8
+		if i > 0 {
+			ai = ca[i-1]
+		}
+		for j := 0; j <= m; j++ {
+			var bj int8
+			var sAB mat.Score
+			if j > 0 {
+				bj = cb[j-1]
+				if i > 0 {
+					sAB = sch.Sub(ai, bj)
+				}
+			}
+			cur := t.Lane(i, j)
+			var lane11, lane10, lane01 []mat.Score
+			if i > 0 && j > 0 {
+				lane11 = t.Lane(i-1, j-1)
+			}
+			if i > 0 {
+				lane10 = t.Lane(i-1, j)
+			}
+			if j > 0 {
+				lane01 = t.Lane(i, j-1)
+			}
+			for k := 0; k <= p; k++ {
+				if i == 0 && j == 0 && k == 0 {
+					cur[0] = 0
+					continue
+				}
+				if !inBand(i, j, k) {
+					cur[k] = mat.NegInf
+					continue
+				}
+				best := mat.NegInf
+				if k > 0 {
+					ck := cc[k-1]
+					if lane11 != nil {
+						if v := lane11[k-1] + sAB + sch.Sub(ai, ck) + sch.Sub(bj, ck); v > best {
+							best = v
+						}
+					}
+					if lane10 != nil {
+						if v := lane10[k-1] + sch.Sub(ai, ck) + ge2; v > best {
+							best = v
+						}
+					}
+					if lane01 != nil {
+						if v := lane01[k-1] + sch.Sub(bj, ck) + ge2; v > best {
+							best = v
+						}
+					}
+					if v := cur[k-1] + ge2; v > best {
+						best = v
+					}
+				}
+				if lane11 != nil {
+					if v := lane11[k] + sAB + ge2; v > best {
+						best = v
+					}
+				}
+				if lane10 != nil {
+					if v := lane10[k] + ge2; v > best {
+						best = v
+					}
+				}
+				if lane01 != nil {
+					if v := lane01[k] + ge2; v > best {
+						best = v
+					}
+				}
+				cur[k] = best
+			}
+		}
+	}
+	moves, err := tracebackTensor(t, ca, cb, cc, sch)
+	if err != nil {
+		return nil, fmt.Errorf("core: banded traceback failed: %w", err)
+	}
+	return &alignment.Alignment{Triple: tr, Moves: moves, Score: t.At(n, m, p)}, nil
+}
+
+// bandPredicate returns the tube membership test. Each coordinate is
+// compared against its expected value at the cell's total progress
+// d = i+j+k along the straight line from (0,0,0) to (n,m,p), so unequal
+// lengths get a correctly slanted tube containing both corners. The
+// greedy largest-deficit path along that line deviates by at most 1 per
+// coordinate (the Bresenham argument), so every width ≥ 1 tube is
+// connected.
+func bandPredicate(n, m, p, width int) func(i, j, k int) bool {
+	total := n + m + p
+	if total == 0 {
+		return func(int, int, int) bool { return true }
+	}
+	expect := func(d, to int) int {
+		return (2*d*to + total) / (2 * total) // round(d*to/total)
+	}
+	abs := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	return func(i, j, k int) bool {
+		d := i + j + k
+		return abs(i-expect(d, n)) <= width &&
+			abs(j-expect(d, m)) <= width &&
+			abs(k-expect(d, p)) <= width
+	}
+}
+
+// BandedCells counts the lattice cells inside the tube; the work the
+// banded aligner performs relative to (n+1)(m+1)(p+1).
+func BandedCells(tr seq.Triple, width int) int64 {
+	n, m, p := tr.A.Len(), tr.B.Len(), tr.C.Len()
+	inBand := bandPredicate(n, m, p, width)
+	var count int64
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= m; j++ {
+			for k := 0; k <= p; k++ {
+				if inBand(i, j, k) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

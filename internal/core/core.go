@@ -1,0 +1,283 @@
+// Package core implements exact optimal three-sequence alignment — the
+// primary contribution of the reproduced paper — as a family of algorithms
+// over the same objective:
+//
+//   - AlignFull: sequential full-matrix 3D dynamic programming with
+//     traceback. O(n·m·p) time and space.
+//   - AlignParallel: the paper's parallel algorithm. The 3D lattice is
+//     tiled into blocks evaluated in wavefront order by a goroutine pool;
+//     blocks on an anti-diagonal plane are independent.
+//   - AlignLinear: 3D Hirschberg divide-and-conquer; O(n·m·p) time with
+//     only O(m·p) working memory, which is what makes long sequences
+//     feasible.
+//   - AlignParallelLinear: the Hirschberg recursion with every plane sweep
+//     parallelized by a 2D blocked wavefront, and independent sub-problems
+//     solved concurrently.
+//   - AlignAffine: the 7-state generalization of Gotoh's algorithm with
+//     quasi-natural affine gap costs.
+//   - AlignPruned: full-matrix DP restricted to the Carrillo–Lipman
+//     admissible region derived from pairwise projection bounds.
+//
+// All algorithms maximize the linear-gap sum-of-pairs objective defined by
+// a scoring.Scheme (AlignAffine maximizes the affine variant) and, except
+// for the heuristically bounded pruning statistics, return identical
+// optimal scores.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alignment"
+	"repro/internal/mat"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/wavefront"
+)
+
+// Options tunes the algorithms. The zero value is ready to use.
+type Options struct {
+	// Workers is the goroutine pool size for the parallel algorithms;
+	// non-positive means GOMAXPROCS.
+	Workers int
+	// BlockSize is the tile edge length for blocked wavefront execution;
+	// non-positive means DefaultBlockSize.
+	BlockSize int
+	// MaxBytes caps the score-lattice allocation; non-positive means
+	// DefaultMaxBytes. Algorithms return ErrTooLarge instead of attempting
+	// a larger allocation.
+	MaxBytes int64
+}
+
+// DefaultBlockSize is the tile edge used when Options.BlockSize is unset.
+// 16³ cells keep a block's working set inside L1 while leaving enough
+// blocks per anti-diagonal to feed the pool (the F3 experiment sweeps this
+// choice).
+const DefaultBlockSize = 16
+
+// DefaultMaxBytes is the default lattice allocation cap (4 GiB).
+const DefaultMaxBytes int64 = 4 << 30
+
+// ErrTooLarge is returned when an algorithm would exceed Options.MaxBytes.
+var ErrTooLarge = errors.New("core: score lattice exceeds memory cap")
+
+func (o Options) workers() int { return wavefront.Workers(o.Workers) }
+
+func (o Options) blockSize() int {
+	if o.BlockSize <= 0 {
+		return DefaultBlockSize
+	}
+	return o.BlockSize
+}
+
+func (o Options) maxBytes() int64 {
+	if o.MaxBytes <= 0 {
+		return DefaultMaxBytes
+	}
+	return o.MaxBytes
+}
+
+// FullMatrixBytes reports the lattice allocation AlignFull and
+// AlignParallel perform for the given triple; the T2 experiment tabulates
+// it against LinearBytes.
+func FullMatrixBytes(tr seq.Triple) int64 {
+	return mat.Tensor3Bytes(tr.A.Len()+1, tr.B.Len()+1, tr.C.Len()+1)
+}
+
+// LinearBytes reports the peak lattice allocation of AlignLinear: two
+// (m+1)×(p+1) planes for each of the forward and backward sweeps.
+func LinearBytes(tr seq.Triple) int64 {
+	return 4 * mat.PlaneBytes(tr.B.Len()+1, tr.C.Len()+1)
+}
+
+// colXXX is the sum-of-pairs contribution of a column consuming residues in
+// all three sequences.
+func colXXX(sch *scoring.Scheme, ai, bj, ck int8) mat.Score {
+	return sch.Sub(ai, bj) + sch.Sub(ai, ck) + sch.Sub(bj, ck)
+}
+
+// fillRange computes every lattice cell in the box si×sj×sk in
+// lexicographic order. The caller guarantees all predecessor cells outside
+// the box are already computed (true for sequential whole-lattice fills and
+// for wavefront-scheduled blocks).
+func fillRange(t *mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme, si, sj, sk wavefront.Span) {
+	ge2 := 2 * sch.GapExtend()
+	for i := si.Lo; i < si.Hi; i++ {
+		var ai int8
+		if i > 0 {
+			ai = ca[i-1]
+		}
+		for j := sj.Lo; j < sj.Hi; j++ {
+			var bj int8
+			var sAB mat.Score
+			if j > 0 {
+				bj = cb[j-1]
+				if i > 0 {
+					sAB = sch.Sub(ai, bj)
+				}
+			}
+			var lane11, lane10, lane01 []mat.Score
+			if i > 0 && j > 0 {
+				lane11 = t.Lane(i-1, j-1)
+			}
+			if i > 0 {
+				lane10 = t.Lane(i-1, j)
+			}
+			if j > 0 {
+				lane01 = t.Lane(i, j-1)
+			}
+			cur := t.Lane(i, j)
+			for k := sk.Lo; k < sk.Hi; k++ {
+				if i == 0 && j == 0 && k == 0 {
+					cur[0] = 0
+					continue
+				}
+				best := mat.NegInf
+				if k > 0 {
+					ck := cc[k-1]
+					if lane11 != nil {
+						if v := lane11[k-1] + sAB + sch.Sub(ai, ck) + sch.Sub(bj, ck); v > best {
+							best = v
+						}
+					}
+					if lane10 != nil {
+						if v := lane10[k-1] + sch.Sub(ai, ck) + ge2; v > best {
+							best = v
+						}
+					}
+					if lane01 != nil {
+						if v := lane01[k-1] + sch.Sub(bj, ck) + ge2; v > best {
+							best = v
+						}
+					}
+					if v := cur[k-1] + ge2; v > best {
+						best = v
+					}
+				}
+				if lane11 != nil {
+					if v := lane11[k] + sAB + ge2; v > best {
+						best = v
+					}
+				}
+				if lane10 != nil {
+					if v := lane10[k] + ge2; v > best {
+						best = v
+					}
+				}
+				if lane01 != nil {
+					if v := lane01[k] + ge2; v > best {
+						best = v
+					}
+				}
+				cur[k] = best
+			}
+		}
+	}
+}
+
+// tracebackTensor recovers one optimal move sequence from a filled lattice
+// by re-evaluating which predecessor produced each cell's value.
+func tracebackTensor(t *mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme) ([]alignment.Move, error) {
+	ge2 := 2 * sch.GapExtend()
+	i, j, k := len(ca), len(cb), len(cc)
+	moves := make([]alignment.Move, 0, i+j+k)
+	for i > 0 || j > 0 || k > 0 {
+		v := t.At(i, j, k)
+		switch {
+		case i > 0 && j > 0 && k > 0 &&
+			v == t.At(i-1, j-1, k-1)+colXXX(sch, ca[i-1], cb[j-1], cc[k-1]):
+			moves = append(moves, alignment.MoveXXX)
+			i, j, k = i-1, j-1, k-1
+		case i > 0 && j > 0 && v == t.At(i-1, j-1, k)+sch.Sub(ca[i-1], cb[j-1])+ge2:
+			moves = append(moves, alignment.MoveXXG)
+			i, j = i-1, j-1
+		case i > 0 && k > 0 && v == t.At(i-1, j, k-1)+sch.Sub(ca[i-1], cc[k-1])+ge2:
+			moves = append(moves, alignment.MoveXGX)
+			i, k = i-1, k-1
+		case j > 0 && k > 0 && v == t.At(i, j-1, k-1)+sch.Sub(cb[j-1], cc[k-1])+ge2:
+			moves = append(moves, alignment.MoveGXX)
+			j, k = j-1, k-1
+		case i > 0 && v == t.At(i-1, j, k)+ge2:
+			moves = append(moves, alignment.MoveXGG)
+			i--
+		case j > 0 && v == t.At(i, j-1, k)+ge2:
+			moves = append(moves, alignment.MoveGXG)
+			j--
+		case k > 0 && v == t.At(i, j, k-1)+ge2:
+			moves = append(moves, alignment.MoveGGX)
+			k--
+		default:
+			return nil, fmt.Errorf("core: traceback stuck at (%d,%d,%d)", i, j, k)
+		}
+	}
+	reverseMoves(moves)
+	return moves, nil
+}
+
+func reverseMoves(m []alignment.Move) {
+	for l, r := 0, len(m)-1; l < r; l, r = l+1, r-1 {
+		m[l], m[r] = m[r], m[l]
+	}
+}
+
+func prepare(tr seq.Triple, sch *scoring.Scheme) (ca, cb, cc []int8, err error) {
+	if err := tr.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if sch == nil {
+		return nil, nil, nil, fmt.Errorf("core: nil scoring scheme")
+	}
+	if sch.Alphabet() != tr.A.Alphabet() {
+		return nil, nil, nil, fmt.Errorf("core: scheme alphabet %q does not match sequences (%q)",
+			sch.Alphabet().Name(), tr.A.Alphabet().Name())
+	}
+	return tr.A.Codes(), tr.B.Codes(), tr.C.Codes(), nil
+}
+
+// AlignFull computes an optimal alignment with the sequential full-matrix
+// algorithm.
+func AlignFull(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+	ca, cb, cc, err := prepare(tr, sch)
+	if err != nil {
+		return nil, err
+	}
+	if FullMatrixBytes(tr) > opt.maxBytes() {
+		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, FullMatrixBytes(tr), opt.maxBytes())
+	}
+	t := mat.NewTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	fillRange(t, ca, cb, cc, sch,
+		wavefront.Span{Lo: 0, Hi: len(ca) + 1},
+		wavefront.Span{Lo: 0, Hi: len(cb) + 1},
+		wavefront.Span{Lo: 0, Hi: len(cc) + 1})
+	moves, err := tracebackTensor(t, ca, cb, cc, sch)
+	if err != nil {
+		return nil, err
+	}
+	return &alignment.Alignment{Triple: tr, Moves: moves, Score: t.At(len(ca), len(cb), len(cc))}, nil
+}
+
+// AlignParallel computes the same optimum as AlignFull using the blocked
+// wavefront schedule over a goroutine pool — the paper's parallel
+// algorithm. The full lattice is retained, so traceback is exact.
+func AlignParallel(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+	ca, cb, cc, err := prepare(tr, sch)
+	if err != nil {
+		return nil, err
+	}
+	if FullMatrixBytes(tr) > opt.maxBytes() {
+		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, FullMatrixBytes(tr), opt.maxBytes())
+	}
+	t := mat.NewTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	bs := opt.blockSize()
+	si := wavefront.Partition(len(ca)+1, bs)
+	sj := wavefront.Partition(len(cb)+1, bs)
+	sk := wavefront.Partition(len(cc)+1, bs)
+	wavefront.Run3D(len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
+		fillRange(t, ca, cb, cc, sch, si[bi], sj[bj], sk[bk])
+	})
+	moves, err := tracebackTensor(t, ca, cb, cc, sch)
+	if err != nil {
+		return nil, err
+	}
+	return &alignment.Alignment{Triple: tr, Moves: moves, Score: t.At(len(ca), len(cb), len(cc))}, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/alignment"
+	"repro/internal/mat"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// AlignDiagonal computes the same optimum as AlignFull with the
+// plane-synchronized wavefront: all cells on the anti-diagonal plane
+// i+j+k = d are independent given planes d-1, d-2, d-3, so each plane is
+// split across the worker pool and a barrier separates consecutive planes.
+//
+// This is the classic cell-level wavefront formulation. Compared to the
+// blocked schedule of AlignParallel it needs one barrier per plane
+// (n+m+p+1 of them) and touches memory in scattered order, which is
+// exactly the overhead the paper's blocked design removes; the F6
+// experiment quantifies the difference.
+func AlignDiagonal(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+	ca, cb, cc, err := prepare(tr, sch)
+	if err != nil {
+		return nil, err
+	}
+	if FullMatrixBytes(tr) > opt.maxBytes() {
+		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, FullMatrixBytes(tr), opt.maxBytes())
+	}
+	n, m, p := len(ca), len(cb), len(cc)
+	t := mat.NewTensor3(n+1, m+1, p+1)
+	workers := opt.workers()
+
+	for d := 0; d <= n+m+p; d++ {
+		iLo := d - m - p
+		if iLo < 0 {
+			iLo = 0
+		}
+		iHi := d
+		if iHi > n {
+			iHi = n
+		}
+		if iLo > iHi {
+			continue
+		}
+		rows := iHi - iLo + 1
+		w := workers
+		if w > rows {
+			w = rows
+		}
+		if w <= 1 {
+			diagonalRows(t, ca, cb, cc, sch, d, iLo, iHi)
+			continue
+		}
+		var wg sync.WaitGroup
+		wg.Add(w)
+		per := (rows + w - 1) / w
+		for g := 0; g < w; g++ {
+			lo := iLo + g*per
+			hi := lo + per - 1
+			if hi > iHi {
+				hi = iHi
+			}
+			go func(lo, hi int) {
+				defer wg.Done()
+				if lo <= hi {
+					diagonalRows(t, ca, cb, cc, sch, d, lo, hi)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	moves, err := tracebackTensor(t, ca, cb, cc, sch)
+	if err != nil {
+		return nil, err
+	}
+	return &alignment.Alignment{Triple: tr, Moves: moves, Score: t.At(n, m, p)}, nil
+}
+
+// diagonalRows computes the cells of plane d whose first index lies in
+// [iLo, iHi].
+func diagonalRows(t *mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme, d, iLo, iHi int) {
+	m, p := len(cb), len(cc)
+	ge2 := 2 * sch.GapExtend()
+	for i := iLo; i <= iHi; i++ {
+		var ai int8
+		if i > 0 {
+			ai = ca[i-1]
+		}
+		jLo := d - i - p
+		if jLo < 0 {
+			jLo = 0
+		}
+		jHi := d - i
+		if jHi > m {
+			jHi = m
+		}
+		for j := jLo; j <= jHi; j++ {
+			k := d - i - j
+			if i == 0 && j == 0 && k == 0 {
+				t.Set(0, 0, 0, 0)
+				continue
+			}
+			var bj, ck int8
+			if j > 0 {
+				bj = cb[j-1]
+			}
+			if k > 0 {
+				ck = cc[k-1]
+			}
+			best := mat.NegInf
+			if i > 0 && j > 0 && k > 0 {
+				if v := t.At(i-1, j-1, k-1) + colXXX(sch, ai, bj, ck); v > best {
+					best = v
+				}
+			}
+			if i > 0 && j > 0 {
+				if v := t.At(i-1, j-1, k) + sch.Sub(ai, bj) + ge2; v > best {
+					best = v
+				}
+			}
+			if i > 0 && k > 0 {
+				if v := t.At(i-1, j, k-1) + sch.Sub(ai, ck) + ge2; v > best {
+					best = v
+				}
+			}
+			if j > 0 && k > 0 {
+				if v := t.At(i, j-1, k-1) + sch.Sub(bj, ck) + ge2; v > best {
+					best = v
+				}
+			}
+			if i > 0 {
+				if v := t.At(i-1, j, k) + ge2; v > best {
+					best = v
+				}
+			}
+			if j > 0 {
+				if v := t.At(i, j-1, k) + ge2; v > best {
+					best = v
+				}
+			}
+			if k > 0 {
+				if v := t.At(i, j, k-1) + ge2; v > best {
+					best = v
+				}
+			}
+			t.Set(i, j, k, best)
+		}
+	}
+}

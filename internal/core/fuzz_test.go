@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// FuzzAlgorithmsAgree feeds arbitrary short residue strings to every exact
+// algorithm and demands identical optimal scores and valid alignments.
+// Inputs are truncated so the full-matrix reference stays cheap.
+func FuzzAlgorithmsAgree(f *testing.F) {
+	f.Add("ACGT", "ACG", "AGT")
+	f.Add("", "", "")
+	f.Add("AAAA", "TTTT", "CCCC")
+	f.Add("ACGTACGTACGTACGT", "A", "")
+	f.Add("NNN", "ACG", "NCN")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		const maxLen = 12
+		tr, err := makeTriple(a, b, c, maxLen)
+		if err != nil {
+			return // invalid residues: not this fuzzer's concern
+		}
+		ref, err := AlignFull(tr, dnaSch, Options{})
+		if err != nil {
+			t.Fatalf("AlignFull: %v", err)
+		}
+		checkAlignment(t, ref, dnaSch)
+		runs := map[string]func() (int32, error){
+			"parallel": func() (int32, error) {
+				aln, err := AlignParallel(tr, dnaSch, Options{Workers: 3, BlockSize: 4})
+				if err != nil {
+					return 0, err
+				}
+				return aln.Score, nil
+			},
+			"linear": func() (int32, error) {
+				aln, err := AlignLinear(tr, dnaSch, Options{})
+				if err != nil {
+					return 0, err
+				}
+				return aln.Score, nil
+			},
+			"diagonal": func() (int32, error) {
+				aln, err := AlignDiagonal(tr, dnaSch, Options{Workers: 2})
+				if err != nil {
+					return 0, err
+				}
+				return aln.Score, nil
+			},
+			"pruned": func() (int32, error) {
+				aln, _, err := AlignPruned(tr, dnaSch, Options{})
+				if err != nil {
+					return 0, err
+				}
+				return aln.Score, nil
+			},
+			"score-only": func() (int32, error) {
+				return Score(tr, dnaSch, Options{})
+			},
+		}
+		for name, run := range runs {
+			got, err := run()
+			if err != nil {
+				t.Fatalf("%s(%q,%q,%q): %v", name, a, b, c, err)
+			}
+			if got != ref.Score {
+				t.Fatalf("%s(%q,%q,%q) = %d, full = %d", name, a, b, c, got, ref.Score)
+			}
+		}
+	})
+}
+
+func makeTriple(a, b, c string, maxLen int) (seq.Triple, error) {
+	clip := func(s string) string {
+		if len(s) > maxLen {
+			return s[:maxLen]
+		}
+		return s
+	}
+	sa, err := seq.New("A", []byte(clip(a)), seq.DNA)
+	if err != nil {
+		return seq.Triple{}, err
+	}
+	sb, err := seq.New("B", []byte(clip(b)), seq.DNA)
+	if err != nil {
+		return seq.Triple{}, err
+	}
+	sc, err := seq.New("C", []byte(clip(c)), seq.DNA)
+	if err != nil {
+		return seq.Triple{}, err
+	}
+	return seq.Triple{A: sa, B: sb, C: sc}, nil
+}
+
+// FuzzAffineFamilyAgrees drives arbitrary short inputs through the three
+// affine implementations (full, linear-space, blocked-parallel), which
+// must return identical quasi-natural optima.
+func FuzzAffineFamilyAgrees(f *testing.F) {
+	f.Add("ACGT", "ACG", "AGT")
+	f.Add("", "", "")
+	f.Add("AAAAAAAA", "AA", "AAAA")
+	f.Add("ACGTACGT", "", "TTTT")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		const maxLen = 9
+		tr, err := makeTriple(a, b, c, maxLen)
+		if err != nil {
+			return
+		}
+		sch, err := dnaSch.WithGaps(-5, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := AlignAffine(tr, sch, Options{})
+		if err != nil {
+			t.Fatalf("AlignAffine(%q,%q,%q): %v", a, b, c, err)
+		}
+		lin, err := AlignAffineLinear(tr, sch, Options{})
+		if err != nil {
+			t.Fatalf("AlignAffineLinear(%q,%q,%q): %v", a, b, c, err)
+		}
+		if lin.Score != ref.Score {
+			t.Fatalf("linear %d != full %d for (%q,%q,%q)", lin.Score, ref.Score, a, b, c)
+		}
+		par, err := AlignAffineParallel(tr, sch, Options{Workers: 3, BlockSize: 3})
+		if err != nil {
+			t.Fatalf("AlignAffineParallel(%q,%q,%q): %v", a, b, c, err)
+		}
+		if par.Score != ref.Score {
+			t.Fatalf("parallel %d != full %d for (%q,%q,%q)", par.Score, ref.Score, a, b, c)
+		}
+	})
+}

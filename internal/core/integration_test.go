@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestLongSequencesLinearSpace is the end-to-end "long sequences" scenario
+// the linear-space algorithm exists for: a length-320 triple whose full
+// lattice (≈132 MB) is aligned within a 16 MB lattice budget, and the
+// score is cross-checked against the pruned full-matrix run.
+func TestLongSequencesLinearSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-input integration test")
+	}
+	tr := relatedTriple(2026, 320, 0.1)
+	lin, err := AlignParallelLinear(tr, dnaSch, Options{MaxBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAlignment(t, lin, dnaSch)
+
+	// Independent cross-check with a completely different strategy.
+	pruned, _, err := AlignPruned(tr, dnaSch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Score != pruned.Score {
+		t.Fatalf("linear-space %d != pruned full-matrix %d", lin.Score, pruned.Score)
+	}
+	if need := FullMatrixBytes(tr); need < (16 << 20) {
+		t.Fatalf("test misconfigured: full lattice %d fits the cap", need)
+	}
+}
+
+// TestLongSequencesBandedFastPath checks the banded tube on a long,
+// highly similar triple against the same pruned reference.
+func TestLongSequencesBandedFastPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-input integration test")
+	}
+	tr := relatedTriple(2027, 200, 0.03)
+	ref, _, err := AlignPruned(tr, dnaSch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	banded, err := AlignBanded(tr, dnaSch, Options{}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banded.Score != ref.Score {
+		t.Fatalf("banded(12) %d != optimum %d on 97%%-identity input", banded.Score, ref.Score)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/wavefront"
+)
+
+// Kernel micro-benchmarks: raw cell rates of the inner DP loops,
+// independent of scheduling and traceback. The experiment-level
+// benchmarks live in the repository root.
+
+func benchCodes(n int) ([]int8, []int8, []int8) {
+	g := seq.NewGenerator(seq.DNA, 4321)
+	tr := g.RelatedTriple(n, seq.MutationModel{SubstitutionRate: 0.3})
+	return tr.A.Codes(), tr.B.Codes(), tr.C.Codes()
+}
+
+func BenchmarkKernelFillRange(b *testing.B) {
+	ca, cb, cc := benchCodes(64)
+	sch := scoring.DNADefault()
+	t := mat.NewTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	cells := int64(len(ca)+1) * int64(len(cb)+1) * int64(len(cc)+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fillRange(t, ca, cb, cc, sch,
+			wavefront.Span{Lo: 0, Hi: len(ca) + 1},
+			wavefront.Span{Lo: 0, Hi: len(cb) + 1},
+			wavefront.Span{Lo: 0, Hi: len(cc) + 1})
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+func BenchmarkKernelPlaneSweep(b *testing.B) {
+	ca, cb, cc := benchCodes(64)
+	sch := scoring.DNADefault()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		planeSweep(ca, cb, cc, sch, 1, DefaultBlockSize)
+	}
+}
+
+func BenchmarkKernelTraceback(b *testing.B) {
+	ca, cb, cc := benchCodes(64)
+	sch := scoring.DNADefault()
+	t := mat.NewTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	fillRange(t, ca, cb, cc, sch,
+		wavefront.Span{Lo: 0, Hi: len(ca) + 1},
+		wavefront.Span{Lo: 0, Hi: len(cb) + 1},
+		wavefront.Span{Lo: 0, Hi: len(cc) + 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tracebackTensor(t, ca, cb, cc, sch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelAffineFill(b *testing.B) {
+	ca, cb, cc := benchCodes(32)
+	sch, err := scoring.DNADefault().WithGaps(-4, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := affineDPMoves(ca, cb, cc, sch, 7, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

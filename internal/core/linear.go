@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alignment"
+	"repro/internal/mat"
+	"repro/internal/pairwise"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/wavefront"
+)
+
+// smallVolume is the sub-lattice size below which the Hirschberg recursion
+// switches to the full-matrix aligner; the switch trades a little memory
+// for avoiding deep recursions over trivial boxes.
+const smallVolume = 1 << 15
+
+// derivePairScheme builds the two-sequence scheme equivalent to the
+// three-way objective when one sequence is exhausted: each remaining column
+// (gap, y, z) scores sub(y,z) + 2·gapExtend if both residues are present
+// and 2·gapExtend if only one is, so the induced pairwise problem uses
+// sub' = sub + 2·ge and gap' = 2·ge.
+func derivePairScheme(sch *scoring.Scheme) *scoring.Scheme {
+	n := sch.Alphabet().Size()
+	ge := int(sch.GapExtend())
+	table := make([][]int, n)
+	for i := range table {
+		table[i] = make([]int, n)
+		for j := range table[i] {
+			table[i][j] = int(sch.Sub(int8(i), int8(j))) + 2*ge
+		}
+	}
+	d, err := scoring.New(sch.Name()+"+pair", sch.Alphabet(), table, 0, 2*ge)
+	if err != nil {
+		panic("core: derivePairScheme: " + err.Error()) // impossible: table symmetric, gaps ≤ 0
+	}
+	return d
+}
+
+// pairMoveTable maps a pairwise op to a three-way move given which sequence
+// is exhausted (0 = A absent, 1 = B absent, 2 = C absent).
+var pairMoveTable = [3][3]alignment.Move{
+	{alignment.MoveGXX, alignment.MoveGXG, alignment.MoveGGX}, // aligning B with C
+	{alignment.MoveXGX, alignment.MoveXGG, alignment.MoveGGX}, // aligning A with C
+	{alignment.MoveXXG, alignment.MoveXGG, alignment.MoveGXG}, // aligning A with B
+}
+
+func pairMoves(ops []pairwise.Op, absent int) []alignment.Move {
+	out := make([]alignment.Move, len(ops))
+	for i, op := range ops {
+		out[i] = pairMoveTable[absent][op]
+	}
+	return out
+}
+
+// fillPlaneRange computes cells (j, k) of one i-plane inside the given
+// spans. prev is the completed (i-1)-plane; a nil prev means i == 0 (only
+// the in-plane moves GXX, GXG, GGX apply). ai is the residue consumed when
+// advancing in A.
+func fillPlaneRange(cur, prev *mat.Plane, ai int8, cb, cc []int8, sch *scoring.Scheme, sj, sk wavefront.Span) {
+	ge2 := 2 * sch.GapExtend()
+	for j := sj.Lo; j < sj.Hi; j++ {
+		var bj int8
+		var sAB mat.Score
+		if j > 0 {
+			bj = cb[j-1]
+			if prev != nil {
+				sAB = sch.Sub(ai, bj)
+			}
+		}
+		for k := sk.Lo; k < sk.Hi; k++ {
+			if prev == nil && j == 0 && k == 0 {
+				cur.Set(0, 0, 0)
+				continue
+			}
+			best := mat.NegInf
+			if k > 0 {
+				ck := cc[k-1]
+				if j > 0 {
+					if v := cur.At(j-1, k-1) + sch.Sub(bj, ck) + ge2; v > best {
+						best = v
+					}
+				}
+				if v := cur.At(j, k-1) + ge2; v > best {
+					best = v
+				}
+				if prev != nil {
+					if v := prev.At(j, k-1) + sch.Sub(ai, ck) + ge2; v > best {
+						best = v
+					}
+					if j > 0 {
+						if v := prev.At(j-1, k-1) + sAB + sch.Sub(ai, ck) + sch.Sub(bj, ck); v > best {
+							best = v
+						}
+					}
+				}
+			}
+			if j > 0 {
+				if v := cur.At(j-1, k) + ge2; v > best {
+					best = v
+				}
+				if prev != nil {
+					if v := prev.At(j-1, k) + sAB + ge2; v > best {
+						best = v
+					}
+				}
+			}
+			if prev != nil {
+				if v := prev.At(j, k) + ge2; v > best {
+					best = v
+				}
+			}
+			cur.Set(j, k, best)
+		}
+	}
+}
+
+// planeSweep runs the forward DP over all of A and returns the final
+// (len(cb)+1)×(len(cc)+1) plane: out[j][k] is the optimal score of aligning
+// all of ca with cb[:j] and cc[:k]. With workers > 1 each plane is computed
+// by a 2D blocked wavefront.
+func planeSweep(ca, cb, cc []int8, sch *scoring.Scheme, workers, blockSize int) *mat.Plane {
+	m, p := len(cb), len(cc)
+	prev := mat.NewPlane(m+1, p+1)
+	cur := mat.NewPlane(m+1, p+1)
+	sj := wavefront.Partition(m+1, blockSize)
+	sk := wavefront.Partition(p+1, blockSize)
+	sweep := func(dst, src *mat.Plane, ai int8) {
+		if workers <= 1 {
+			fillPlaneRange(dst, src, ai, cb, cc, sch, wavefront.Span{Lo: 0, Hi: m + 1}, wavefront.Span{Lo: 0, Hi: p + 1})
+			return
+		}
+		wavefront.Run2D(len(sj), len(sk), workers, func(bj, bk int) {
+			fillPlaneRange(dst, src, ai, cb, cc, sch, sj[bj], sk[bk])
+		})
+	}
+	sweep(prev, nil, 0) // the i == 0 plane
+	for i := 1; i <= len(ca); i++ {
+		sweep(cur, prev, ca[i-1])
+		prev, cur = cur, prev
+	}
+	return prev
+}
+
+// hctx carries the recursion-invariant state of a Hirschberg run.
+type hctx struct {
+	sch      *scoring.Scheme
+	derived  *scoring.Scheme
+	workers  int
+	block    int
+	parallel bool
+	// spawn is the remaining budget of concurrent recursive branches; it
+	// bounds goroutine fan-out without a global queue.
+	spawn atomic.Int32
+}
+
+// fullMoves solves a sub-box exactly with the full-matrix DP.
+func fullMoves(ca, cb, cc []int8, sch *scoring.Scheme) ([]alignment.Move, error) {
+	t := mat.NewTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	fillRange(t, ca, cb, cc, sch,
+		wavefront.Span{Lo: 0, Hi: len(ca) + 1},
+		wavefront.Span{Lo: 0, Hi: len(cb) + 1},
+		wavefront.Span{Lo: 0, Hi: len(cc) + 1})
+	return tracebackTensor(t, ca, cb, cc, sch)
+}
+
+func (h *hctx) rec(ca, cb, cc []int8) ([]alignment.Move, error) {
+	switch {
+	case len(ca) == 0:
+		return pairMoves(pairwise.Hirschberg(cb, cc, h.derived).Ops, 0), nil
+	case len(cb) == 0:
+		return pairMoves(pairwise.Hirschberg(ca, cc, h.derived).Ops, 1), nil
+	case len(cc) == 0:
+		return pairMoves(pairwise.Hirschberg(ca, cb, h.derived).Ops, 2), nil
+	case len(ca) == 1 || (len(ca)+1)*(len(cb)+1)*(len(cc)+1) <= smallVolume:
+		// A single A-residue cannot be split; the box is also small enough
+		// (≤ 2 planes when len(ca) == 1) that full DP stays within the
+		// linear-space budget.
+		return fullMoves(ca, cb, cc, h.sch)
+	}
+
+	mid := len(ca) / 2
+	var fwd, bwdRev *mat.Plane
+	if h.parallel {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fwd = planeSweep(ca[:mid], cb, cc, h.sch, h.workers, h.block)
+		}()
+		bwdRev = planeSweep(reverseCodes(ca[mid:]), reverseCodes(cb), reverseCodes(cc), h.sch, h.workers, h.block)
+		wg.Wait()
+	} else {
+		fwd = planeSweep(ca[:mid], cb, cc, h.sch, 1, h.block)
+		bwdRev = planeSweep(reverseCodes(ca[mid:]), reverseCodes(cb), reverseCodes(cc), h.sch, 1, h.block)
+	}
+
+	m, p := len(cb), len(cc)
+	bestJ, bestK := 0, 0
+	bestV := fwd.At(0, 0) + bwdRev.At(m, p)
+	for j := 0; j <= m; j++ {
+		for k := 0; k <= p; k++ {
+			if v := fwd.At(j, k) + bwdRev.At(m-j, p-k); v > bestV {
+				bestV, bestJ, bestK = v, j, k
+			}
+		}
+	}
+
+	var left, right []alignment.Move
+	var errL, errR error
+	if h.parallel && h.spawn.Add(-1) >= 0 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			left, errL = h.rec(ca[:mid], cb[:bestJ], cc[:bestK])
+		}()
+		right, errR = h.rec(ca[mid:], cb[bestJ:], cc[bestK:])
+		wg.Wait()
+	} else {
+		left, errL = h.rec(ca[:mid], cb[:bestJ], cc[:bestK])
+		if errL == nil {
+			right, errR = h.rec(ca[mid:], cb[bestJ:], cc[bestK:])
+		}
+	}
+	if errL != nil {
+		return nil, errL
+	}
+	if errR != nil {
+		return nil, errR
+	}
+	return append(left, right...), nil
+}
+
+func reverseCodes(s []int8) []int8 {
+	out := make([]int8, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = c
+	}
+	return out
+}
+
+func alignHirschberg(tr seq.Triple, sch *scoring.Scheme, opt Options, parallel bool) (*alignment.Alignment, error) {
+	ca, cb, cc, err := prepare(tr, sch)
+	if err != nil {
+		return nil, err
+	}
+	if LinearBytes(tr) > opt.maxBytes() {
+		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, LinearBytes(tr), opt.maxBytes())
+	}
+	h := &hctx{
+		sch:      sch,
+		derived:  derivePairScheme(sch),
+		workers:  opt.workers(),
+		block:    opt.blockSize(),
+		parallel: parallel,
+	}
+	h.spawn.Store(int32(h.workers))
+	moves, err := h.rec(ca, cb, cc)
+	if err != nil {
+		return nil, err
+	}
+	aln := &alignment.Alignment{Triple: tr, Moves: moves}
+	if err := aln.Validate(); err != nil {
+		return nil, fmt.Errorf("core: hirschberg produced inconsistent alignment: %w", err)
+	}
+	aln.Score = aln.SPScore(sch)
+	return aln, nil
+}
+
+// AlignLinear computes the same optimum as AlignFull with the 3D Hirschberg
+// divide-and-conquer, using O(len(B)·len(C)) working memory.
+func AlignLinear(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+	return alignHirschberg(tr, sch, opt, false)
+}
+
+// AlignParallelLinear is AlignLinear with parallel plane sweeps (2D blocked
+// wavefronts) and concurrent independent sub-problems.
+func AlignParallelLinear(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+	return alignHirschberg(tr, sch, opt, true)
+}

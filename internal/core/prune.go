@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alignment"
+	"repro/internal/mat"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/wavefront"
+)
+
+// PruneStats reports how much of the lattice the Carrillo–Lipman bound
+// admitted.
+type PruneStats struct {
+	TotalCells     int64     // (n+1)(m+1)(p+1)
+	EvaluatedCells int64     // cells whose recurrence was evaluated
+	LowerBound     mat.Score // the bound L used for admission
+	Optimum        mat.Score // the optimal SP score found
+}
+
+// Fraction returns EvaluatedCells / TotalCells.
+func (s PruneStats) Fraction() float64 {
+	if s.TotalCells == 0 {
+		return 0
+	}
+	return float64(s.EvaluatedCells) / float64(s.TotalCells)
+}
+
+// TrivialAlignment builds a valid (generally sub-optimal) alignment by
+// consuming all three sequences in lock step, then pairs, then singles.
+// Its SP score is the built-in Carrillo–Lipman lower bound.
+func TrivialAlignment(tr seq.Triple, sch *scoring.Scheme) (*alignment.Alignment, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	na, nb, nc := tr.A.Len(), tr.B.Len(), tr.C.Len()
+	moves := make([]alignment.Move, 0, na+nb+nc)
+	emit := func(m alignment.Move, times int) {
+		for t := 0; t < times; t++ {
+			moves = append(moves, m)
+		}
+	}
+	d := min3(na, nb, nc)
+	emit(alignment.MoveXXX, d)
+	na, nb, nc = na-d, nb-d, nc-d
+	if ab := min2(na, nb); ab > 0 {
+		emit(alignment.MoveXXG, ab)
+		na, nb = na-ab, nb-ab
+	}
+	if ac := min2(na, nc); ac > 0 {
+		emit(alignment.MoveXGX, ac)
+		na, nc = na-ac, nc-ac
+	}
+	if bc := min2(nb, nc); bc > 0 {
+		emit(alignment.MoveGXX, bc)
+		nb, nc = nb-bc, nc-bc
+	}
+	emit(alignment.MoveXGG, na)
+	emit(alignment.MoveGXG, nb)
+	emit(alignment.MoveGGX, nc)
+	aln := &alignment.Alignment{Triple: tr, Moves: moves}
+	if err := aln.Validate(); err != nil {
+		return nil, fmt.Errorf("core: trivial alignment invalid: %w", err)
+	}
+	aln.Score = aln.SPScore(sch)
+	return aln, nil
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func min3(a, b, c int) int { return min2(min2(a, b), c) }
+
+// AlignPruned computes the same optimum as AlignFull but evaluates only
+// the Carrillo–Lipman admissible region: cell (i, j, k) is skipped when the
+// sum of the three pairwise forward and backward projection bounds cannot
+// reach the lower bound L. L defaults to the TrivialAlignment score; pass a
+// tighter valid lower bound (any real alignment's SP score, e.g. from a
+// heuristic) to prune more aggressively. Passing an L greater than the
+// optimum is invalid and yields an error or a sub-optimal result.
+func AlignPruned(tr seq.Triple, sch *scoring.Scheme, opt Options, lower ...mat.Score) (*alignment.Alignment, PruneStats, error) {
+	ca, cb, cc, err := prepare(tr, sch)
+	if err != nil {
+		return nil, PruneStats{}, err
+	}
+	if FullMatrixBytes(tr) > opt.maxBytes() {
+		return nil, PruneStats{}, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, FullMatrixBytes(tr), opt.maxBytes())
+	}
+	trivial, err := TrivialAlignment(tr, sch)
+	if err != nil {
+		return nil, PruneStats{}, err
+	}
+	bound := trivial.Score
+	for _, l := range lower {
+		if l > bound {
+			bound = l
+		}
+	}
+
+	pc := newPruneCtx(ca, cb, cc, sch, bound)
+	n, m, p := len(ca), len(cb), len(cc)
+	t := mat.NewTensor3(n+1, m+1, p+1)
+	stats := PruneStats{TotalCells: int64(n+1) * int64(m+1) * int64(p+1), LowerBound: bound}
+	stats.EvaluatedCells = fillRangePruned(t, ca, cb, cc, sch, pc,
+		wavefront.Span{Lo: 0, Hi: n + 1},
+		wavefront.Span{Lo: 0, Hi: m + 1},
+		wavefront.Span{Lo: 0, Hi: p + 1})
+
+	moves, err := tracebackTensor(t, ca, cb, cc, sch)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: pruned traceback failed (is the lower bound valid?): %w", err)
+	}
+	aln := &alignment.Alignment{Triple: tr, Moves: moves, Score: t.At(n, m, p)}
+	stats.Optimum = aln.Score
+	return aln, stats, nil
+}

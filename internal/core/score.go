@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// Score computes the optimal linear-gap SP score without an alignment,
+// using two (m+1)×(p+1) planes — the cheapest exact query this package
+// offers. With opt.Workers > 1 each plane advances by a 2D blocked
+// wavefront.
+func Score(tr seq.Triple, sch *scoring.Scheme, opt Options) (mat.Score, error) {
+	ca, cb, cc, err := prepare(tr, sch)
+	if err != nil {
+		return 0, err
+	}
+	// Peak memory: the two sweep planes.
+	if need := 2 * mat.PlaneBytes(len(cb)+1, len(cc)+1); need > opt.maxBytes() {
+		return 0, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, need, opt.maxBytes())
+	}
+	workers := 1
+	if opt.Workers != 0 {
+		workers = opt.workers()
+	}
+	final := planeSweep(ca, cb, cc, sch, workers, opt.blockSize())
+	return final.At(len(cb), len(cc)), nil
+}

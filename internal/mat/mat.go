@@ -1,0 +1,172 @@
+// Package mat provides flat, cache-friendly numeric storage for the
+// dynamic-programming lattices used by the alignment algorithms.
+//
+// A three-sequence alignment fills a (n+1)×(m+1)×(p+1) score lattice; a
+// pairwise alignment fills a (n+1)×(m+1) plane. Both are backed by a single
+// contiguous slice so the innermost loop walks memory linearly, and so a
+// whole lattice can be handed to concurrent writers that own disjoint index
+// ranges without any per-row pointer chasing.
+//
+// Score is a signed 32-bit integer. With substitution scores bounded by
+// |s| ≤ 127 and three pairs per column, a column contributes at most ~381,
+// so 32 bits overflow only past ~5.6 million alignment columns — far beyond
+// any lattice this package can allocate. NegInf is a large negative
+// sentinel chosen so that adding a column score to it cannot wrap around.
+package mat
+
+import "fmt"
+
+// Score is the arithmetic type used throughout the dynamic programs.
+type Score = int32
+
+// NegInf is the "minus infinity" sentinel for unreachable DP states. It is
+// far below any reachable score yet far above math.MinInt32, so adding a
+// bounded column score to it never overflows.
+const NegInf Score = -1 << 29
+
+// Plane is a dense 2D score array backed by one allocation.
+type Plane struct {
+	rows, cols int
+	data       []Score
+}
+
+// NewPlane returns a zeroed rows×cols plane. It panics if either dimension
+// is negative; a zero-sized plane is valid and empty.
+func NewPlane(rows, cols int) *Plane {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: NewPlane(%d, %d): negative dimension", rows, cols))
+	}
+	return &Plane{rows: rows, cols: cols, data: make([]Score, rows*cols)}
+}
+
+// Rows returns the number of rows.
+func (p *Plane) Rows() int { return p.rows }
+
+// Cols returns the number of columns.
+func (p *Plane) Cols() int { return p.cols }
+
+// At returns the value at (i, j).
+func (p *Plane) At(i, j int) Score { return p.data[i*p.cols+j] }
+
+// Set stores v at (i, j).
+func (p *Plane) Set(i, j int, v Score) { p.data[i*p.cols+j] = v }
+
+// Row returns the i-th row as a shared slice; writes through the slice are
+// visible in the plane.
+func (p *Plane) Row(i int) []Score { return p.data[i*p.cols : (i+1)*p.cols] }
+
+// Fill sets every cell to v.
+func (p *Plane) Fill(v Score) {
+	for i := range p.data {
+		p.data[i] = v
+	}
+}
+
+// CopyFrom copies src into p. It panics if the shapes differ.
+func (p *Plane) CopyFrom(src *Plane) {
+	if p.rows != src.rows || p.cols != src.cols {
+		panic(fmt.Sprintf("mat: CopyFrom shape mismatch: dst %dx%d, src %dx%d",
+			p.rows, p.cols, src.rows, src.cols))
+	}
+	copy(p.data, src.data)
+}
+
+// Bytes reports the heap footprint of the backing array.
+func (p *Plane) Bytes() int64 { return int64(len(p.data)) * int64(scoreSize) }
+
+const scoreSize = 4 // sizeof(Score)
+
+// Tensor3 is a dense 3D score array backed by one allocation, indexed as
+// [i][j][k] with k fastest-varying.
+type Tensor3 struct {
+	ni, nj, nk int
+	strideI    int // nj*nk
+	data       []Score
+}
+
+// NewTensor3 returns a zeroed ni×nj×nk tensor. It panics if a dimension is
+// negative or if the total element count would overflow int.
+func NewTensor3(ni, nj, nk int) *Tensor3 {
+	if ni < 0 || nj < 0 || nk < 0 {
+		panic(fmt.Sprintf("mat: NewTensor3(%d, %d, %d): negative dimension", ni, nj, nk))
+	}
+	n, ok := checkedMul3(ni, nj, nk)
+	if !ok {
+		panic(fmt.Sprintf("mat: NewTensor3(%d, %d, %d): size overflows", ni, nj, nk))
+	}
+	return &Tensor3{ni: ni, nj: nj, nk: nk, strideI: nj * nk, data: make([]Score, n)}
+}
+
+func checkedMul3(a, b, c int) (int, bool) {
+	ab := a * b
+	if a != 0 && ab/a != b {
+		return 0, false
+	}
+	abc := ab * c
+	if ab != 0 && abc/ab != c {
+		return 0, false
+	}
+	return abc, true
+}
+
+// Dims returns the three dimensions.
+func (t *Tensor3) Dims() (ni, nj, nk int) { return t.ni, t.nj, t.nk }
+
+// Index returns the flat offset of (i, j, k).
+func (t *Tensor3) Index(i, j, k int) int { return i*t.strideI + j*t.nk + k }
+
+// At returns the value at (i, j, k).
+func (t *Tensor3) At(i, j, k int) Score { return t.data[i*t.strideI+j*t.nk+k] }
+
+// Set stores v at (i, j, k).
+func (t *Tensor3) Set(i, j, k int, v Score) { t.data[i*t.strideI+j*t.nk+k] = v }
+
+// Lane returns the k-lane at (i, j) as a shared slice of length nk.
+func (t *Tensor3) Lane(i, j int) []Score {
+	off := i*t.strideI + j*t.nk
+	return t.data[off : off+t.nk]
+}
+
+// PlaneI copies the i-th (j,k) plane into dst, which must be nj×nk.
+func (t *Tensor3) PlaneI(i int, dst *Plane) {
+	if dst.rows != t.nj || dst.cols != t.nk {
+		panic(fmt.Sprintf("mat: PlaneI shape mismatch: plane %dx%d, tensor j,k %dx%d",
+			dst.rows, dst.cols, t.nj, t.nk))
+	}
+	copy(dst.data, t.data[i*t.strideI:(i+1)*t.strideI])
+}
+
+// Fill sets every cell to v.
+func (t *Tensor3) Fill(v Score) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Bytes reports the heap footprint of the backing array.
+func (t *Tensor3) Bytes() int64 { return int64(len(t.data)) * int64(scoreSize) }
+
+// Tensor3Bytes predicts, without allocating, the backing-array footprint of
+// NewTensor3(ni, nj, nk). It is used by the memory experiment (T2) and by
+// callers that want to refuse infeasible problem sizes up front.
+func Tensor3Bytes(ni, nj, nk int) int64 {
+	return int64(ni) * int64(nj) * int64(nk) * int64(scoreSize)
+}
+
+// PlaneBytes predicts the backing-array footprint of NewPlane(rows, cols).
+func PlaneBytes(rows, cols int) int64 {
+	return int64(rows) * int64(cols) * int64(scoreSize)
+}
+
+// Max returns the larger of two scores.
+func Max(a, b Score) Score {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Max3 returns the largest of three scores.
+func Max3(a, b, c Score) Score {
+	return Max(Max(a, b), c)
+}

@@ -1,0 +1,157 @@
+package msa
+
+import (
+	"fmt"
+
+	"repro/internal/alignment"
+	"repro/internal/mat"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// Refine improves a three-way alignment by iterative refinement: one
+// sequence at a time is removed and optimally re-aligned against the
+// profile of the remaining two rows, keeping the result whenever the SP
+// score improves. Iteration stops after a full round with no improvement
+// or after maxRounds rounds (≤ 0 means a sensible default). The returned
+// alignment's score is never below the input's, and — like the input —
+// never above the exact optimum, so it remains a valid Carrillo–Lipman
+// lower bound.
+func Refine(aln *alignment.Alignment, sch *scoring.Scheme, maxRounds int) (*alignment.Alignment, error) {
+	if err := aln.Validate(); err != nil {
+		return nil, fmt.Errorf("msa: refine input: %w", err)
+	}
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	cur := &alignment.Alignment{Triple: aln.Triple, Moves: append([]alignment.Move(nil), aln.Moves...)}
+	cur.Score = cur.SPScore(sch)
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for out := 0; out < 3; out++ {
+			cand, err := realignOne(cur, sch, out)
+			if err != nil {
+				return nil, err
+			}
+			if cand.Score > cur.Score {
+				cur = cand
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// realignOne removes sequence `out` (0=A, 1=B, 2=C) from the alignment and
+// re-aligns it optimally against the profile induced by the other two
+// rows, exactly as Progressive's final stage does.
+func realignOne(cur *alignment.Alignment, sch *scoring.Scheme, out int) (*alignment.Alignment, error) {
+	codes := [3][]int8{cur.Triple.A.Codes(), cur.Triple.B.Codes(), cur.Triple.C.Codes()}
+	bit := [3]alignment.Move{alignment.ConsumeA, alignment.ConsumeB, alignment.ConsumeC}
+	p, q := (out+1)%3, (out+2)%3
+	if p > q {
+		p, q = q, p
+	}
+
+	// Build the two-row profile from the current alignment, dropping
+	// columns where both kept rows are gapped.
+	type profCol struct{ x, y int8 }
+	var prof []profCol
+	idx := [3]int{}
+	for _, m := range cur.Moves {
+		col := profCol{scoring.Gap, scoring.Gap}
+		if m&bit[p] != 0 {
+			col.x = codes[p][idx[p]]
+		}
+		if m&bit[q] != 0 {
+			col.y = codes[q][idx[q]]
+		}
+		for s := 0; s < 3; s++ {
+			if m&bit[s] != 0 {
+				idx[s]++
+			}
+		}
+		if col.x != scoring.Gap || col.y != scoring.Gap {
+			prof = append(prof, profCol{col.x, col.y})
+		}
+	}
+
+	r := codes[out]
+	n, m := len(r), len(prof)
+	f := mat.NewPlane(n+1, m+1)
+	matchCost := func(ri int8, c profCol) mat.Score {
+		return sch.Pair(ri, c.x) + sch.Pair(ri, c.y)
+	}
+	gapRCost := func(c profCol) mat.Score {
+		return sch.Pair(scoring.Gap, c.x) + sch.Pair(scoring.Gap, c.y)
+	}
+	gapColCost := 2 * sch.GapExtend()
+	for j := 1; j <= m; j++ {
+		f.Set(0, j, f.At(0, j-1)+gapRCost(prof[j-1]))
+	}
+	for i := 1; i <= n; i++ {
+		f.Set(i, 0, f.At(i-1, 0)+gapColCost)
+		for j := 1; j <= m; j++ {
+			best := f.At(i-1, j-1) + matchCost(r[i-1], prof[j-1])
+			if v := f.At(i-1, j) + gapColCost; v > best {
+				best = v
+			}
+			if v := f.At(i, j-1) + gapRCost(prof[j-1]); v > best {
+				best = v
+			}
+			f.Set(i, j, best)
+		}
+	}
+
+	colMove := func(c profCol) alignment.Move {
+		var mv alignment.Move
+		if c.x != scoring.Gap {
+			mv |= bit[p]
+		}
+		if c.y != scoring.Gap {
+			mv |= bit[q]
+		}
+		return mv
+	}
+	var rev []alignment.Move
+	i, j := n, m
+	for i > 0 || j > 0 {
+		v := f.At(i, j)
+		switch {
+		case i > 0 && j > 0 && v == f.At(i-1, j-1)+matchCost(r[i-1], prof[j-1]):
+			rev = append(rev, colMove(prof[j-1])|bit[out])
+			i, j = i-1, j-1
+		case i > 0 && v == f.At(i-1, j)+gapColCost:
+			rev = append(rev, bit[out])
+			i--
+		case j > 0 && v == f.At(i, j-1)+gapRCost(prof[j-1]):
+			rev = append(rev, colMove(prof[j-1]))
+			j--
+		default:
+			return nil, fmt.Errorf("msa: refine traceback stuck at (%d,%d)", i, j)
+		}
+	}
+	moves := make([]alignment.Move, len(rev))
+	for k := range rev {
+		moves[k] = rev[len(rev)-1-k]
+	}
+	out3 := &alignment.Alignment{Triple: cur.Triple, Moves: moves}
+	if err := out3.Validate(); err != nil {
+		return nil, fmt.Errorf("msa: refine produced inconsistent alignment: %w", err)
+	}
+	out3.Score = out3.SPScore(sch)
+	return out3, nil
+}
+
+// CenterStarRefined runs CenterStar followed by Refine — the strongest
+// heuristic in this package and the best cheap Carrillo–Lipman bound.
+func CenterStarRefined(tr seq.Triple, sch *scoring.Scheme) (*alignment.Alignment, error) {
+	aln, err := CenterStar(tr, sch)
+	if err != nil {
+		return nil, err
+	}
+	return Refine(aln, sch, 0)
+}

@@ -1,0 +1,86 @@
+package pairwise
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/scoring"
+)
+
+// Banded computes a global alignment under the linear gap model restricted
+// to the diagonal band |i-j| <= width. The band must be at least as wide as
+// the length difference of the two sequences, or no path exists. A banded
+// alignment is optimal whenever the unrestricted optimum stays inside the
+// band; with width >= max(len(a), len(b)) it always equals Global.
+func Banded(a, b []int8, sch *scoring.Scheme, width int) (Result, error) {
+	n, m := len(a), len(b)
+	diff := n - m
+	if diff < 0 {
+		diff = -diff
+	}
+	if width < diff {
+		return Result{}, fmt.Errorf("pairwise: band width %d narrower than length difference %d", width, diff)
+	}
+	ge := sch.GapExtend()
+	inBand := func(i, j int) bool {
+		d := i - j
+		return d >= -width && d <= width
+	}
+	f := mat.NewPlane(n+1, m+1)
+	f.Fill(mat.NegInf)
+	f.Set(0, 0, 0)
+	for j := 1; j <= m && inBand(0, j); j++ {
+		f.Set(0, j, f.At(0, j-1)+ge)
+	}
+	for i := 1; i <= n && inBand(i, 0); i++ {
+		f.Set(i, 0, f.At(i-1, 0)+ge)
+	}
+	for i := 1; i <= n; i++ {
+		lo := i - width
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + width
+		if hi > m {
+			hi = m
+		}
+		ai := a[i-1]
+		for j := lo; j <= hi; j++ {
+			best := f.At(i-1, j-1) + sch.Sub(ai, b[j-1])
+			if inBand(i-1, j) {
+				if v := f.At(i-1, j) + ge; v > best {
+					best = v
+				}
+			}
+			if inBand(i, j-1) {
+				if v := f.At(i, j-1) + ge; v > best {
+					best = v
+				}
+			}
+			f.Set(i, j, best)
+		}
+	}
+	if f.At(n, m) <= mat.NegInf/2 {
+		return Result{}, fmt.Errorf("pairwise: no path inside band of width %d", width)
+	}
+	ops := make([]Op, 0, n+m)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		v := f.At(i, j)
+		switch {
+		case i > 0 && j > 0 && v == f.At(i-1, j-1)+sch.Sub(a[i-1], b[j-1]):
+			ops = append(ops, OpBoth)
+			i, j = i-1, j-1
+		case i > 0 && inBand(i-1, j) && v == f.At(i-1, j)+ge:
+			ops = append(ops, OpA)
+			i--
+		case j > 0 && inBand(i, j-1) && v == f.At(i, j-1)+ge:
+			ops = append(ops, OpB)
+			j--
+		default:
+			return Result{}, fmt.Errorf("pairwise: banded traceback stuck at (%d,%d)", i, j)
+		}
+	}
+	reverseOps(ops)
+	return Result{Score: f.At(n, m), Ops: ops}, nil
+}

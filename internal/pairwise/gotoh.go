@@ -1,0 +1,150 @@
+package pairwise
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/scoring"
+)
+
+// GlobalAffine computes an optimal global alignment under the affine gap
+// model (Gotoh's algorithm): a pairwise gap of length L costs
+// gapOpen + L·gapExtend. With gapOpen == 0 it degenerates to the linear
+// model and returns the same optimum as Global.
+func GlobalAffine(a, b []int8, sch *scoring.Scheme) Result {
+	n, m := len(a), len(b)
+	ge := sch.GapExtend()
+	gog := sch.GapOpen() + ge // cost of the first residue of a gap
+
+	// State lattices: mm ends in a residue-residue column, xx ends in a
+	// column consuming a only (gap in b), yy ends in a column consuming b
+	// only (gap in a).
+	mm := mat.NewPlane(n+1, m+1)
+	xx := mat.NewPlane(n+1, m+1)
+	yy := mat.NewPlane(n+1, m+1)
+	mm.Fill(mat.NegInf)
+	xx.Fill(mat.NegInf)
+	yy.Fill(mat.NegInf)
+	mm.Set(0, 0, 0)
+	for i := 1; i <= n; i++ {
+		xx.Set(i, 0, sch.GapOpen()+mat.Score(i)*ge)
+	}
+	for j := 1; j <= m; j++ {
+		yy.Set(0, j, sch.GapOpen()+mat.Score(j)*ge)
+	}
+	for i := 1; i <= n; i++ {
+		ai := a[i-1]
+		for j := 1; j <= m; j++ {
+			diag := mat.Max3(mm.At(i-1, j-1), xx.At(i-1, j-1), yy.At(i-1, j-1))
+			mm.Set(i, j, diag+sch.Sub(ai, b[j-1]))
+			xx.Set(i, j, mat.Max3(
+				mm.At(i-1, j)+gog,
+				xx.At(i-1, j)+ge,
+				yy.At(i-1, j)+gog,
+			))
+			yy.Set(i, j, mat.Max3(
+				mm.At(i, j-1)+gog,
+				yy.At(i, j-1)+ge,
+				xx.At(i, j-1)+gog,
+			))
+		}
+	}
+
+	// Traceback through the three-state lattice.
+	const (
+		stM = iota
+		stX
+		stY
+	)
+	state := stM
+	best := mm.At(n, m)
+	if xx.At(n, m) > best {
+		state, best = stX, xx.At(n, m)
+	}
+	if yy.At(n, m) > best {
+		state, best = stY, yy.At(n, m)
+	}
+	ops := make([]Op, 0, n+m)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch state {
+		case stM:
+			v := mm.At(i, j)
+			d := v - sch.Sub(a[i-1], b[j-1])
+			switch {
+			case d == mm.At(i-1, j-1):
+				state = stM
+			case d == xx.At(i-1, j-1):
+				state = stX
+			case d == yy.At(i-1, j-1):
+				state = stY
+			default:
+				panic(fmt.Sprintf("pairwise: affine traceback stuck in M at (%d,%d)", i, j))
+			}
+			ops = append(ops, OpBoth)
+			i, j = i-1, j-1
+		case stX:
+			v := xx.At(i, j)
+			switch {
+			case v == xx.At(i-1, j)+ge:
+				state = stX
+			case v == mm.At(i-1, j)+gog:
+				state = stM
+			case v == yy.At(i-1, j)+gog:
+				state = stY
+			default:
+				panic(fmt.Sprintf("pairwise: affine traceback stuck in X at (%d,%d)", i, j))
+			}
+			ops = append(ops, OpA)
+			i--
+		case stY:
+			v := yy.At(i, j)
+			switch {
+			case v == yy.At(i, j-1)+ge:
+				state = stY
+			case v == mm.At(i, j-1)+gog:
+				state = stM
+			case v == xx.At(i, j-1)+gog:
+				state = stX
+			default:
+				panic(fmt.Sprintf("pairwise: affine traceback stuck in Y at (%d,%d)", i, j))
+			}
+			ops = append(ops, OpB)
+			j--
+		}
+	}
+	reverseOps(ops)
+	return Result{Score: best, Ops: ops}
+}
+
+// RescoreAffine recomputes the affine-gap score of ops: every maximal run
+// of OpA or OpB pays gapOpen once plus gapExtend per column.
+func RescoreAffine(ops []Op, a, b []int8, sch *scoring.Scheme) (mat.Score, error) {
+	na, nb := Consumed(ops)
+	if na != len(a) || nb != len(b) {
+		return 0, fmt.Errorf("pairwise: ops consume %d/%d residues, sequences have %d/%d", na, nb, len(a), len(b))
+	}
+	var total mat.Score
+	i, j := 0, 0
+	var prev Op = OpBoth
+	first := true
+	for _, op := range ops {
+		switch op {
+		case OpBoth:
+			total += sch.Sub(a[i], b[j])
+			i, j = i+1, j+1
+		default:
+			total += sch.GapExtend()
+			if first || prev != op {
+				total += sch.GapOpen()
+			}
+			if op == OpA {
+				i++
+			} else {
+				j++
+			}
+		}
+		prev, first = op, false
+	}
+	return total, nil
+}

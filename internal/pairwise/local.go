@@ -1,0 +1,75 @@
+package pairwise
+
+import (
+	"repro/internal/mat"
+	"repro/internal/scoring"
+)
+
+// LocalResult is a scored local alignment: Ops covers a[StartA:EndA) and
+// b[StartB:EndB).
+type LocalResult struct {
+	Score          mat.Score
+	Ops            []Op
+	StartA, StartB int
+	EndA, EndB     int
+}
+
+// Local computes an optimal local alignment (Smith–Waterman) under the
+// linear gap model. The empty alignment scores 0, so Score is never
+// negative.
+func Local(a, b []int8, sch *scoring.Scheme) LocalResult {
+	n, m := len(a), len(b)
+	ge := sch.GapExtend()
+	f := mat.NewPlane(n+1, m+1)
+	bestI, bestJ := 0, 0
+	var best mat.Score
+	for i := 1; i <= n; i++ {
+		ai := a[i-1]
+		prev := f.Row(i - 1)
+		cur := f.Row(i)
+		for j := 1; j <= m; j++ {
+			v := prev[j-1] + sch.Sub(ai, b[j-1])
+			if w := prev[j] + ge; w > v {
+				v = w
+			}
+			if w := cur[j-1] + ge; w > v {
+				v = w
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best, bestI, bestJ = v, i, j
+			}
+		}
+	}
+	ops := make([]Op, 0, n+m)
+	i, j := bestI, bestJ
+	for i > 0 || j > 0 {
+		v := f.At(i, j)
+		if v == 0 {
+			break
+		}
+		switch {
+		case i > 0 && j > 0 && v == f.At(i-1, j-1)+sch.Sub(a[i-1], b[j-1]):
+			ops = append(ops, OpBoth)
+			i, j = i-1, j-1
+		case i > 0 && v == f.At(i-1, j)+ge:
+			ops = append(ops, OpA)
+			i--
+		case j > 0 && v == f.At(i, j-1)+ge:
+			ops = append(ops, OpB)
+			j--
+		default:
+			// Cannot happen: every positive cell has a consistent predecessor.
+			panic("pairwise: local traceback stuck")
+		}
+	}
+	reverseOps(ops)
+	return LocalResult{
+		Score: best, Ops: ops,
+		StartA: i, StartB: j,
+		EndA: bestI, EndB: bestJ,
+	}
+}

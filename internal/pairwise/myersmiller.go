@@ -1,0 +1,159 @@
+package pairwise
+
+import (
+	"repro/internal/mat"
+	"repro/internal/scoring"
+)
+
+// MyersMiller computes an optimal global alignment under the affine gap
+// model in linear space (Myers & Miller, 1988): the divide-and-conquer
+// analogue of Hirschberg for Gotoh's three-state recurrence. It returns
+// the same optimum as GlobalAffine using O(len(b)) working memory.
+//
+// The split bookkeeping tracks the deletion state (gaps in b, consuming a)
+// across the divided row: a vertical gap run crossing the split row must
+// not pay its open penalty twice, which is what the tb/te boundary-open
+// parameters thread through the recursion.
+func MyersMiller(a, b []int8, sch *scoring.Scheme) Result {
+	ops := make([]Op, 0, len(a)+len(b))
+	mmRec(a, b, sch, sch.GapOpen(), sch.GapOpen(), &ops)
+	score, err := RescoreAffine(ops, a, b, sch)
+	if err != nil {
+		panic("pairwise: myers-miller produced inconsistent ops: " + err.Error())
+	}
+	return Result{Score: score, Ops: ops}
+}
+
+// mmRec appends an optimal alignment of a with b to out. tb (te) is the
+// gap-open penalty charged if the alignment begins (ends) with a deletion:
+// 0 when a deletion there continues a run from the enclosing problem,
+// sch.GapOpen() otherwise.
+func mmRec(a, b []int8, sch *scoring.Scheme, tb, te mat.Score, out *[]Op) {
+	gog := sch.GapOpen()
+	switch {
+	case len(a) == 0:
+		for range b {
+			*out = append(*out, OpB)
+		}
+		return
+	case len(b) == 0:
+		for range a {
+			*out = append(*out, OpA)
+		}
+		return
+	case len(a) == 1:
+		mmLeaf(a[0], b, sch, tb, te, out)
+		return
+	}
+
+	mid := len(a) / 2
+	cc, dd := mmForward(a[:mid], b, sch, tb)
+	rrRev, ssRev := mmForward(reverseCodes(a[mid:]), reverseCodes(b), sch, te)
+	n := len(b)
+	bestJ, bestV, bestType2 := 0, mat.NegInf, false
+	for j := 0; j <= n; j++ {
+		if v := cc[j] + rrRev[n-j]; v > bestV {
+			bestV, bestJ, bestType2 = v, j, false
+		}
+		// Joining two deletion states merges one run: add back the
+		// double-charged open.
+		if v := dd[j] + ssRev[n-j] - gog; v > bestV {
+			bestV, bestJ, bestType2 = v, j, true
+		}
+	}
+	if !bestType2 {
+		mmRec(a[:mid], b[:bestJ], sch, tb, gog, out)
+		mmRec(a[mid:], b[bestJ:], sch, gog, te, out)
+		return
+	}
+	// The split lands inside a vertical gap run: a[mid-1] and a[mid] are
+	// both deleted at the junction, and the neighbors continue the run
+	// without a new open (boundary opens 0).
+	mmRec(a[:mid-1], b[:bestJ], sch, tb, 0, out)
+	*out = append(*out, OpA, OpA)
+	mmRec(a[mid+1:], b[bestJ:], sch, 0, te, out)
+}
+
+// mmForward runs Gotoh's recurrence over all of a and returns the final
+// row: cc[j] is the best score of aligning a with b[:j]; dd[j] the best
+// ending in the deletion state. Deletions hanging off the left edge open
+// with tb instead of the scheme's penalty.
+func mmForward(a, b []int8, sch *scoring.Scheme, tb mat.Score) (cc, dd []mat.Score) {
+	n := len(b)
+	ge := sch.GapExtend()
+	gog := sch.GapOpen()
+	cc = make([]mat.Score, n+1)
+	dd = make([]mat.Score, n+1)
+	// Row 0: insertions only; the deletion state is unreachable.
+	cc[0] = 0
+	for j := 1; j <= n; j++ {
+		cc[j] = gog + mat.Score(j)*ge
+	}
+	for j := 0; j <= n; j++ {
+		dd[j] = mat.NegInf
+	}
+	for i := 1; i <= len(a); i++ {
+		diag := cc[0] // old cc[j-1]
+		cc[0] = tb + mat.Score(i)*ge
+		dd[0] = cc[0] // the left-edge run is itself a deletion
+		ins := mat.NegInf
+		ai := a[i-1]
+		for j := 1; j <= n; j++ {
+			ins = mat.Max(ins+ge, cc[j-1]+gog+ge)
+			dd[j] = mat.Max(dd[j]+ge, cc[j]+gog+ge)
+			c := mat.Max3(dd[j], ins, diag+sch.Sub(ai, b[j-1]))
+			diag = cc[j]
+			cc[j] = c
+		}
+	}
+	return cc, dd
+}
+
+// mmLeaf solves the single-character-of-a base case directly: either a's
+// residue aligns with some b[j] (insertions around it), or it is deleted
+// (merging with whichever boundary offers the cheaper open) and all of b
+// is inserted.
+func mmLeaf(a0 int8, b []int8, sch *scoring.Scheme, tb, te mat.Score, out *[]Op) {
+	ge := sch.GapExtend()
+	gog := sch.GapOpen()
+	n := len(b)
+	insRun := func(k int) mat.Score {
+		if k == 0 {
+			return 0
+		}
+		return gog + mat.Score(k)*ge
+	}
+	// Option: delete a0 (open = the better boundary) and insert all of b.
+	openDel := tb
+	if te > openDel {
+		openDel = te
+	}
+	bestV := openDel + ge + insRun(n)
+	bestJ := -1 // -1 marks the deletion option
+	for j := 0; j < n; j++ {
+		if v := insRun(j) + sch.Sub(a0, b[j]) + insRun(n-1-j); v > bestV {
+			bestV, bestJ = v, j
+		}
+	}
+	if bestJ < 0 {
+		if tb >= te {
+			*out = append(*out, OpA)
+			for k := 0; k < n; k++ {
+				*out = append(*out, OpB)
+			}
+		} else {
+			for k := 0; k < n; k++ {
+				*out = append(*out, OpB)
+			}
+			*out = append(*out, OpA)
+		}
+		return
+	}
+	for k := 0; k < bestJ; k++ {
+		*out = append(*out, OpB)
+	}
+	*out = append(*out, OpBoth)
+	for k := bestJ + 1; k < n; k++ {
+		*out = append(*out, OpB)
+	}
+}

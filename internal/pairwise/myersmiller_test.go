@@ -1,0 +1,95 @@
+package pairwise
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/scoring"
+)
+
+func affSchemes(t *testing.T) []*scoring.Scheme {
+	t.Helper()
+	var out []*scoring.Scheme
+	for _, gp := range [][2]int{{0, -2}, {-2, -1}, {-5, -1}, {-10, -3}} {
+		s, err := scoring.DNADefault().WithGaps(gp[0], gp[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestMyersMillerEqualsGlobalAffine(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for _, sch := range affSchemes(t) {
+		for trial := 0; trial < 80; trial++ {
+			a := randomCodes(rng, rng.Intn(30))
+			b := randomCodes(rng, rng.Intn(30))
+			want := GlobalAffine(a, b, sch).Score
+			got := MyersMiller(a, b, sch)
+			if got.Score != want {
+				t.Fatalf("open=%d extend=%d trial %d: MyersMiller = %d, GlobalAffine = %d (a=%v b=%v)",
+					sch.GapOpen(), sch.GapExtend(), trial, got.Score, want, a, b)
+			}
+			if na, nb := Consumed(got.Ops); na != len(a) || nb != len(b) {
+				t.Fatalf("trial %d: ops consume %d/%d, want %d/%d", trial, na, nb, len(a), len(b))
+			}
+		}
+	}
+}
+
+func TestMyersMillerEdgeShapes(t *testing.T) {
+	sch, err := scoring.DNADefault().WithGaps(-4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ a, b string }{
+		{"", ""}, {"A", ""}, {"", "A"}, {"A", "A"}, {"A", "ACGTACGT"},
+		{"ACGTACGT", "A"}, {"ACGT", "ACGT"}, {"AAAAAAAA", "AA"}, {"AC", "GT"},
+	} {
+		a, b := codes(t, c.a), codes(t, c.b)
+		want := GlobalAffine(a, b, sch).Score
+		got := MyersMiller(a, b, sch)
+		if got.Score != want {
+			t.Errorf("(%q,%q): MyersMiller = %d, want %d", c.a, c.b, got.Score, want)
+		}
+	}
+}
+
+func TestMyersMillerLongSimilar(t *testing.T) {
+	// A longer pair where runs matter: scores must match exactly.
+	sch, err := scoring.DNADefault().WithGaps(-6, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(402))
+	a := randomCodes(rng, 300)
+	b := append([]int8{}, a[:100]...)
+	b = append(b, a[140:260]...) // a 40-residue deletion and a 40-suffix cut
+	want := GlobalAffine(a, b, sch).Score
+	got := MyersMiller(a, b, sch)
+	if got.Score != want {
+		t.Fatalf("MyersMiller = %d, GlobalAffine = %d", got.Score, want)
+	}
+}
+
+func TestMyersMillerProtein(t *testing.T) {
+	sch := scoring.BLOSUM62()
+	rng := rand.New(rand.NewSource(403))
+	for trial := 0; trial < 20; trial++ {
+		a := make([]int8, rng.Intn(40))
+		b := make([]int8, rng.Intn(40))
+		for i := range a {
+			a[i] = int8(rng.Intn(20))
+		}
+		for i := range b {
+			b[i] = int8(rng.Intn(20))
+		}
+		want := GlobalAffine(a, b, sch).Score
+		got := MyersMiller(a, b, sch)
+		if got.Score != want {
+			t.Fatalf("trial %d: MyersMiller = %d, GlobalAffine = %d", trial, got.Score, want)
+		}
+	}
+}

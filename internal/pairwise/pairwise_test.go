@@ -1,0 +1,347 @@
+package pairwise
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+var dnaScheme = scoring.DNADefault()
+
+func codes(t *testing.T, s string) []int8 {
+	t.Helper()
+	sq, err := seq.New("t", []byte(s), seq.DNA)
+	if err != nil {
+		t.Fatalf("codes(%q): %v", s, err)
+	}
+	return sq.Codes()
+}
+
+// bruteGlobal enumerates every global alignment recursively; exponential,
+// only for tiny inputs. It is the ground-truth oracle.
+func bruteGlobal(a, b []int8, sch *scoring.Scheme) mat.Score {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	best := mat.NegInf
+	if len(a) > 0 && len(b) > 0 {
+		if v := sch.Sub(a[0], b[0]) + bruteGlobal(a[1:], b[1:], sch); v > best {
+			best = v
+		}
+	}
+	if len(a) > 0 {
+		if v := sch.GapExtend() + bruteGlobal(a[1:], b, sch); v > best {
+			best = v
+		}
+	}
+	if len(b) > 0 {
+		if v := sch.GapExtend() + bruteGlobal(a, b[1:], sch); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func randomCodes(rng *rand.Rand, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(rng.Intn(4))
+	}
+	return out
+}
+
+func TestGlobalKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want mat.Score
+	}{
+		{"", "", 0},
+		{"A", "A", 2},
+		{"A", "C", -1},
+		{"A", "", -2},
+		{"", "ACG", -6},
+		{"ACGT", "ACGT", 8},
+		{"ACGT", "AGT", 4},   // one gap: 3 matches + gap = 6-2
+		{"AAAA", "TTTT", -4}, // four mismatches beat gap pairs
+	}
+	for _, c := range cases {
+		r := Global(codes(t, c.a), codes(t, c.b), dnaScheme)
+		if r.Score != c.want {
+			t.Errorf("Global(%q,%q).Score = %d, want %d", c.a, c.b, r.Score, c.want)
+		}
+		if got, err := Rescore(r.Ops, codes(t, c.a), codes(t, c.b), dnaScheme); err != nil || got != r.Score {
+			t.Errorf("Global(%q,%q) rescore = %d (%v), want %d", c.a, c.b, got, err, r.Score)
+		}
+	}
+}
+
+func TestGlobalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 120; trial++ {
+		a := randomCodes(rng, rng.Intn(7))
+		b := randomCodes(rng, rng.Intn(7))
+		want := bruteGlobal(a, b, dnaScheme)
+		if got := Global(a, b, dnaScheme).Score; got != want {
+			t.Fatalf("trial %d: Global = %d, brute = %d (a=%v b=%v)", trial, got, want, a, b)
+		}
+		if got := GlobalScore(a, b, dnaScheme); got != want {
+			t.Fatalf("trial %d: GlobalScore = %d, brute = %d", trial, got, want)
+		}
+	}
+}
+
+func TestGlobalStrings(t *testing.T) {
+	a := seq.MustNew("a", "ACGT", seq.DNA)
+	b := seq.MustNew("b", "AGT", seq.DNA)
+	r := Global(a.Codes(), b.Codes(), dnaScheme)
+	rowA, rowB := r.Strings(a, b)
+	if len(rowA) != len(rowB) {
+		t.Fatalf("rows differ in length: %q %q", rowA, rowB)
+	}
+	degap := func(s string) string {
+		out := []byte{}
+		for i := 0; i < len(s); i++ {
+			if s[i] != '-' {
+				out = append(out, s[i])
+			}
+		}
+		return string(out)
+	}
+	if degap(rowA) != "ACGT" || degap(rowB) != "AGT" {
+		t.Fatalf("degapped rows %q %q", degap(rowA), degap(rowB))
+	}
+}
+
+func TestForwardBackwardDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		a := randomCodes(rng, 3+rng.Intn(20))
+		b := randomCodes(rng, 3+rng.Intn(20))
+		f := Forward(a, b, dnaScheme)
+		bw := Backward(a, b, dnaScheme)
+		opt := f.At(len(a), len(b))
+		if bw.At(0, 0) != opt {
+			t.Fatalf("Backward(0,0) = %d, Forward(n,m) = %d", bw.At(0, 0), opt)
+		}
+		// Through-cell bound: F+B never exceeds the optimum, and the optimum
+		// is attained by at least one cell in every row.
+		for i := 0; i <= len(a); i++ {
+			attained := false
+			for j := 0; j <= len(b); j++ {
+				th := f.At(i, j) + bw.At(i, j)
+				if th > opt {
+					t.Fatalf("through-score %d at (%d,%d) exceeds optimum %d", th, i, j, opt)
+				}
+				if th == opt {
+					attained = true
+				}
+			}
+			if !attained {
+				t.Fatalf("row %d: no cell attains the optimum", i)
+			}
+		}
+	}
+}
+
+func TestHirschbergEqualsGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		a := randomCodes(rng, rng.Intn(40))
+		b := randomCodes(rng, rng.Intn(40))
+		g := Global(a, b, dnaScheme)
+		h := Hirschberg(a, b, dnaScheme)
+		if g.Score != h.Score {
+			t.Fatalf("trial %d: Hirschberg = %d, Global = %d", trial, h.Score, g.Score)
+		}
+		if got, err := Rescore(h.Ops, a, b, dnaScheme); err != nil || got != h.Score {
+			t.Fatalf("trial %d: Hirschberg ops rescore %d (%v) != %d", trial, got, err, h.Score)
+		}
+	}
+}
+
+func TestHirschbergEdgeShapes(t *testing.T) {
+	for _, c := range []struct{ a, b string }{
+		{"", ""}, {"A", ""}, {"", "ACGTACGT"}, {"ACGTACGT", "A"}, {"AC", "AC"},
+	} {
+		g := Global(codes(t, c.a), codes(t, c.b), dnaScheme)
+		h := Hirschberg(codes(t, c.a), codes(t, c.b), dnaScheme)
+		if g.Score != h.Score {
+			t.Errorf("(%q,%q): Hirschberg %d != Global %d", c.a, c.b, h.Score, g.Score)
+		}
+	}
+}
+
+func TestBandedFullWidthEqualsGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		a := randomCodes(rng, rng.Intn(25))
+		b := randomCodes(rng, rng.Intn(25))
+		g := Global(a, b, dnaScheme)
+		w := len(a) + len(b) + 1
+		r, err := Banded(a, b, dnaScheme, w)
+		if err != nil {
+			t.Fatalf("trial %d: Banded: %v", trial, err)
+		}
+		if r.Score != g.Score {
+			t.Fatalf("trial %d: Banded(full) = %d, Global = %d", trial, r.Score, g.Score)
+		}
+	}
+}
+
+func TestBandedNarrowIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(25)
+		a := randomCodes(rng, n)
+		b := randomCodes(rng, n)
+		g := Global(a, b, dnaScheme)
+		r, err := Banded(a, b, dnaScheme, 2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if r.Score > g.Score {
+			t.Fatalf("trial %d: banded %d beats optimum %d", trial, r.Score, g.Score)
+		}
+		if got, err := Rescore(r.Ops, a, b, dnaScheme); err != nil || got != r.Score {
+			t.Fatalf("trial %d: banded rescore mismatch: %d (%v) != %d", trial, got, err, r.Score)
+		}
+	}
+}
+
+func TestBandedTooNarrowErrors(t *testing.T) {
+	a := codes(t, "ACGTACGT")
+	b := codes(t, "AC")
+	if _, err := Banded(a, b, dnaScheme, 3); err == nil {
+		t.Fatal("band narrower than length difference accepted")
+	}
+}
+
+func TestBandedSimilarSequencesExact(t *testing.T) {
+	// For highly similar sequences a narrow band contains the optimum.
+	g := seq.NewGenerator(seq.DNA, 10)
+	parent := g.Random("p", 120)
+	child := g.Mutate("c", parent, seq.MutationModel{SubstitutionRate: 0.05})
+	a, b := parent.Codes(), child.Codes()
+	want := Global(a, b, dnaScheme).Score
+	got, err := Banded(a, b, dnaScheme, 10)
+	if err != nil {
+		t.Fatalf("Banded: %v", err)
+	}
+	if got.Score != want {
+		t.Fatalf("Banded(10) = %d, Global = %d", got.Score, want)
+	}
+}
+
+func TestGlobalAffineLinearDegeneration(t *testing.T) {
+	// With gapOpen == 0 the affine optimum equals the linear optimum.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		a := randomCodes(rng, rng.Intn(20))
+		b := randomCodes(rng, rng.Intn(20))
+		lin := Global(a, b, dnaScheme).Score
+		aff := GlobalAffine(a, b, dnaScheme).Score
+		if lin != aff {
+			t.Fatalf("trial %d: affine(open=0) = %d, linear = %d", trial, aff, lin)
+		}
+	}
+}
+
+func TestGlobalAffinePrefersLongGaps(t *testing.T) {
+	// With a harsh open penalty, one long gap must beat two short ones.
+	sch, err := dnaScheme.WithGaps(-10, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := codes(t, "ACGTACGTAA")
+	b := codes(t, "ACGTACGT")
+	r := GlobalAffine(a, b, sch)
+	if got, err := RescoreAffine(r.Ops, a, b, sch); err != nil || got != r.Score {
+		t.Fatalf("affine rescore = %d (%v), reported %d", got, err, r.Score)
+	}
+	// Count gap runs in the b row.
+	runs := 0
+	var prev Op = OpBoth
+	for _, op := range r.Ops {
+		if op == OpA && prev != OpA {
+			runs++
+		}
+		prev = op
+	}
+	if runs != 1 {
+		t.Fatalf("expected a single contiguous gap run, got %d (ops %v)", runs, r.Ops)
+	}
+}
+
+func TestGlobalAffineKnown(t *testing.T) {
+	sch, err := dnaScheme.WithGaps(-3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aligning "AAAA" with "AA": two matches (+4) and a gap of length 2
+	// (-3 -2) = -1.
+	r := GlobalAffine(codes(t, "AAAA"), codes(t, "AA"), sch)
+	if r.Score != -1 {
+		t.Fatalf("affine score = %d, want -1", r.Score)
+	}
+}
+
+func TestGlobalAffineEmpty(t *testing.T) {
+	sch, _ := dnaScheme.WithGaps(-4, -1)
+	if got := GlobalAffine(nil, nil, sch).Score; got != 0 {
+		t.Fatalf("affine empty = %d, want 0", got)
+	}
+	// One sequence empty: one gap run of length 3.
+	if got := GlobalAffine(codes(t, "ACG"), nil, sch).Score; got != -7 {
+		t.Fatalf("affine vs empty = %d, want -7", got)
+	}
+}
+
+func TestLocalBasics(t *testing.T) {
+	a := codes(t, "TTTTACGTTTTT")
+	b := codes(t, "GGACGTGG")
+	r := Local(a, b, dnaScheme)
+	if r.Score != 8 { // "ACGT" exact match = 4*2
+		t.Fatalf("local score = %d, want 8", r.Score)
+	}
+	if r.EndA-r.StartA != 4 || r.EndB-r.StartB != 4 {
+		t.Fatalf("local span = a[%d:%d] b[%d:%d], want length-4 spans", r.StartA, r.EndA, r.StartB, r.EndB)
+	}
+	if got, err := Rescore(r.Ops, a[r.StartA:r.EndA], b[r.StartB:r.EndB], dnaScheme); err != nil || got != r.Score {
+		t.Fatalf("local rescore = %d (%v), want %d", got, err, r.Score)
+	}
+}
+
+func TestLocalNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		a := randomCodes(rng, rng.Intn(30))
+		b := randomCodes(rng, rng.Intn(30))
+		r := Local(a, b, dnaScheme)
+		if r.Score < 0 {
+			t.Fatalf("local score negative: %d", r.Score)
+		}
+		glob := Global(a, b, dnaScheme).Score
+		if glob > r.Score {
+			t.Fatalf("global %d exceeds local %d", glob, r.Score)
+		}
+	}
+}
+
+func TestConsumed(t *testing.T) {
+	na, nb := Consumed([]Op{OpBoth, OpA, OpB, OpBoth})
+	if na != 3 || nb != 3 {
+		t.Fatalf("Consumed = %d,%d want 3,3", na, nb)
+	}
+}
+
+func TestRescoreRejectsWrongLengths(t *testing.T) {
+	if _, err := Rescore([]Op{OpBoth}, codes(t, "AC"), codes(t, "A"), dnaScheme); err == nil {
+		t.Fatal("Rescore accepted mismatched consumption")
+	}
+	if _, err := RescoreAffine([]Op{OpA}, codes(t, "AC"), nil, dnaScheme); err == nil {
+		t.Fatal("RescoreAffine accepted mismatched consumption")
+	}
+}

@@ -1,0 +1,132 @@
+package pairwise
+
+import (
+	"repro/internal/mat"
+	"repro/internal/scoring"
+)
+
+// FitResult is a free-end-gap alignment. For Fit, Ops covers all of a and
+// b[StartB:EndB) (StartA is 0); for Overlap, Ops covers a[StartA:] and
+// b[:EndB).
+type FitResult struct {
+	Score        mat.Score
+	Ops          []Op
+	StartA       int
+	StartB, EndB int
+}
+
+// Fit computes an optimal fitting (semi-global) alignment under the linear
+// gap model: the whole of a is aligned against the best-scoring substring
+// of b, with b's overhangs free. With len(a) == 0 the empty alignment at
+// position 0 is returned.
+func Fit(a, b []int8, sch *scoring.Scheme) FitResult {
+	n, m := len(a), len(b)
+	ge := sch.GapExtend()
+	f := mat.NewPlane(n+1, m+1)
+	// Row 0 is free: the alignment may start at any position of b.
+	for i := 1; i <= n; i++ {
+		prev := f.Row(i - 1)
+		cur := f.Row(i)
+		cur[0] = prev[0] + ge
+		ai := a[i-1]
+		for j := 1; j <= m; j++ {
+			best := prev[j-1] + sch.Sub(ai, b[j-1])
+			if v := prev[j] + ge; v > best {
+				best = v
+			}
+			if v := cur[j-1] + ge; v > best {
+				best = v
+			}
+			cur[j] = best
+		}
+	}
+	// The end is free too: best cell in the last row.
+	endJ := 0
+	best := f.At(n, 0)
+	for j := 1; j <= m; j++ {
+		if v := f.At(n, j); v > best {
+			best, endJ = v, j
+		}
+	}
+	ops := make([]Op, 0, n+m)
+	i, j := n, endJ
+	for i > 0 {
+		v := f.At(i, j)
+		switch {
+		case j > 0 && v == f.At(i-1, j-1)+sch.Sub(a[i-1], b[j-1]):
+			ops = append(ops, OpBoth)
+			i, j = i-1, j-1
+		case v == f.At(i-1, j)+ge:
+			ops = append(ops, OpA)
+			i--
+		case j > 0 && v == f.At(i, j-1)+ge:
+			ops = append(ops, OpB)
+			j--
+		default:
+			panic("pairwise: fit traceback stuck")
+		}
+	}
+	reverseOps(ops)
+	return FitResult{Score: best, Ops: ops, StartB: j, EndB: endJ}
+}
+
+// Overlap computes an optimal overlap (dovetail) alignment: a suffix of a
+// aligned with a prefix of b, both overhangs free; the assembly-style
+// junction score. The empty overlap scores 0.
+func Overlap(a, b []int8, sch *scoring.Scheme) FitResult {
+	n, m := len(a), len(b)
+	ge := sch.GapExtend()
+	f := mat.NewPlane(n+1, m+1)
+	// Column 0 free (any suffix of a may start the overlap); row 0 at j>0
+	// pays gaps, because skipped b-prefix characters are part of the
+	// overlap region only after it starts — here the overlap starts at
+	// b[0], so only a's leading overhang is free on this side.
+	row0 := f.Row(0)
+	for j := 1; j <= m; j++ {
+		row0[j] = row0[j-1] + ge
+	}
+	for i := 1; i <= n; i++ {
+		prev := f.Row(i - 1)
+		cur := f.Row(i)
+		cur[0] = 0 // free leading overhang of a
+		ai := a[i-1]
+		for j := 1; j <= m; j++ {
+			best := prev[j-1] + sch.Sub(ai, b[j-1])
+			if v := prev[j] + ge; v > best {
+				best = v
+			}
+			if v := cur[j-1] + ge; v > best {
+				best = v
+			}
+			cur[j] = best
+		}
+	}
+	// Free trailing overhang of b: end anywhere in the last row.
+	endJ := 0
+	best := f.At(n, 0)
+	for j := 1; j <= m; j++ {
+		if v := f.At(n, j); v > best {
+			best, endJ = v, j
+		}
+	}
+	ops := make([]Op, 0, n+m)
+	i, j := n, endJ
+	for j > 0 {
+		v := f.At(i, j)
+		switch {
+		case i > 0 && v == f.At(i-1, j-1)+sch.Sub(a[i-1], b[j-1]):
+			ops = append(ops, OpBoth)
+			i, j = i-1, j-1
+		case i > 0 && v == f.At(i-1, j)+ge:
+			ops = append(ops, OpA)
+			i--
+		case v == f.At(i, j-1)+ge:
+			ops = append(ops, OpB)
+			j--
+		default:
+			panic("pairwise: overlap traceback stuck")
+		}
+	}
+	reverseOps(ops)
+	return FitResult{Score: best, Ops: ops, StartA: i, StartB: 0, EndB: endJ}
+}

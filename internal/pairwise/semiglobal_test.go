@@ -1,0 +1,102 @@
+package pairwise
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFitFindsEmbeddedQuery(t *testing.T) {
+	// Query embedded exactly: score = perfect match, span = its location.
+	b := codes(t, "TTTTTACGTACGTTTTT")
+	a := codes(t, "ACGTACGT")
+	r := Fit(a, b, dnaScheme)
+	if r.Score != 16 {
+		t.Fatalf("fit score = %d, want 16", r.Score)
+	}
+	if r.StartB != 5 || r.EndB != 13 {
+		t.Fatalf("fit span = b[%d:%d], want b[5:13]", r.StartB, r.EndB)
+	}
+	na, nb := Consumed(r.Ops)
+	if na != len(a) || nb != r.EndB-r.StartB {
+		t.Fatalf("ops consume %d/%d, want %d/%d", na, nb, len(a), r.EndB-r.StartB)
+	}
+}
+
+func TestFitAtLeastGlobal(t *testing.T) {
+	// Free end gaps can only help: fit score >= global score.
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 40; trial++ {
+		a := randomCodes(rng, rng.Intn(15))
+		b := randomCodes(rng, rng.Intn(30))
+		fit := Fit(a, b, dnaScheme)
+		glob := Global(a, b, dnaScheme).Score
+		if fit.Score < glob {
+			t.Fatalf("trial %d: fit %d below global %d", trial, fit.Score, glob)
+		}
+		// Rescoring the ops against the spanned substring reproduces the score.
+		got, err := Rescore(fit.Ops, a, b[fit.StartB:fit.EndB], dnaScheme)
+		if err != nil || got != fit.Score {
+			t.Fatalf("trial %d: fit rescore %d (%v) != %d", trial, got, err, fit.Score)
+		}
+	}
+}
+
+func TestFitEmptyQuery(t *testing.T) {
+	r := Fit(nil, codes(t, "ACGT"), dnaScheme)
+	if r.Score != 0 || len(r.Ops) != 0 {
+		t.Fatalf("empty query fit = %+v", r)
+	}
+}
+
+func TestFitEmptyReference(t *testing.T) {
+	a := codes(t, "ACG")
+	r := Fit(a, nil, dnaScheme)
+	if r.Score != -6 { // three unavoidable gaps
+		t.Fatalf("fit vs empty = %d, want -6", r.Score)
+	}
+}
+
+func TestOverlapDovetail(t *testing.T) {
+	// Suffix of a overlaps prefix of b by "ACGT".
+	a := codes(t, "GGGGACGT")
+	b := codes(t, "ACGTCCCC")
+	r := Overlap(a, b, dnaScheme)
+	if r.Score != 8 {
+		t.Fatalf("overlap score = %d, want 8", r.Score)
+	}
+	if r.StartA != 4 || r.EndB != 4 {
+		t.Fatalf("overlap = a[%d:] b[:%d], want a[4:] b[:4]", r.StartA, r.EndB)
+	}
+	na, nb := Consumed(r.Ops)
+	if na != len(a)-r.StartA || nb != r.EndB {
+		t.Fatalf("ops consume %d/%d, want %d/%d", na, nb, len(a)-r.StartA, r.EndB)
+	}
+}
+
+func TestOverlapNeverNegativeForcing(t *testing.T) {
+	// The empty overlap (StartA = len(a), EndB = 0) scores 0, so the
+	// optimum is never negative... unless forced: with b non-empty the
+	// last row at j=0 is 0, so 0 is always available.
+	rng := rand.New(rand.NewSource(502))
+	for trial := 0; trial < 40; trial++ {
+		a := randomCodes(rng, rng.Intn(20))
+		b := randomCodes(rng, rng.Intn(20))
+		r := Overlap(a, b, dnaScheme)
+		if r.Score < 0 {
+			t.Fatalf("trial %d: overlap score %d negative (empty overlap available)", trial, r.Score)
+		}
+		got, err := Rescore(r.Ops, a[r.StartA:], b[:r.EndB], dnaScheme)
+		if err != nil || got != r.Score {
+			t.Fatalf("trial %d: overlap rescore %d (%v) != %d", trial, got, err, r.Score)
+		}
+	}
+}
+
+func TestOverlapIdenticalSequences(t *testing.T) {
+	a := codes(t, "ACGTACGT")
+	r := Overlap(a, a, dnaScheme)
+	// Best dovetail of s with itself is the full self-overlap.
+	if r.Score != 16 || r.StartA != 0 || r.EndB != 8 {
+		t.Fatalf("self overlap = %+v, want full match", r)
+	}
+}

@@ -1,0 +1,203 @@
+// Package scoring defines the substitution and gap models used by the
+// alignment algorithms, including the sum-of-pairs (SP) objective for
+// three-sequence alignment.
+//
+// A Scheme combines a residue substitution table (indexed by the dense
+// alphabet codes from package seq) with a gap model. Gap penalties are
+// stored as non-positive scores that are *added* to the objective, so all
+// algorithms uniformly maximize.
+//
+// The SP score of a three-way alignment column (x, y, z), where each entry
+// is a residue or a gap, is the sum over the three induced pairs:
+//
+//	sp(x, y, z) = pair(x, y) + pair(x, z) + pair(y, z)
+//	pair(a, b)  = sub[a][b]     if both are residues
+//	            = gapExtend     if exactly one is a gap
+//	            = 0             if both are gaps
+//
+// Under the affine model a pairwise gap additionally pays gapOpen when it
+// opens; the quasi-natural gap-count extension to three sequences is
+// implemented by the 7-state dynamic program in internal/core.
+package scoring
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/seq"
+)
+
+// Gap is the code used to mark a gap position in an alignment column. Any
+// negative int8 works for Scheme methods; this named constant is the
+// conventional one.
+const Gap int8 = -1
+
+// Scheme is an immutable scoring scheme over one alphabet.
+type Scheme struct {
+	name      string
+	alpha     *seq.Alphabet
+	size      int
+	sub       []mat.Score // size×size substitution scores, row-major
+	gapOpen   mat.Score   // ≤ 0, extra penalty when a pairwise gap opens; 0 means linear gaps
+	gapExtend mat.Score   // ≤ 0, per-column residue-vs-gap penalty
+}
+
+// New builds a Scheme from an explicit substitution table. table must be
+// alpha.Size()×alpha.Size() and symmetric; gapOpen and gapExtend must be
+// non-positive.
+func New(name string, alpha *seq.Alphabet, table [][]int, gapOpen, gapExtend int) (*Scheme, error) {
+	n := alpha.Size()
+	if len(table) != n {
+		return nil, fmt.Errorf("scoring: %s: table has %d rows, alphabet %q needs %d", name, len(table), alpha.Name(), n)
+	}
+	s := &Scheme{name: name, alpha: alpha, size: n, sub: make([]mat.Score, n*n)}
+	for i, row := range table {
+		if len(row) != n {
+			return nil, fmt.Errorf("scoring: %s: row %d has %d entries, want %d", name, i, len(row), n)
+		}
+		for j, v := range row {
+			if table[j][i] != v {
+				return nil, fmt.Errorf("scoring: %s: table asymmetric at (%d,%d): %d vs %d", name, i, j, v, table[j][i])
+			}
+			s.sub[i*n+j] = mat.Score(v)
+		}
+	}
+	if gapOpen > 0 || gapExtend > 0 {
+		return nil, fmt.Errorf("scoring: %s: gap penalties must be non-positive (open=%d extend=%d)", name, gapOpen, gapExtend)
+	}
+	s.gapOpen = mat.Score(gapOpen)
+	s.gapExtend = mat.Score(gapExtend)
+	return s, nil
+}
+
+func mustNew(name string, alpha *seq.Alphabet, table [][]int, gapOpen, gapExtend int) *Scheme {
+	s, err := New(name, alpha, table, gapOpen, gapExtend)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MatchMismatch returns a simple linear-gap scheme in which aligning two
+// identical residues scores match, two different residues score mismatch,
+// and a residue against a gap scores gap. match must be positive and
+// mismatch/gap non-positive.
+func MatchMismatch(alpha *seq.Alphabet, match, mismatch, gap int) (*Scheme, error) {
+	if match <= 0 {
+		return nil, fmt.Errorf("scoring: match score %d must be positive", match)
+	}
+	if mismatch > 0 {
+		return nil, fmt.Errorf("scoring: mismatch score %d must be non-positive", mismatch)
+	}
+	n := alpha.Size()
+	table := make([][]int, n)
+	for i := range table {
+		table[i] = make([]int, n)
+		for j := range table[i] {
+			if i == j {
+				table[i][j] = match
+			} else {
+				table[i][j] = mismatch
+			}
+		}
+	}
+	return New(fmt.Sprintf("match%+d/mismatch%+d", match, mismatch), alpha, table, 0, gap)
+}
+
+// DNADefault is the default nucleotide scheme used throughout the
+// experiments: +2 match, -1 mismatch, -2 linear gap.
+func DNADefault() *Scheme {
+	s, err := MatchMismatch(seq.DNA, 2, -1, -2)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// DNANeutralN is DNADefault with the ambiguity code N scoring 0 against
+// everything (including itself): unknown bases neither reward nor punish,
+// the conventional treatment for sequencing Ns.
+func DNANeutralN() *Scheme {
+	n := seq.DNA.Size()
+	table := make([][]int, n)
+	nCode := int(seq.DNA.Code('N'))
+	for i := range table {
+		table[i] = make([]int, n)
+		for j := range table[i] {
+			switch {
+			case i == nCode || j == nCode:
+				table[i][j] = 0
+			case i == j:
+				table[i][j] = 2
+			default:
+				table[i][j] = -1
+			}
+		}
+	}
+	s, err := New("dna-neutral-n", seq.DNA, table, 0, -2)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// WithGaps returns a copy of s with different gap penalties. Passing a
+// negative open penalty turns on the affine model.
+func (s *Scheme) WithGaps(gapOpen, gapExtend int) (*Scheme, error) {
+	if gapOpen > 0 || gapExtend > 0 {
+		return nil, fmt.Errorf("scoring: gap penalties must be non-positive (open=%d extend=%d)", gapOpen, gapExtend)
+	}
+	c := *s
+	c.gapOpen = mat.Score(gapOpen)
+	c.gapExtend = mat.Score(gapExtend)
+	return &c, nil
+}
+
+// Name returns the scheme's name.
+func (s *Scheme) Name() string { return s.name }
+
+// Alphabet returns the scheme's alphabet.
+func (s *Scheme) Alphabet() *seq.Alphabet { return s.alpha }
+
+// GapOpen returns the (non-positive) gap-open penalty; 0 means linear gaps.
+func (s *Scheme) GapOpen() mat.Score { return s.gapOpen }
+
+// GapExtend returns the (non-positive) per-position gap penalty.
+func (s *Scheme) GapExtend() mat.Score { return s.gapExtend }
+
+// Affine reports whether the scheme charges an extra gap-open penalty.
+func (s *Scheme) Affine() bool { return s.gapOpen != 0 }
+
+// Sub returns the substitution score for residue codes a and b.
+func (s *Scheme) Sub(a, b int8) mat.Score { return s.sub[int(a)*s.size+int(b)] }
+
+// Pair returns the linear-model contribution of one pair inside a column:
+// substitution score, gapExtend for residue-vs-gap, 0 for gap-vs-gap.
+func (s *Scheme) Pair(a, b int8) mat.Score {
+	switch {
+	case a >= 0 && b >= 0:
+		return s.sub[int(a)*s.size+int(b)]
+	case a < 0 && b < 0:
+		return 0
+	default:
+		return s.gapExtend
+	}
+}
+
+// SPColumn returns the linear-model sum-of-pairs score of a three-way
+// column; entries are residue codes or Gap.
+func (s *Scheme) SPColumn(x, y, z int8) mat.Score {
+	return s.Pair(x, y) + s.Pair(x, z) + s.Pair(y, z)
+}
+
+// MaxSub returns the largest substitution score in the table; pruning
+// bounds use it.
+func (s *Scheme) MaxSub() mat.Score {
+	best := s.sub[0]
+	for _, v := range s.sub {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

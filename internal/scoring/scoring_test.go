@@ -1,0 +1,261 @@
+package scoring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/seq"
+)
+
+func TestMatchMismatch(t *testing.T) {
+	s, err := MatchMismatch(seq.DNA, 2, -1, -2)
+	if err != nil {
+		t.Fatalf("MatchMismatch: %v", err)
+	}
+	a, c := seq.DNA.Code('A'), seq.DNA.Code('C')
+	if got := s.Sub(a, a); got != 2 {
+		t.Errorf("Sub(A,A) = %d, want 2", got)
+	}
+	if got := s.Sub(a, c); got != -1 {
+		t.Errorf("Sub(A,C) = %d, want -1", got)
+	}
+	if s.GapExtend() != -2 || s.GapOpen() != 0 || s.Affine() {
+		t.Errorf("gap model wrong: open=%d extend=%d affine=%v", s.GapOpen(), s.GapExtend(), s.Affine())
+	}
+}
+
+func TestMatchMismatchValidation(t *testing.T) {
+	if _, err := MatchMismatch(seq.DNA, 0, -1, -2); err == nil {
+		t.Error("zero match accepted")
+	}
+	if _, err := MatchMismatch(seq.DNA, 2, 1, -2); err == nil {
+		t.Error("positive mismatch accepted")
+	}
+	if _, err := MatchMismatch(seq.DNA, 2, -1, 1); err == nil {
+		t.Error("positive gap accepted")
+	}
+}
+
+func TestNewRejectsAsymmetric(t *testing.T) {
+	alpha, _ := seq.NewAlphabet("toy", "AB")
+	_, err := New("bad", alpha, [][]int{{1, 2}, {3, 1}}, 0, -1)
+	if err == nil {
+		t.Fatal("asymmetric table accepted")
+	}
+}
+
+func TestNewRejectsWrongShape(t *testing.T) {
+	alpha, _ := seq.NewAlphabet("toy", "AB")
+	if _, err := New("bad", alpha, [][]int{{1, 2}}, 0, -1); err == nil {
+		t.Error("wrong row count accepted")
+	}
+	if _, err := New("bad", alpha, [][]int{{1}, {1, 1}}, 0, -1); err == nil {
+		t.Error("ragged table accepted")
+	}
+}
+
+func TestPair(t *testing.T) {
+	s := DNADefault()
+	a := seq.DNA.Code('A')
+	g := seq.DNA.Code('G')
+	cases := []struct {
+		x, y int8
+		want mat.Score
+	}{
+		{a, a, 2},
+		{a, g, -1},
+		{a, Gap, -2},
+		{Gap, a, -2},
+		{Gap, Gap, 0},
+	}
+	for _, c := range cases {
+		if got := s.Pair(c.x, c.y); got != c.want {
+			t.Errorf("Pair(%d,%d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestSPColumn(t *testing.T) {
+	s := DNADefault()
+	a := seq.DNA.Code('A')
+	c := seq.DNA.Code('C')
+	cases := []struct {
+		x, y, z int8
+		want    mat.Score
+	}{
+		{a, a, a, 6},           // three matches
+		{a, a, c, 2 - 1 - 1},   // one match, two mismatches
+		{a, a, Gap, 2 - 2 - 2}, // match + two residue-gap pairs
+		{a, Gap, Gap, -2 - 2},  // two residue-gap pairs, gap-gap free
+		{Gap, Gap, Gap, 0},     // never emitted by DP, but well defined
+	}
+	for _, tc := range cases {
+		if got := s.SPColumn(tc.x, tc.y, tc.z); got != tc.want {
+			t.Errorf("SPColumn(%d,%d,%d) = %d, want %d", tc.x, tc.y, tc.z, got, tc.want)
+		}
+	}
+}
+
+func TestSPColumnSymmetry(t *testing.T) {
+	s := DNADefault()
+	codes := []int8{Gap, 0, 1, 2, 3, 4}
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, x := range codes {
+		for _, y := range codes {
+			for _, z := range codes {
+				v := [3]int8{x, y, z}
+				base := s.SPColumn(x, y, z)
+				for _, p := range perms {
+					if got := s.SPColumn(v[p[0]], v[p[1]], v[p[2]]); got != base {
+						t.Fatalf("SPColumn not permutation-invariant at %v perm %v: %d vs %d", v, p, got, base)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestProteinMatricesSymmetricAndSane(t *testing.T) {
+	for _, s := range []*Scheme{BLOSUM62(), BLOSUM80(), PAM250()} {
+		n := s.Alphabet().Size()
+		if n != 23 {
+			t.Fatalf("%s alphabet size = %d, want 23", s.Name(), n)
+		}
+		for i := int8(0); i < int8(n); i++ {
+			for j := int8(0); j < int8(n); j++ {
+				if s.Sub(i, j) != s.Sub(j, i) {
+					t.Fatalf("%s asymmetric at %c,%c", s.Name(), s.Alphabet().Letter(i), s.Alphabet().Letter(j))
+				}
+			}
+			// The diagonal of every standard protein matrix is positive
+			// for the 20 concrete amino acids.
+			if i < 20 && s.Sub(i, i) <= 0 {
+				t.Errorf("%s: diagonal %c = %d not positive", s.Name(), s.Alphabet().Letter(i), s.Sub(i, i))
+			}
+		}
+		if !s.Affine() {
+			t.Errorf("%s: default gap model should be affine", s.Name())
+		}
+	}
+}
+
+func TestBLOSUM62SpotValues(t *testing.T) {
+	// Canonical, widely quoted entries.
+	s := BLOSUM62()
+	code := func(c byte) int8 { return seq.Protein.Code(c) }
+	cases := []struct {
+		a, b byte
+		want mat.Score
+	}{
+		{'W', 'W', 11}, {'A', 'A', 4}, {'C', 'C', 9},
+		{'A', 'R', -1}, {'W', 'Y', 2}, {'I', 'L', 2}, {'D', 'E', 2},
+	}
+	for _, c := range cases {
+		if got := s.Sub(code(c.a), code(c.b)); got != c.want {
+			t.Errorf("BLOSUM62[%c][%c] = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPAM250SpotValues(t *testing.T) {
+	s := PAM250()
+	code := func(c byte) int8 { return seq.Protein.Code(c) }
+	cases := []struct {
+		a, b byte
+		want mat.Score
+	}{
+		{'W', 'W', 17}, {'C', 'C', 12}, {'A', 'A', 2}, {'F', 'Y', 7},
+	}
+	for _, c := range cases {
+		if got := s.Sub(code(c.a), code(c.b)); got != c.want {
+			t.Errorf("PAM250[%c][%c] = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestWithGaps(t *testing.T) {
+	s := DNADefault()
+	aff, err := s.WithGaps(-5, -1)
+	if err != nil {
+		t.Fatalf("WithGaps: %v", err)
+	}
+	if !aff.Affine() || aff.GapOpen() != -5 || aff.GapExtend() != -1 {
+		t.Errorf("WithGaps result: open=%d extend=%d", aff.GapOpen(), aff.GapExtend())
+	}
+	// Original untouched.
+	if s.GapOpen() != 0 || s.GapExtend() != -2 {
+		t.Errorf("WithGaps mutated receiver")
+	}
+	if _, err := s.WithGaps(1, -1); err == nil {
+		t.Error("positive open accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"dna", "blosum62", "blosum80", "pam250"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("nonsense"); ok {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestMaxSub(t *testing.T) {
+	if got := BLOSUM62().MaxSub(); got != 11 {
+		t.Errorf("BLOSUM62 MaxSub = %d, want 11 (W/W)", got)
+	}
+	if got := DNADefault().MaxSub(); got != 2 {
+		t.Errorf("DNA MaxSub = %d, want 2", got)
+	}
+}
+
+func TestPairPropertySymmetric(t *testing.T) {
+	s := BLOSUM62()
+	n := int8(s.Alphabet().Size())
+	f := func(a, b uint8) bool {
+		x := int8(a)%(n+1) - 1 // range [-1, n-1]
+		y := int8(b)%(n+1) - 1
+		return s.Pair(x, y) == s.Pair(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDNANeutralN(t *testing.T) {
+	s := DNANeutralN()
+	nc := seq.DNA.Code('N')
+	a := seq.DNA.Code('A')
+	if got := s.Sub(nc, a); got != 0 {
+		t.Errorf("Sub(N,A) = %d, want 0", got)
+	}
+	if got := s.Sub(nc, nc); got != 0 {
+		t.Errorf("Sub(N,N) = %d, want 0", got)
+	}
+	if got := s.Sub(a, a); got != 2 {
+		t.Errorf("Sub(A,A) = %d, want 2", got)
+	}
+	if _, ok := ByName("dna-neutral-n"); !ok {
+		t.Error("dna-neutral-n not registered")
+	}
+}
+
+func TestBLOSUM80SpotValues(t *testing.T) {
+	s := BLOSUM80()
+	code := func(c byte) int8 { return seq.Protein.Code(c) }
+	cases := []struct {
+		a, b byte
+		want mat.Score
+	}{
+		{'W', 'W', 11}, {'A', 'A', 5}, {'C', 'C', 9}, {'P', 'P', 8},
+		{'I', 'L', 1}, {'D', 'E', 1},
+	}
+	for _, c := range cases {
+		if got := s.Sub(code(c.a), code(c.b)); got != c.want {
+			t.Errorf("BLOSUM80[%c][%c] = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

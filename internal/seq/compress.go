@@ -1,0 +1,30 @@
+package seq
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// MaybeDecompress inspects the stream's first bytes and transparently
+// wraps gzip-compressed input (magic 0x1f 0x8b); anything else passes
+// through unchanged. FASTA archives are routinely gzipped, so the CLI
+// loaders run every input through this.
+func MaybeDecompress(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil {
+		// Short or empty streams cannot be gzip; let the caller's parser
+		// produce its own error on the passthrough.
+		return br, nil
+	}
+	if magic[0] != 0x1f || magic[1] != 0x8b {
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("seq: gzip input: %w", err)
+	}
+	return zr, nil
+}

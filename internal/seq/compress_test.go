@@ -1,0 +1,73 @@
+package seq
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+func gzipString(t *testing.T, s string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestMaybeDecompressPassthrough(t *testing.T) {
+	r, err := MaybeDecompress(strings.NewReader(sampleFASTA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := ReadFASTA(r, DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 {
+		t.Fatalf("got %d records", len(seqs))
+	}
+}
+
+func TestMaybeDecompressGzip(t *testing.T) {
+	r, err := MaybeDecompress(bytes.NewReader(gzipString(t, sampleFASTA)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := ReadFASTA(r, DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 || seqs[0].Name() != "alpha" {
+		t.Fatalf("gzip round trip wrong: %d records", len(seqs))
+	}
+}
+
+func TestMaybeDecompressEmptyAndShort(t *testing.T) {
+	for _, in := range []string{"", ">"} {
+		r, err := MaybeDecompress(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		data, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if string(data) != in {
+			t.Fatalf("%q passthrough changed to %q", in, data)
+		}
+	}
+}
+
+func TestMaybeDecompressCorruptGzip(t *testing.T) {
+	// Valid magic, garbage after: gzip.NewReader must fail cleanly.
+	if _, err := MaybeDecompress(bytes.NewReader([]byte{0x1f, 0x8b, 0x00, 0x00})); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadFASTA parses FASTA records from r, validating each sequence against
+// alpha. Header lines begin with '>'; the first whitespace-delimited token
+// is the sequence name. Blank lines and ';' comment lines are skipped.
+func ReadFASTA(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		out     []*Sequence
+		name    string
+		body    strings.Builder
+		started bool
+		lineNo  int
+	)
+	flush := func() error {
+		if !started {
+			return nil
+		}
+		s, err := New(name, []byte(body.String()), alpha)
+		if err != nil {
+			return err
+		}
+		out = append(out, s)
+		body.Reset()
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, ";"):
+			continue
+		case strings.HasPrefix(line, ">"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			started = true
+			name = headerName(line, len(out)+1)
+		default:
+			if !started {
+				return nil, fmt.Errorf("seq: fasta line %d: residue data before any '>' header", lineNo)
+			}
+			body.WriteString(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: fasta read: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("seq: fasta input contains no records")
+	}
+	return out, nil
+}
+
+// headerName extracts the record name from a '>' header line: the first
+// whitespace-delimited token, or a synthetic "seqN" for a bare header.
+func headerName(line string, n int) string {
+	if fields := strings.Fields(line[1:]); len(fields) > 0 {
+		return fields[0]
+	}
+	return fmt.Sprintf("seq%d", n)
+}
+
+// WriteFASTA writes sequences to w in FASTA format with lines wrapped at
+// width columns (60 if width <= 0).
+func WriteFASTA(w io.Writer, seqs []*Sequence, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", s.Name()); err != nil {
+			return err
+		}
+		res := s.String()
+		for i := 0; i < len(res); i += width {
+			end := i + width
+			if end > len(res) {
+				end = len(res)
+			}
+			if _, err := fmt.Fprintln(bw, res[i:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTripleFASTA reads exactly three sequences from FASTA input; it is the
+// loader used by the three-sequence alignment tools.
+func ReadTripleFASTA(r io.Reader, alpha *Alphabet) (Triple, error) {
+	seqs, err := ReadFASTA(r, alpha)
+	if err != nil {
+		return Triple{}, err
+	}
+	if len(seqs) != 3 {
+		return Triple{}, fmt.Errorf("seq: need exactly 3 FASTA records, got %d", len(seqs))
+	}
+	t := Triple{A: seqs[0], B: seqs[1], C: seqs[2]}
+	return t, t.Validate()
+}

@@ -1,0 +1,97 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleFASTA = `>alpha some description
+ACGT
+ACGT
+; a comment line
+>beta
+acgtn
+
+>gamma
+TTTT
+`
+
+func TestReadFASTA(t *testing.T) {
+	seqs, err := ReadFASTA(strings.NewReader(sampleFASTA), DNA)
+	if err != nil {
+		t.Fatalf("ReadFASTA: %v", err)
+	}
+	if len(seqs) != 3 {
+		t.Fatalf("got %d records, want 3", len(seqs))
+	}
+	if seqs[0].Name() != "alpha" || seqs[0].String() != "ACGTACGT" {
+		t.Errorf("record 0 = %q %q", seqs[0].Name(), seqs[0].String())
+	}
+	if seqs[1].Name() != "beta" || seqs[1].String() != "ACGTN" {
+		t.Errorf("record 1 = %q %q (lower-case must canonicalize)", seqs[1].Name(), seqs[1].String())
+	}
+	if seqs[2].String() != "TTTT" {
+		t.Errorf("record 2 = %q", seqs[2].String())
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"no header", "ACGT\n"},
+		{"empty", ""},
+		{"bad residue", ">x\nACGJ\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadFASTA(strings.NewReader(c.in), DNA); err == nil {
+			t.Errorf("%s: error expected", c.name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := NewGenerator(DNA, 7)
+	in := []*Sequence{
+		g.Random("r1", 150),
+		g.Random("r2", 1),
+		MustNew("r3", "", DNA),
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, in, 17); err != nil {
+		t.Fatalf("WriteFASTA: %v", err)
+	}
+	// Line wrapping honored.
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, ">") && len(line) > 17 {
+			t.Errorf("line longer than wrap width: %q", line)
+		}
+	}
+	out, err := ReadFASTA(&buf, DNA)
+	if err != nil {
+		t.Fatalf("ReadFASTA(round-trip): %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip: %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !in[i].Equal(out[i]) {
+			t.Errorf("record %d: %q != %q", i, in[i].String(), out[i].String())
+		}
+		if in[i].Name() != out[i].Name() {
+			t.Errorf("record %d name: %q != %q", i, in[i].Name(), out[i].Name())
+		}
+	}
+}
+
+func TestReadTripleFASTA(t *testing.T) {
+	tr, err := ReadTripleFASTA(strings.NewReader(sampleFASTA), DNA)
+	if err != nil {
+		t.Fatalf("ReadTripleFASTA: %v", err)
+	}
+	if tr.A.Name() != "alpha" || tr.B.Name() != "beta" || tr.C.Name() != "gamma" {
+		t.Errorf("triple order wrong: %s %s %s", tr.A.Name(), tr.B.Name(), tr.C.Name())
+	}
+	if _, err := ReadTripleFASTA(strings.NewReader(">a\nAC\n>b\nGT\n"), DNA); err == nil {
+		t.Error("2-record input accepted as triple")
+	}
+}

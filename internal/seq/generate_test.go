@@ -1,0 +1,133 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	a := NewGenerator(DNA, 42).Random("x", 200)
+	b := NewGenerator(DNA, 42).Random("x", 200)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different sequences")
+	}
+	c := NewGenerator(DNA, 43).Random("x", 200)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical 200-residue sequences")
+	}
+}
+
+func TestRandomValidAndCore(t *testing.T) {
+	for _, alpha := range []*Alphabet{DNA, RNA, Protein} {
+		s := NewGenerator(alpha, 1).Random("x", 500)
+		if s.Len() != 500 {
+			t.Fatalf("%s: len = %d", alpha.Name(), s.Len())
+		}
+		if !alpha.Valid([]byte(s.String())) {
+			t.Fatalf("%s: invalid residues generated", alpha.Name())
+		}
+		// Ambiguity codes must never be generated.
+		for i := 0; i < s.Len(); i++ {
+			switch alpha {
+			case DNA, RNA:
+				if s.At(i) == 'N' {
+					t.Fatalf("%s: generated ambiguity code N", alpha.Name())
+				}
+			case Protein:
+				switch s.At(i) {
+				case 'B', 'Z', 'X':
+					t.Fatalf("protein: generated ambiguity code %q", s.At(i))
+				}
+			}
+		}
+	}
+}
+
+func TestRandomZeroLength(t *testing.T) {
+	if n := NewGenerator(DNA, 1).Random("x", 0).Len(); n != 0 {
+		t.Fatalf("len = %d, want 0", n)
+	}
+}
+
+func TestMutateIdentityControl(t *testing.T) {
+	g := NewGenerator(DNA, 99)
+	parent := g.Random("p", 2000)
+	// Pure substitution model: identity should track 1-rate closely.
+	for _, rate := range []float64{0.05, 0.3, 0.6} {
+		child := g.Mutate("c", parent, MutationModel{SubstitutionRate: rate})
+		if child.Len() != parent.Len() {
+			t.Fatalf("substitution-only mutation changed length")
+		}
+		id := Identity(parent, child)
+		want := 1 - rate
+		if id < want-0.06 || id > want+0.06 {
+			t.Errorf("rate %.2f: identity = %.3f, want ~%.3f", rate, id, want)
+		}
+	}
+}
+
+func TestMutateSubstitutionChangesResidue(t *testing.T) {
+	// With SubstitutionRate 1 every residue must differ from the parent.
+	g := NewGenerator(DNA, 5)
+	parent := g.Random("p", 300)
+	child := g.Mutate("c", parent, MutationModel{SubstitutionRate: 1})
+	for i := 0; i < parent.Len(); i++ {
+		if child.At(i) == parent.At(i) {
+			t.Fatalf("position %d unchanged under rate-1 substitution", i)
+		}
+	}
+}
+
+func TestMutateIndels(t *testing.T) {
+	g := NewGenerator(DNA, 11)
+	parent := g.Random("p", 1000)
+	ins := g.Mutate("i", parent, MutationModel{InsertionRate: 0.2})
+	if ins.Len() <= parent.Len() {
+		t.Errorf("insertion-only child not longer: %d vs %d", ins.Len(), parent.Len())
+	}
+	del := g.Mutate("d", parent, MutationModel{DeletionRate: 0.2})
+	if del.Len() >= parent.Len() {
+		t.Errorf("deletion-only child not shorter: %d vs %d", del.Len(), parent.Len())
+	}
+}
+
+func TestRelatedTriple(t *testing.T) {
+	g := NewGenerator(DNA, 3)
+	tr := g.RelatedTriple(150, MutationModel{SubstitutionRate: 0.1})
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Without indels, positional identity of two siblings is ~(1-r)^2 + noise.
+	if id := Identity(tr.A, tr.B); id < 0.65 {
+		t.Errorf("A/B identity = %.2f, implausibly low for 10%% substitution", id)
+	}
+}
+
+func TestTripleWithLengths(t *testing.T) {
+	g := NewGenerator(Protein, 8)
+	tr := g.TripleWithLengths(50, 75, 100, Uniform(0.2))
+	if tr.A.Len() != 50 || tr.B.Len() != 75 || tr.C.Len() != 100 {
+		t.Fatalf("lengths = %d %d %d, want 50 75 100", tr.A.Len(), tr.B.Len(), tr.C.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestTripleWithLengthsProperty(t *testing.T) {
+	g := NewGenerator(DNA, 21)
+	f := func(na, nb, nc uint8) bool {
+		tr := g.TripleWithLengths(int(na)%64, int(nb)%64, int(nc)%64, Uniform(0.15))
+		return tr.A.Len() == int(na)%64 && tr.B.Len() == int(nb)%64 && tr.C.Len() == int(nc)%64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformModel(t *testing.T) {
+	m := Uniform(0.2)
+	if m.SubstitutionRate != 0.2 || m.InsertionRate != 0.05 || m.DeletionRate != 0.05 {
+		t.Fatalf("Uniform(0.2) = %+v", m)
+	}
+}

@@ -1,0 +1,70 @@
+package seq
+
+import "fmt"
+
+// KmerProfile is a sparse k-mer occurrence count vector. Alignment-free
+// k-mer distances are the standard cheap prefilter before exact alignment:
+// screening pipelines rank candidates by k-mer distance first and spend
+// the O(n³) exact aligner only on the survivors.
+type KmerProfile struct {
+	k      int
+	counts map[string]int
+	total  int
+}
+
+// Kmers builds the k-mer profile of s. It panics if k < 1; sequences
+// shorter than k yield an empty profile.
+func Kmers(s *Sequence, k int) *KmerProfile {
+	if k < 1 {
+		panic(fmt.Sprintf("seq: Kmers k=%d", k))
+	}
+	p := &KmerProfile{k: k, counts: map[string]int{}}
+	res := s.String()
+	for i := 0; i+k <= len(res); i++ {
+		p.counts[res[i:i+k]]++
+		p.total++
+	}
+	return p
+}
+
+// K returns the profile's k.
+func (p *KmerProfile) K() int { return p.k }
+
+// Total returns the number of k-mers counted (len(s)-k+1 for len(s) >= k).
+func (p *KmerProfile) Total() int { return p.total }
+
+// Count returns the occurrence count of one k-mer.
+func (p *KmerProfile) Count(kmer string) int { return p.counts[kmer] }
+
+// Distance returns the normalized L1 k-mer distance between two profiles:
+// sum |count_p - count_q| / (total_p + total_q), which lies in [0, 1]
+// (0 for identical multisets, 1 for disjoint ones). Profiles of different
+// k are incomparable and panic. Two empty profiles have distance 0.
+func (p *KmerProfile) Distance(q *KmerProfile) float64 {
+	if p.k != q.k {
+		panic(fmt.Sprintf("seq: comparing %d-mer profile with %d-mer profile", p.k, q.k))
+	}
+	if p.total+q.total == 0 {
+		return 0
+	}
+	diff := 0
+	for kmer, cp := range p.counts {
+		d := cp - q.counts[kmer]
+		if d < 0 {
+			d = -d
+		}
+		diff += d
+	}
+	for kmer, cq := range q.counts {
+		if _, seen := p.counts[kmer]; !seen {
+			diff += cq
+		}
+	}
+	return float64(diff) / float64(p.total+q.total)
+}
+
+// KmerDistance is a convenience wrapper: the normalized k-mer distance
+// between two sequences.
+func KmerDistance(a, b *Sequence, k int) float64 {
+	return Kmers(a, k).Distance(Kmers(b, k))
+}

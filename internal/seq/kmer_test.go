@@ -1,0 +1,97 @@
+package seq
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKmersCounts(t *testing.T) {
+	s := MustNew("s", "ACGTACG", DNA)
+	p := Kmers(s, 3)
+	if p.K() != 3 || p.Total() != 5 {
+		t.Fatalf("k=%d total=%d, want 3 and 5", p.K(), p.Total())
+	}
+	if p.Count("ACG") != 2 || p.Count("CGT") != 1 || p.Count("TTT") != 0 {
+		t.Fatalf("counts wrong: ACG=%d CGT=%d TTT=%d", p.Count("ACG"), p.Count("CGT"), p.Count("TTT"))
+	}
+}
+
+func TestKmersShortSequence(t *testing.T) {
+	if p := Kmers(MustNew("s", "AC", DNA), 3); p.Total() != 0 {
+		t.Fatalf("short sequence total = %d, want 0", p.Total())
+	}
+}
+
+func TestKmersPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 accepted")
+		}
+	}()
+	Kmers(MustNew("s", "AC", DNA), 0)
+}
+
+func TestKmerDistanceIdentity(t *testing.T) {
+	a := MustNew("a", "ACGTACGTACGT", DNA)
+	if d := KmerDistance(a, a, 4); d != 0 {
+		t.Fatalf("self distance = %v, want 0", d)
+	}
+}
+
+func TestKmerDistanceDisjoint(t *testing.T) {
+	a := MustNew("a", "AAAAAA", DNA)
+	b := MustNew("b", "CCCCCC", DNA)
+	if d := KmerDistance(a, b, 3); d != 1 {
+		t.Fatalf("disjoint distance = %v, want 1", d)
+	}
+}
+
+func TestKmerDistanceSymmetricAndBounded(t *testing.T) {
+	g := NewGenerator(DNA, 9)
+	for trial := 0; trial < 20; trial++ {
+		a := g.Random("a", 50+trial)
+		b := g.Mutate("b", a, MutationModel{SubstitutionRate: float64(trial) / 25})
+		d1 := KmerDistance(a, b, 4)
+		d2 := KmerDistance(b, a, 4)
+		if math.Abs(d1-d2) > 1e-12 {
+			t.Fatalf("trial %d: asymmetric: %v vs %v", trial, d1, d2)
+		}
+		if d1 < 0 || d1 > 1 {
+			t.Fatalf("trial %d: distance %v out of [0,1]", trial, d1)
+		}
+	}
+}
+
+func TestKmerDistanceTracksDivergence(t *testing.T) {
+	g := NewGenerator(DNA, 10)
+	anc := g.Random("anc", 300)
+	near := g.Mutate("near", anc, MutationModel{SubstitutionRate: 0.05})
+	far := g.Mutate("far", anc, MutationModel{SubstitutionRate: 0.5})
+	dNear := KmerDistance(anc, near, 5)
+	dFar := KmerDistance(anc, far, 5)
+	if dNear >= dFar {
+		t.Fatalf("5%% divergence distance %v not below 50%% divergence %v", dNear, dFar)
+	}
+}
+
+func TestKmerDistanceMismatchedKPanics(t *testing.T) {
+	a := Kmers(MustNew("a", "ACGT", DNA), 2)
+	b := Kmers(MustNew("b", "ACGT", DNA), 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched k accepted")
+		}
+	}()
+	a.Distance(b)
+}
+
+func TestKmerDistanceEmpty(t *testing.T) {
+	e := MustNew("e", "", DNA)
+	if d := KmerDistance(e, e, 3); d != 0 {
+		t.Fatalf("empty distance = %v, want 0", d)
+	}
+	a := MustNew("a", "ACGTACGT", DNA)
+	if d := KmerDistance(a, e, 3); d != 1 {
+		t.Fatalf("vs empty = %v, want 1", d)
+	}
+}

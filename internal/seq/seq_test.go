@@ -1,0 +1,190 @@
+package seq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAlphabetCodes(t *testing.T) {
+	for i := 0; i < DNA.Size(); i++ {
+		c := DNA.Letter(int8(i))
+		if got := DNA.Code(c); got != int8(i) {
+			t.Errorf("DNA.Code(%q) = %d, want %d", c, got, i)
+		}
+		lower := c + 'a' - 'A'
+		if got := DNA.Code(lower); got != int8(i) {
+			t.Errorf("DNA.Code(%q) = %d, want %d (lower-case accepted)", lower, got, i)
+		}
+	}
+	if DNA.Code('X') >= 0 {
+		t.Errorf("DNA.Code('X') = %d, want negative", DNA.Code('X'))
+	}
+	if DNA.Code('>') >= 0 {
+		t.Errorf("DNA.Code('>') accepted")
+	}
+}
+
+func TestAlphabetSizes(t *testing.T) {
+	cases := []struct {
+		a    *Alphabet
+		size int
+		name string
+	}{
+		{DNA, 5, "dna"},
+		{RNA, 5, "rna"},
+		{Protein, 23, "protein"},
+	}
+	for _, c := range cases {
+		if c.a.Size() != c.size {
+			t.Errorf("%s.Size() = %d, want %d", c.name, c.a.Size(), c.size)
+		}
+		if c.a.Name() != c.name {
+			t.Errorf("Name() = %q, want %q", c.a.Name(), c.name)
+		}
+	}
+}
+
+func TestNewAlphabetErrors(t *testing.T) {
+	if _, err := NewAlphabet("empty", ""); err == nil {
+		t.Error("empty alphabet accepted")
+	}
+	if _, err := NewAlphabet("dup", "AAB"); err == nil {
+		t.Error("duplicate letter accepted")
+	}
+	if _, err := NewAlphabet("lower", "abc"); err == nil {
+		t.Error("lower-case letters accepted")
+	}
+}
+
+func TestNewSequenceValidates(t *testing.T) {
+	s, err := New("s1", []byte("acgtACGT"), DNA)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.String() != "ACGTACGT" {
+		t.Errorf("canonicalized = %q, want ACGTACGT", s.String())
+	}
+	if _, err := New("bad", []byte("ACGZ"), DNA); err == nil {
+		t.Error("invalid residue accepted")
+	}
+	if _, err := New("nil", []byte("ACG"), nil); err == nil {
+		t.Error("nil alphabet accepted")
+	}
+}
+
+func TestSequenceAccessors(t *testing.T) {
+	s := MustNew("x", "ACGT", DNA)
+	if s.Len() != 4 || s.At(2) != 'G' || s.Name() != "x" {
+		t.Fatalf("accessors wrong: len=%d at2=%q name=%q", s.Len(), s.At(2), s.Name())
+	}
+	r := s.Residues()
+	r[0] = 'T'
+	if s.At(0) != 'A' {
+		t.Error("Residues() aliases internal storage")
+	}
+	codes := s.Codes()
+	want := []int8{0, 1, 2, 3}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Errorf("Codes()[%d] = %d, want %d", i, codes[i], want[i])
+		}
+	}
+}
+
+func TestSequenceSlice(t *testing.T) {
+	s := MustNew("x", "ACGTAC", DNA)
+	sub := s.Slice(1, 4)
+	if sub.String() != "CGT" {
+		t.Errorf("Slice(1,4) = %q, want CGT", sub.String())
+	}
+	if !strings.Contains(sub.Name(), "[1:4)") {
+		t.Errorf("slice name = %q, want it to mention range", sub.Name())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Slice did not panic")
+		}
+	}()
+	s.Slice(4, 99)
+}
+
+func TestSequenceReverse(t *testing.T) {
+	s := MustNew("x", "ACGGT", DNA)
+	r := s.Reverse()
+	if r.String() != "TGGCA" {
+		t.Errorf("Reverse = %q, want TGGCA", r.String())
+	}
+	if rr := r.Reverse(); !rr.Equal(s) {
+		t.Errorf("double reverse = %q, want %q", rr.String(), s.String())
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	a := MustNew("a", "ACGT", DNA)
+	b := MustNew("b", "ACGA", DNA)
+	if got := Identity(a, b); got != 0.75 {
+		t.Errorf("Identity = %v, want 0.75", got)
+	}
+	empty := MustNew("e", "", DNA)
+	if got := Identity(empty, empty); got != 1 {
+		t.Errorf("Identity of empties = %v, want 1", got)
+	}
+	if got := Identity(a, a); got != 1 {
+		t.Errorf("self Identity = %v, want 1", got)
+	}
+}
+
+func TestTripleValidate(t *testing.T) {
+	a := MustNew("a", "ACG", DNA)
+	good := Triple{A: a, B: a, C: a}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(good) = %v", err)
+	}
+	if err := (Triple{A: a, B: a}).Validate(); err == nil {
+		t.Error("missing C accepted")
+	}
+	p := MustNew("p", "ARN", Protein)
+	if err := (Triple{A: a, B: a, C: p}).Validate(); err == nil {
+		t.Error("mixed alphabets accepted")
+	}
+	if d := good.Describe(); !strings.Contains(d, "dna") || !strings.Contains(d, "A=3") {
+		t.Errorf("Describe = %q", d)
+	}
+}
+
+func TestReverseComplementDNA(t *testing.T) {
+	s := MustNew("s", "ACGTN", DNA)
+	rc, err := s.ReverseComplement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.String() != "NACGT" {
+		t.Fatalf("ReverseComplement = %q, want NACGT", rc.String())
+	}
+	// Involution: rc(rc(s)) == s.
+	back, err := rc.ReverseComplement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatalf("double reverse complement = %q, want %q", back.String(), s.String())
+	}
+}
+
+func TestReverseComplementRNA(t *testing.T) {
+	s := MustNew("s", "ACGU", RNA)
+	rc, err := s.ReverseComplement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.String() != "ACGU" { // ACGU is its own reverse complement
+		t.Fatalf("ReverseComplement = %q, want ACGU", rc.String())
+	}
+}
+
+func TestReverseComplementProteinErrors(t *testing.T) {
+	s := MustNew("s", "ARN", Protein)
+	if _, err := s.ReverseComplement(); err == nil {
+		t.Fatal("protein reverse complement accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package wavefront
+
+import "container/heap"
+
+// Simulate computes the makespan of the blocked 3D wavefront under greedy
+// list scheduling with the given number of workers, where cost(bi, bj, bk)
+// is the execution time of one block in arbitrary units.
+//
+// This is the evaluation substitute for multi-processor hardware: the
+// schedule simulated here is exactly the one Run3D executes (dependency
+// counting, any-idle-worker assignment), so makespan(1)/makespan(P) is the
+// algorithm's achievable speedup on P processors with those block costs —
+// independent of how many physical cores the measuring host has. The
+// simulation is deterministic: ready blocks are assigned in ascending
+// block-id order.
+func Simulate(nbi, nbj, nbk, workers int, cost func(bi, bj, bk int) float64) float64 {
+	total := nbi * nbj * nbk
+	if total <= 0 {
+		return 0
+	}
+	workers = Workers(workers)
+	if workers > total {
+		workers = total
+	}
+
+	idx := func(bi, bj, bk int) int { return (bi*nbj+bj)*nbk + bk }
+	remaining := make([]int, total)
+	for bi := 0; bi < nbi; bi++ {
+		for bj := 0; bj < nbj; bj++ {
+			for bk := 0; bk < nbk; bk++ {
+				deps := 0
+				if bi > 0 {
+					deps++
+				}
+				if bj > 0 {
+					deps++
+				}
+				if bk > 0 {
+					deps++
+				}
+				remaining[idx(bi, bj, bk)] = deps
+			}
+		}
+	}
+
+	// Event-driven simulation: a min-heap of (finish time, block id) for
+	// in-flight blocks, a FIFO-ordered ready list, and a pool of idle
+	// workers. Whenever a worker is idle and a block is ready, it starts at
+	// the current simulated time.
+	var events eventHeap
+	ready := []int{0} // block (0,0,0)
+	idle := workers
+	now := 0.0
+	makespan := 0.0
+	started := 0
+	for started < total || len(events) > 0 {
+		for idle > 0 && len(ready) > 0 {
+			id := ready[0]
+			ready = ready[1:]
+			bi := id / (nbj * nbk)
+			bj := (id / nbk) % nbj
+			bk := id % nbk
+			heap.Push(&events, event{t: now + cost(bi, bj, bk), id: id})
+			idle--
+			started++
+		}
+		if len(events) == 0 {
+			break // no blocks in flight and nothing ready: done (or stuck)
+		}
+		ev := heap.Pop(&events).(event)
+		now = ev.t
+		if now > makespan {
+			makespan = now
+		}
+		idle++
+		bi := ev.id / (nbj * nbk)
+		bj := (ev.id / nbk) % nbj
+		bk := ev.id % nbk
+		succ := [][3]int{{bi + 1, bj, bk}, {bi, bj + 1, bk}, {bi, bj, bk + 1}}
+		for _, s := range succ {
+			if s[0] < nbi && s[1] < nbj && s[2] < nbk {
+				sid := idx(s[0], s[1], s[2])
+				remaining[sid]--
+				if remaining[sid] == 0 {
+					ready = append(ready, sid)
+				}
+			}
+		}
+	}
+	return makespan
+}
+
+// UniformCost returns a cost function assigning every block the same unit
+// cost; convenient for analytic comparisons.
+func UniformCost(c float64) func(int, int, int) float64 {
+	return func(int, int, int) float64 { return c }
+}
+
+// SpanCost returns a cost function proportional to the number of cells in
+// each block given the three partitions, matching the real kernel whose
+// per-block time is proportional to block volume.
+func SpanCost(si, sj, sk []Span, perCell float64) func(int, int, int) float64 {
+	return func(bi, bj, bk int) float64 {
+		return perCell * float64(si[bi].Len()) * float64(sj[bj].Len()) * float64(sk[bk].Len())
+	}
+}
+
+type event struct {
+	t  float64
+	id int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].t != h[b].t {
+		return h[a].t < h[b].t
+	}
+	return h[a].id < h[b].id
+}
+func (h eventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,102 @@
+package wavefront
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateSingleWorkerIsTotalWork(t *testing.T) {
+	got := Simulate(3, 4, 5, 1, UniformCost(2))
+	want := float64(3*4*5) * 2
+	if got != want {
+		t.Fatalf("makespan(1 worker) = %v, want %v", got, want)
+	}
+}
+
+func TestSimulateUnlimitedWorkersIsCriticalPath(t *testing.T) {
+	// With uniform unit costs and unlimited workers, the makespan equals
+	// the number of anti-diagonal levels: nbi+nbj+nbk-2.
+	for _, dims := range [][3]int{{1, 1, 1}, {4, 4, 4}, {2, 5, 3}, {10, 1, 1}} {
+		nbi, nbj, nbk := dims[0], dims[1], dims[2]
+		got := Simulate(nbi, nbj, nbk, nbi*nbj*nbk, UniformCost(1))
+		want := float64(nbi + nbj + nbk - 2)
+		if got != want {
+			t.Errorf("dims %v: makespan = %v, want %v", dims, got, want)
+		}
+	}
+}
+
+func TestSimulateMonotoneInWorkers(t *testing.T) {
+	prev := math.Inf(1)
+	for _, w := range []int{1, 2, 3, 4, 8, 16, 64} {
+		m := Simulate(6, 6, 6, w, UniformCost(1))
+		if m > prev+1e-9 {
+			t.Fatalf("makespan increased with more workers: %v -> %v at w=%d", prev, m, w)
+		}
+		prev = m
+	}
+}
+
+func TestSimulateSpeedupBounds(t *testing.T) {
+	// Speedup over 1 worker is at most w and at most total/criticalPath.
+	total := Simulate(8, 8, 8, 1, UniformCost(1))
+	critical := Simulate(8, 8, 8, 8*8*8, UniformCost(1))
+	for _, w := range []int{2, 4, 8} {
+		m := Simulate(8, 8, 8, w, UniformCost(1))
+		speedup := total / m
+		if speedup > float64(w)+1e-9 {
+			t.Errorf("w=%d: speedup %v exceeds worker count", w, speedup)
+		}
+		if speedup > total/critical+1e-9 {
+			t.Errorf("w=%d: speedup %v exceeds critical-path bound %v", w, speedup, total/critical)
+		}
+		if speedup < 1 {
+			t.Errorf("w=%d: speedup %v below 1", w, speedup)
+		}
+	}
+}
+
+func TestSimulateRealisticSpeedupShape(t *testing.T) {
+	// A reasonably deep grid must show near-linear speedup at small worker
+	// counts — this is the F1/F2 figure shape.
+	base := Simulate(16, 16, 16, 1, UniformCost(1))
+	s2 := base / Simulate(16, 16, 16, 2, UniformCost(1))
+	s4 := base / Simulate(16, 16, 16, 4, UniformCost(1))
+	if s2 < 1.8 {
+		t.Errorf("speedup(2) = %v, want near 2", s2)
+	}
+	if s4 < 3.2 {
+		t.Errorf("speedup(4) = %v, want near 4", s4)
+	}
+}
+
+func TestSimulateSpanCost(t *testing.T) {
+	si := Partition(10, 4) // blocks of 4,4,2
+	sj := Partition(4, 4)
+	sk := Partition(4, 4)
+	cost := SpanCost(si, sj, sk, 1)
+	if got := cost(0, 0, 0); got != 64 {
+		t.Errorf("cost(0,0,0) = %v, want 64", got)
+	}
+	if got := cost(2, 0, 0); got != 32 {
+		t.Errorf("cost(2,0,0) = %v, want 32", got)
+	}
+	// One worker: total = all cells = 10*4*4.
+	if m := Simulate(len(si), len(sj), len(sk), 1, cost); m != 160 {
+		t.Errorf("makespan = %v, want 160", m)
+	}
+}
+
+func TestSimulateEmpty(t *testing.T) {
+	if m := Simulate(0, 3, 3, 4, UniformCost(1)); m != 0 {
+		t.Errorf("empty grid makespan = %v", m)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(7, 5, 6, 3, UniformCost(1.5))
+	b := Simulate(7, 5, 6, 3, UniformCost(1.5))
+	if a != b {
+		t.Fatalf("simulation not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,147 @@
+// Package wavefront schedules blocked wavefront computations over 2D and 3D
+// grids using a fixed pool of goroutines.
+//
+// A dynamic program whose cell (i, j, k) depends on its lexicographic
+// predecessors can be tiled into rectangular blocks; block (bi, bj, bk) may
+// run once its three axis predecessors (bi-1, bj, bk), (bi, bj-1, bk), and
+// (bi, bj, bk-1) have completed. Axis predecessors transitively dominate
+// the face- and corner-diagonal predecessors — for example
+// (bi-1, bj-1, bk) is itself an axis predecessor of (bi-1, bj, bk) — so
+// counting only the (up to three) axis dependencies is sufficient for all
+// seven cell-level dependency directions. Blocks on the same anti-diagonal
+// plane bi+bj+bk = d are mutually independent, which is exactly the
+// parallelism the paper exploits.
+//
+// The scheduler is a dependency-counting topological traversal: an atomic
+// remaining-predecessor counter per block, a buffered ready queue, and a
+// fixed worker pool. The schedule is non-deterministic but the computed
+// values are not, because every read a block performs is of cells written
+// by blocks that happened-before it (atomic counters plus channel sends
+// establish the ordering).
+package wavefront
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Span is a half-open index interval [Lo, Hi) covering one block edge.
+type Span struct{ Lo, Hi int }
+
+// Len returns the number of indices in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Partition splits [0, n) into consecutive spans of at most blockSize
+// indices. It panics if n is negative or blockSize is not positive.
+// Partition(0, b) returns nil.
+func Partition(n, blockSize int) []Span {
+	if n < 0 {
+		panic(fmt.Sprintf("wavefront: Partition length %d", n))
+	}
+	if blockSize <= 0 {
+		panic(fmt.Sprintf("wavefront: Partition block size %d", blockSize))
+	}
+	spans := make([]Span, 0, (n+blockSize-1)/blockSize)
+	for lo := 0; lo < n; lo += blockSize {
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, Span{lo, hi})
+	}
+	return spans
+}
+
+// Workers clamps a requested worker count to a sane value: non-positive
+// requests become runtime.GOMAXPROCS(0).
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Run3D executes fn for every block of an nbi×nbj×nbk grid in wavefront
+// order using the given number of workers (clamped by Workers). fn must
+// only read cells produced by predecessor blocks; the scheduler guarantees
+// those writes are visible. Run3D returns when every block has completed.
+func Run3D(nbi, nbj, nbk, workers int, fn func(bi, bj, bk int)) {
+	total := nbi * nbj * nbk
+	if total <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > total {
+		workers = total
+	}
+	if workers == 1 {
+		// Sequential fast path: plain lexicographic order satisfies all
+		// dependencies with no synchronization.
+		for bi := 0; bi < nbi; bi++ {
+			for bj := 0; bj < nbj; bj++ {
+				for bk := 0; bk < nbk; bk++ {
+					fn(bi, bj, bk)
+				}
+			}
+		}
+		return
+	}
+
+	idx := func(bi, bj, bk int) int { return (bi*nbj+bj)*nbk + bk }
+	remaining := make([]atomic.Int32, total)
+	for bi := 0; bi < nbi; bi++ {
+		for bj := 0; bj < nbj; bj++ {
+			for bk := 0; bk < nbk; bk++ {
+				var deps int32
+				if bi > 0 {
+					deps++
+				}
+				if bj > 0 {
+					deps++
+				}
+				if bk > 0 {
+					deps++
+				}
+				remaining[idx(bi, bj, bk)].Store(deps)
+			}
+		}
+	}
+
+	ready := make(chan int, total)
+	ready <- 0 // block (0,0,0) has no predecessors
+	var done atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for id := range ready {
+				bi := id / (nbj * nbk)
+				bj := (id / nbk) % nbj
+				bk := id % nbk
+				fn(bi, bj, bk)
+				if bi+1 < nbi && remaining[idx(bi+1, bj, bk)].Add(-1) == 0 {
+					ready <- idx(bi+1, bj, bk)
+				}
+				if bj+1 < nbj && remaining[idx(bi, bj+1, bk)].Add(-1) == 0 {
+					ready <- idx(bi, bj+1, bk)
+				}
+				if bk+1 < nbk && remaining[idx(bi, bj, bk+1)].Add(-1) == 0 {
+					ready <- idx(bi, bj, bk+1)
+				}
+				if int(done.Add(1)) == total {
+					close(ready)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Run2D executes fn for every block of an nbi×nbj grid in wavefront order;
+// see Run3D for the contract.
+func Run2D(nbi, nbj, workers int, fn func(bi, bj int)) {
+	Run3D(nbi, nbj, 1, workers, func(bi, bj, _ int) { fn(bi, bj) })
+}

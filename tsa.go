@@ -1,0 +1,282 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/alignment"
+	"repro/internal/core"
+	"repro/internal/msa"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// Re-exported substrate types. The aliases make the internal implementation
+// types usable through the public facade.
+type (
+	// Sequence is a named, validated residue string over a fixed alphabet.
+	Sequence = seq.Sequence
+	// Alphabet is a residue alphabet (DNA, RNA, Protein, or custom).
+	Alphabet = seq.Alphabet
+	// Triple bundles the three sequences of a three-way alignment.
+	Triple = seq.Triple
+	// Scheme is a substitution-plus-gap scoring scheme.
+	Scheme = scoring.Scheme
+	// Alignment is a scored three-row alignment.
+	Alignment = alignment.Alignment
+	// AlignmentStats summarizes alignment conservation.
+	AlignmentStats = alignment.Stats
+	// PruneStats reports Carrillo–Lipman pruning effectiveness.
+	PruneStats = core.PruneStats
+	// MutationModel controls the synthetic-workload generator.
+	MutationModel = seq.MutationModel
+	// Generator produces deterministic synthetic sequences.
+	Generator = seq.Generator
+)
+
+// Standard alphabets.
+var (
+	DNA     = seq.DNA
+	RNA     = seq.RNA
+	Protein = seq.Protein
+)
+
+// ErrTooLarge is returned when an alignment would exceed Options.MaxBytes.
+var ErrTooLarge = core.ErrTooLarge
+
+// Algorithm selects the alignment strategy.
+type Algorithm string
+
+// The available algorithms. The first five are exact (identical optimal
+// linear-gap SP scores); AlgorithmAffine is exact under the affine
+// objective; the last two are fast heuristics.
+const (
+	// AlgorithmAuto matches the scheme's gap model: AlgorithmParallel for
+	// linear gaps or AlgorithmAffineParallel for affine schemes, falling
+	// back to the corresponding linear-space variant when the lattice
+	// would exceed MaxBytes.
+	AlgorithmAuto Algorithm = ""
+	// AlgorithmFull is the sequential full-matrix 3D dynamic program.
+	AlgorithmFull Algorithm = "full"
+	// AlgorithmParallel is the paper's blocked-wavefront parallel algorithm.
+	AlgorithmParallel Algorithm = "parallel"
+	// AlgorithmLinear is the sequential linear-space divide-and-conquer.
+	AlgorithmLinear Algorithm = "linear"
+	// AlgorithmParallelLinear combines linear space with parallel plane sweeps.
+	AlgorithmParallelLinear Algorithm = "parallel-linear"
+	// AlgorithmDiagonal is the plane-synchronized (anti-diagonal) parallel
+	// wavefront — the classic cell-level formulation the blocked schedule
+	// is compared against.
+	AlgorithmDiagonal Algorithm = "diagonal"
+	// AlgorithmPruned restricts the full matrix to the Carrillo–Lipman
+	// admissible region, using the center-star score as the lower bound.
+	AlgorithmPruned Algorithm = "pruned"
+	// AlgorithmPrunedParallel combines Carrillo–Lipman pruning with the
+	// blocked-wavefront parallel schedule.
+	AlgorithmPrunedParallel Algorithm = "pruned-parallel"
+	// AlgorithmAffine optimizes the quasi-natural affine SP objective.
+	AlgorithmAffine Algorithm = "affine"
+	// AlgorithmAffineLinear is AlgorithmAffine in O(m·p) working memory
+	// (the 7-state divide-and-conquer).
+	AlgorithmAffineLinear Algorithm = "affine-linear"
+	// AlgorithmAffineParallel is AlgorithmAffine under the blocked-wavefront
+	// parallel schedule.
+	AlgorithmAffineParallel Algorithm = "affine-parallel"
+	// AlgorithmCenterStar is the center-star heuristic (not optimal).
+	AlgorithmCenterStar Algorithm = "center-star"
+	// AlgorithmCenterStarRefined is center-star followed by iterative
+	// refinement (not optimal, but the strongest heuristic here).
+	AlgorithmCenterStarRefined Algorithm = "center-star-refined"
+	// AlgorithmProgressive is the progressive profile heuristic (not optimal).
+	AlgorithmProgressive Algorithm = "progressive"
+)
+
+// Algorithms lists every accepted Algorithm value (excluding Auto).
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgorithmFull, AlgorithmParallel, AlgorithmLinear, AlgorithmParallelLinear,
+		AlgorithmDiagonal, AlgorithmPruned, AlgorithmPrunedParallel,
+		AlgorithmAffine, AlgorithmAffineLinear, AlgorithmAffineParallel,
+		AlgorithmCenterStar, AlgorithmCenterStarRefined, AlgorithmProgressive,
+	}
+}
+
+// Options configures Align. The zero value aligns with the parallel exact
+// algorithm under a default scheme for the triple's alphabet.
+type Options struct {
+	// Algorithm selects the strategy; AlgorithmAuto by default.
+	Algorithm Algorithm
+	// Scheme overrides the scoring scheme. Defaults: +2/−1 with −2 linear
+	// gaps for DNA/RNA, BLOSUM62 (with its affine gaps) for protein.
+	Scheme *Scheme
+	// Workers is the goroutine pool size for parallel algorithms;
+	// non-positive means GOMAXPROCS.
+	Workers int
+	// BlockSize is the wavefront tile edge; non-positive means the core
+	// default.
+	BlockSize int
+	// MaxBytes caps lattice allocations; non-positive means the core
+	// default (4 GiB).
+	MaxBytes int64
+}
+
+// Result is a completed alignment plus execution metadata.
+type Result struct {
+	*Alignment
+	// Algorithm is the algorithm that actually ran (resolved from Auto).
+	Algorithm Algorithm
+	// Elapsed is the wall-clock alignment time.
+	Elapsed time.Duration
+	// Prune carries Carrillo–Lipman statistics when AlgorithmPruned ran.
+	Prune *PruneStats
+}
+
+// DefaultScheme returns the default scoring scheme for an alphabet:
+// +2/−1/−2 for DNA and RNA, BLOSUM62 for protein.
+func DefaultScheme(alpha *Alphabet) (*Scheme, error) {
+	switch alpha {
+	case seq.DNA:
+		return scoring.DNADefault(), nil
+	case seq.RNA:
+		s, err := scoring.MatchMismatch(seq.RNA, 2, -1, -2)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	case seq.Protein:
+		return scoring.BLOSUM62(), nil
+	default:
+		return nil, fmt.Errorf("repro: no default scheme for alphabet %q; set Options.Scheme", alpha.Name())
+	}
+}
+
+// SchemeByName looks up a named scheme: "dna", "blosum62", "blosum80",
+// "pam250".
+func SchemeByName(name string) (*Scheme, bool) { return scoring.ByName(name) }
+
+// NewSequence validates residues and builds a Sequence.
+func NewSequence(name, residues string, alpha *Alphabet) (*Sequence, error) {
+	return seq.New(name, []byte(residues), alpha)
+}
+
+// NewTriple builds and validates a Triple from three residue strings.
+func NewTriple(a, b, c string, alpha *Alphabet) (Triple, error) {
+	sa, err := seq.New("A", []byte(a), alpha)
+	if err != nil {
+		return Triple{}, err
+	}
+	sb, err := seq.New("B", []byte(b), alpha)
+	if err != nil {
+		return Triple{}, err
+	}
+	sc, err := seq.New("C", []byte(c), alpha)
+	if err != nil {
+		return Triple{}, err
+	}
+	t := Triple{A: sa, B: sb, C: sc}
+	return t, t.Validate()
+}
+
+// ReadTripleFASTA reads exactly three FASTA records.
+func ReadTripleFASTA(r io.Reader, alpha *Alphabet) (Triple, error) {
+	return seq.ReadTripleFASTA(r, alpha)
+}
+
+// WriteFASTA writes sequences in FASTA format wrapped at width columns.
+func WriteFASTA(w io.Writer, seqs []*Sequence, width int) error {
+	return seq.WriteFASTA(w, seqs, width)
+}
+
+// NewGenerator returns a deterministic synthetic-sequence generator.
+func NewGenerator(alpha *Alphabet, s int64) *Generator { return seq.NewGenerator(alpha, s) }
+
+// KmerDistance returns the normalized (0–1) alignment-free k-mer distance
+// between two sequences — the standard cheap prefilter before exact
+// alignment in screening pipelines.
+func KmerDistance(a, b *Sequence, k int) float64 { return seq.KmerDistance(a, b, k) }
+
+// Align aligns the triple according to opt.
+func Align(tr Triple, opt Options) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	sch := opt.Scheme
+	if sch == nil {
+		var err error
+		sch, err = DefaultScheme(tr.A.Alphabet())
+		if err != nil {
+			return nil, err
+		}
+	}
+	copt := core.Options{Workers: opt.Workers, BlockSize: opt.BlockSize, MaxBytes: opt.MaxBytes}
+	algo := opt.Algorithm
+	if algo == AlgorithmAuto {
+		maxB := copt.MaxBytes
+		if maxB <= 0 {
+			maxB = core.DefaultMaxBytes
+		}
+		switch {
+		case sch.Affine() && 7*core.FullMatrixBytes(tr) <= maxB:
+			algo = AlgorithmAffineParallel
+		case sch.Affine():
+			algo = AlgorithmAffineLinear
+		case core.FullMatrixBytes(tr) <= maxB:
+			algo = AlgorithmParallel
+		default:
+			algo = AlgorithmParallelLinear
+		}
+	}
+
+	start := time.Now()
+	var (
+		aln   *Alignment
+		prune *PruneStats
+		err   error
+	)
+	switch algo {
+	case AlgorithmFull:
+		aln, err = core.AlignFull(tr, sch, copt)
+	case AlgorithmParallel:
+		aln, err = core.AlignParallel(tr, sch, copt)
+	case AlgorithmLinear:
+		aln, err = core.AlignLinear(tr, sch, copt)
+	case AlgorithmParallelLinear:
+		aln, err = core.AlignParallelLinear(tr, sch, copt)
+	case AlgorithmDiagonal:
+		aln, err = core.AlignDiagonal(tr, sch, copt)
+	case AlgorithmAffine:
+		aln, err = core.AlignAffine(tr, sch, copt)
+	case AlgorithmAffineLinear:
+		aln, err = core.AlignAffineLinear(tr, sch, copt)
+	case AlgorithmAffineParallel:
+		aln, err = core.AlignAffineParallel(tr, sch, copt)
+	case AlgorithmPruned, AlgorithmPrunedParallel:
+		var bound *Alignment
+		bound, err = msa.CenterStarRefined(tr, sch)
+		if err != nil {
+			break
+		}
+		var st core.PruneStats
+		if algo == AlgorithmPruned {
+			aln, st, err = core.AlignPruned(tr, sch, copt, bound.Score)
+		} else {
+			aln, st, err = core.AlignPrunedParallel(tr, sch, copt, bound.Score)
+		}
+		if err == nil {
+			prune = &st
+		}
+	case AlgorithmCenterStar:
+		aln, err = msa.CenterStar(tr, sch)
+	case AlgorithmCenterStarRefined:
+		aln, err = msa.CenterStarRefined(tr, sch)
+	case AlgorithmProgressive:
+		aln, err = msa.Progressive(tr, sch)
+	default:
+		return nil, fmt.Errorf("repro: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Alignment: aln, Algorithm: algo, Elapsed: time.Since(start), Prune: prune}, nil
+}
