@@ -1,8 +1,12 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/alignment"
 	"repro/internal/wavefront"
@@ -31,46 +35,97 @@ type BatchResult struct {
 
 // AlignBatch aligns many triples concurrently — the throughput mode for
 // screening workloads (e.g. ranking candidate third sequences against a
-// reference pair). Triples are distributed over a pool of opt.Workers
-// goroutines and each alignment runs single-threaded, which beats
-// intra-alignment parallelism when there are at least as many triples as
-// workers. Results are returned in input order; per-triple failures are
-// reported in BatchResult.Err without aborting the batch.
+// reference pair). It is AlignBatchContext under context.Background().
 func AlignBatch(triples []Triple, opt Options) []BatchResult {
+	return AlignBatchContext(context.Background(), triples, opt)
+}
+
+// AlignBatchContext aligns many triples concurrently under a context.
+// Triples are distributed over a pool of opt.Workers goroutines by an
+// atomic claim counter and each alignment runs single-threaded, which
+// beats intra-alignment parallelism when there are at least as many
+// triples as workers. Results are returned in input order; per-triple
+// failures — including a panic inside one alignment, which is recovered
+// with its stack — are reported in BatchResult.Err without aborting the
+// batch. Cancelling ctx stops the batch after the in-flight alignments
+// notice it; triples not yet started are marked with the context error.
+//
+// AlgorithmAuto resolves per triple against the effective scoring scheme:
+// affine schemes get AlgorithmAffine (or AlgorithmAffineLinear over
+// MaxBytes), linear ones AlgorithmFull (or AlgorithmLinear) — so a batch
+// under BLOSUM62 optimizes the same affine objective a single Align call
+// would, just without intra-alignment parallelism.
+func AlignBatchContext(ctx context.Context, triples []Triple, opt Options) []BatchResult {
 	out := make([]BatchResult, len(triples))
+	for i := range out {
+		out[i].Index = i
+	}
 	if len(triples) == 0 {
 		return out
 	}
 	// Inner alignments run sequentially; the batch supplies parallelism.
 	inner := opt
 	inner.Workers = 1
-	if inner.Algorithm == AlgorithmAuto {
-		inner.Algorithm = AlgorithmFull
-	}
 	workers := wavefront.Workers(opt.Workers)
 	if workers > len(triples) {
 		workers = len(triples)
 	}
-	var next int
-	var mu sync.Mutex
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for g := 0; g < workers; g++ {
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= len(triples) {
 					return
 				}
-				res, err := Align(triples[i], inner)
+				if err := ctx.Err(); err != nil {
+					out[i].Err = fmt.Errorf("repro: batch cancelled: %w", err)
+					continue // claim and mark the remaining triples too
+				}
+				it := inner
+				it.Algorithm = batchAlgorithm(triples[i], it)
+				res, err := alignRecover(ctx, triples[i], it)
 				out[i] = BatchResult{Index: i, Result: res, Err: err}
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// batchAlgorithm resolves AlgorithmAuto for one batch triple: the
+// sequential variant matching the effective scheme's gap model. An
+// unresolvable scheme is left to Align to diagnose.
+func batchAlgorithm(tr Triple, opt Options) Algorithm {
+	if opt.Algorithm != AlgorithmAuto {
+		return opt.Algorithm
+	}
+	if tr.Validate() != nil {
+		return AlgorithmFull // Align reports the validation error
+	}
+	sch, err := resolveScheme(tr, opt)
+	if err != nil {
+		return AlgorithmFull
+	}
+	return resolveAlgorithm(tr, sch, opt, false)
+}
+
+// alignRecover is AlignContext with panic containment: a panic inside one
+// alignment becomes that triple's error (with the worker stack) instead of
+// crashing the whole batch.
+func alignRecover(ctx context.Context, tr Triple, opt Options) (res *Result, err error) {
+	defer recoverAlignPanic(&res, &err)
+	return AlignContext(ctx, tr, opt)
+}
+
+// recoverAlignPanic converts an in-flight panic into an error carrying the
+// panic value and the worker's stack. Must be invoked via defer.
+func recoverAlignPanic(res **Result, err *error) {
+	if r := recover(); r != nil {
+		*res = nil
+		*err = fmt.Errorf("repro: alignment panicked: %v\n%s", r, debug.Stack())
+	}
 }

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -94,5 +96,79 @@ func TestFormatReExportsRoundTrip(t *testing.T) {
 	}
 	if back.SPScore(sch) != res.Score {
 		t.Fatalf("round trip score %d != %d", back.SPScore(sch), res.Score)
+	}
+}
+
+// TestAlignBatchAffineAutoMatchesSingle is the regression test for the
+// AlgorithmAuto batch bug: under an affine scheme the batch must optimize
+// the same affine objective a single Align call does, not silently fall
+// back to the linear-gap full matrix.
+func TestAlignBatchAffineAutoMatchesSingle(t *testing.T) {
+	g := NewGenerator(Protein, 77)
+	var triples []Triple
+	for i := 0; i < 4; i++ {
+		triples = append(triples, g.RelatedTriple(10+i, MutationModel{SubstitutionRate: 0.15}))
+	}
+	opt := Options{Workers: 2} // Auto + protein default (BLOSUM62, affine)
+	results := AlignBatch(triples, opt)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("triple %d: %v", i, r.Err)
+		}
+		if r.Result.Algorithm != AlgorithmAffine {
+			t.Fatalf("triple %d: batch resolved Auto to %q, want affine", i, r.Result.Algorithm)
+		}
+		ref, err := Align(triples[i], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Result.Score != ref.Score {
+			t.Fatalf("triple %d: batch affine score %d != single-call %d",
+				i, r.Result.Score, ref.Score)
+		}
+	}
+}
+
+// TestAlignBatchContextCancelled: every triple in a batch under a
+// cancelled context reports the context error; none is silently dropped.
+func TestAlignBatchContextCancelled(t *testing.T) {
+	g := NewGenerator(DNA, 78)
+	var triples []Triple
+	for i := 0; i < 6; i++ {
+		triples = append(triples, g.RelatedTriple(15, MutationModel{SubstitutionRate: 0.1}))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := AlignBatchContext(ctx, triples, Options{Workers: 3})
+	if len(results) != len(triples) {
+		t.Fatalf("got %d results, want %d", len(results), len(triples))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has Index %d", i, r.Index)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("triple %d: err = %v, want wrapped context.Canceled", i, r.Err)
+		}
+	}
+}
+
+// TestAlignRecoverContainsPanic: a panic inside one alignment becomes an
+// error carrying the panic value and a stack trace.
+func TestAlignRecoverContainsPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic escaped alignRecover: %v", r)
+		}
+	}()
+	res, err := func() (res *Result, err error) {
+		defer recoverAlignPanic(&res, &err)
+		panic("kernel bug")
+	}()
+	if res != nil || err == nil {
+		t.Fatal("panic not converted to error")
+	}
+	if !strings.Contains(err.Error(), "kernel bug") || !strings.Contains(err.Error(), "goroutine") {
+		t.Fatalf("panic error lacks value or stack: %v", err)
 	}
 }

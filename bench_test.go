@@ -6,6 +6,7 @@ package repro
 // workloads. Workloads are seeded, so every run measures identical inputs.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -40,7 +41,7 @@ func BenchmarkT1SequentialRuntime(b *testing.B) {
 		tr := benchTriple(1000+int64(n), n, 0.3)
 		b.Run(fmt.Sprintf("algo=full/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				aln, err := core.AlignFull(tr, scoring.DNADefault(), core.Options{})
+				aln, err := core.AlignFull(context.Background(), tr, scoring.DNADefault(), core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -50,7 +51,7 @@ func BenchmarkT1SequentialRuntime(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("algo=linear/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				aln, err := core.AlignLinear(tr, scoring.DNADefault(), core.Options{})
+				aln, err := core.AlignLinear(context.Background(), tr, scoring.DNADefault(), core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -111,7 +112,7 @@ func BenchmarkF1Speedup(b *testing.B) {
 	for _, w := range benchWorkers {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				aln, err := core.AlignParallel(tr, scoring.DNADefault(), core.Options{Workers: w})
+				aln, err := core.AlignParallel(context.Background(), tr, scoring.DNADefault(), core.Options{Workers: w})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -131,7 +132,7 @@ func BenchmarkF2Efficiency(b *testing.B) {
 		for _, w := range benchWorkers {
 			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					aln, err := core.AlignParallel(tr, scoring.DNADefault(), core.Options{Workers: w})
+					aln, err := core.AlignParallel(context.Background(), tr, scoring.DNADefault(), core.Options{Workers: w})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -150,7 +151,7 @@ func BenchmarkF3BlockSize(b *testing.B) {
 	for _, bs := range []int{4, 8, 16, 32, 64} {
 		b.Run(fmt.Sprintf("block=%d", bs), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				aln, err := core.AlignParallel(tr, scoring.DNADefault(), core.Options{BlockSize: bs})
+				aln, err := core.AlignParallel(context.Background(), tr, scoring.DNADefault(), core.Options{BlockSize: bs})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -170,7 +171,7 @@ func BenchmarkT3Quality(b *testing.B) {
 			f    func() (int32, error)
 		}{
 			{"exact", func() (int32, error) {
-				a, err := core.AlignParallel(tr, scoring.DNADefault(), core.Options{})
+				a, err := core.AlignParallel(context.Background(), tr, scoring.DNADefault(), core.Options{})
 				if err != nil {
 					return 0, err
 				}
@@ -220,7 +221,7 @@ func BenchmarkF4Pruning(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				aln, st, err := core.AlignPruned(tr, scoring.DNADefault(), core.Options{}, bound.Score)
+				aln, st, err := core.AlignPruned(context.Background(), tr, scoring.DNADefault(), core.Options{}, bound.Score)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -241,7 +242,7 @@ func BenchmarkT4UnequalLengths(b *testing.B) {
 		tr := g.TripleWithLengths(s[0], s[1], s[2], seq.Uniform(0.3))
 		b.Run(fmt.Sprintf("shape=%dx%dx%d", s[0], s[1], s[2]), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				aln, err := core.AlignParallel(tr, scoring.DNADefault(), core.Options{})
+				aln, err := core.AlignParallel(context.Background(), tr, scoring.DNADefault(), core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -259,7 +260,7 @@ func BenchmarkF5ParallelLinear(b *testing.B) {
 	for _, w := range benchWorkers {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				aln, err := core.AlignParallelLinear(tr, scoring.DNADefault(), core.Options{Workers: w})
+				aln, err := core.AlignParallelLinear(context.Background(), tr, scoring.DNADefault(), core.Options{Workers: w})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -278,7 +279,7 @@ func BenchmarkF6Schedule(b *testing.B) {
 		tr := benchTriple(11000+int64(n), n, 0.3)
 		b.Run(fmt.Sprintf("schedule=blocked/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				aln, err := core.AlignParallel(tr, scoring.DNADefault(), core.Options{})
+				aln, err := core.AlignParallel(context.Background(), tr, scoring.DNADefault(), core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -287,7 +288,7 @@ func BenchmarkF6Schedule(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("schedule=diagonal/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				aln, err := core.AlignDiagonal(tr, scoring.DNADefault(), core.Options{})
+				aln, err := core.AlignDiagonal(context.Background(), tr, scoring.DNADefault(), core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -308,7 +309,7 @@ func BenchmarkT5Affine(b *testing.B) {
 		tr := benchTriple(10000+int64(n), n, 0.3)
 		b.Run(fmt.Sprintf("model=linear/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				aln, err := core.AlignFull(tr, scoring.DNADefault(), core.Options{})
+				aln, err := core.AlignFull(context.Background(), tr, scoring.DNADefault(), core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -317,7 +318,7 @@ func BenchmarkT5Affine(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("model=affine/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				aln, err := core.AlignAffine(tr, affSch, core.Options{})
+				aln, err := core.AlignAffine(context.Background(), tr, affSch, core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -326,7 +327,7 @@ func BenchmarkT5Affine(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("model=affine-linear/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				aln, err := core.AlignAffineLinear(tr, affSch, core.Options{})
+				aln, err := core.AlignAffineLinear(context.Background(), tr, affSch, core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}

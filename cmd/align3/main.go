@@ -6,6 +6,7 @@
 //	align3 -in triple.fasta -alphabet dna -algorithm parallel -workers 8
 //	seqgen -n 100 | align3 -format clustal
 //	align3 -in triple.fasta.gz -both-strands -format json
+//	align3 -in triple.fasta -timeout 30s -fallback
 //
 // Exact algorithms: full, parallel, linear, parallel-linear, diagonal,
 // pruned, pruned-parallel, affine, affine-linear, affine-parallel.
@@ -13,27 +14,46 @@
 // Formats: pretty (default), clustal, fasta, stats, json, quiet.
 // Gzip-compressed input is detected automatically; -both-strands also
 // tries the third sequence's reverse complement.
+//
+// Interrupting align3 (Ctrl-C / SIGTERM) cancels the alignment
+// cooperatively: the worker pool drains, a "cancelled" error is printed,
+// and the process exits non-zero — no partial output is emitted.
+// -timeout bounds the exact computation the same way. With -fallback the
+// deadline (or an over-cap lattice) degrades to the center-star-refined
+// heuristic instead of failing: the process exits zero, the pretty and
+// stats formats print a "degraded:" line with the cause, and the json
+// format carries "degraded": true — screening pipelines should check that
+// flag before treating the score as optimal.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	repro "repro"
 	"repro/internal/seq"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			err = fmt.Errorf("align3: cancelled (interrupt received)")
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("align3", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
@@ -48,6 +68,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		width     = fs.Int("width", 60, "output block width")
 		format    = fs.String("format", "pretty", "output format: pretty, clustal, fasta, stats, json, quiet")
 		bothStr   = fs.Bool("both-strands", false, "also try the third sequence's reverse complement (DNA/RNA) and keep the better alignment")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget per alignment (0 = none); exceeded deadlines fail unless -fallback is set")
+		fallback  = fs.Bool("fallback", false, "degrade to center-star-refined when the exact algorithm exceeds -timeout or the memory cap")
 	)
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("align3: %w", err)
@@ -79,6 +101,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Algorithm: repro.Algorithm(*algorithm),
 		Workers:   *workers,
 		BlockSize: *block,
+		Deadline:  *timeout,
+		Fallback:  *fallback,
 	}
 	if *scheme != "" {
 		s, ok := repro.SchemeByName(*scheme)
@@ -108,7 +132,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 
-	res, err := repro.Align(tr, opt)
+	res, err := repro.AlignContext(ctx, tr, opt)
 	if err != nil {
 		return err
 	}
@@ -117,7 +141,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("align3: -both-strands: %w", err)
 		}
-		resRC, err := repro.Align(repro.Triple{A: tr.A, B: tr.B, C: rc}, opt)
+		resRC, err := repro.AlignContext(ctx, repro.Triple{A: tr.A, B: tr.B, C: rc}, opt)
 		if err != nil {
 			return err
 		}
@@ -152,16 +176,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 // jsonReport is the machine-readable output of -format json.
 type jsonReport struct {
-	Algorithm    string               `json:"algorithm"`
-	Score        int32                `json:"score"`
-	ElapsedMS    float64              `json:"elapsed_ms"`
-	Columns      int                  `json:"columns"`
-	Rows         [3]string            `json:"rows"`
-	Names        [3]string            `json:"names"`
-	Consensus    string               `json:"consensus"`
-	Conservation string               `json:"conservation"`
-	Stats        repro.AlignmentStats `json:"stats"`
-	Prune        *repro.PruneStats    `json:"prune,omitempty"`
+	Algorithm     string               `json:"algorithm"`
+	Score         int32                `json:"score"`
+	ElapsedMS     float64              `json:"elapsed_ms"`
+	Columns       int                  `json:"columns"`
+	Rows          [3]string            `json:"rows"`
+	Names         [3]string            `json:"names"`
+	Consensus     string               `json:"consensus"`
+	Conservation  string               `json:"conservation"`
+	Stats         repro.AlignmentStats `json:"stats"`
+	Prune         *repro.PruneStats    `json:"prune,omitempty"`
+	Degraded      bool                 `json:"degraded,omitempty"`
+	DegradedCause string               `json:"degraded_cause,omitempty"`
 }
 
 func writeJSON(w io.Writer, res *repro.Result) error {
@@ -178,6 +204,12 @@ func writeJSON(w io.Writer, res *repro.Result) error {
 		Stats:        res.ComputeStats(),
 		Prune:        res.Prune,
 	}
+	if res.Degraded {
+		rep.Degraded = true
+		if res.DegradedCause != nil {
+			rep.DegradedCause = res.DegradedCause.Error()
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -190,6 +222,10 @@ func printStats(w io.Writer, res *repro.Result) {
 	if res.Prune != nil {
 		fmt.Fprintf(w, "carrillo-lipman: evaluated %d of %d cells (%.1f%%), lower bound %d\n",
 			res.Prune.EvaluatedCells, res.Prune.TotalCells, 100*res.Prune.Fraction(), res.Prune.LowerBound)
+	}
+	if res.Degraded {
+		fmt.Fprintf(w, "degraded: exact alignment unavailable (%v); score is heuristic, not optimal\n",
+			res.DegradedCause)
 	}
 }
 

@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	repro "repro"
@@ -17,7 +19,7 @@ const testFASTA = ">s1\nACGTACGT\n>s2\nACGACGT\n>s3\nACGTACG\n"
 func runCLI(t *testing.T, args []string, stdin string) string {
 	t.Helper()
 	var out strings.Builder
-	if err := run(args, strings.NewReader(stdin), &out); err != nil {
+	if err := run(context.Background(), args, strings.NewReader(stdin), &out); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	return out.String()
@@ -113,7 +115,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out strings.Builder
-		if err := run(args, strings.NewReader(testFASTA), &out); err == nil {
+		if err := run(context.Background(), args, strings.NewReader(testFASTA), &out); err == nil {
 			t.Errorf("run(%v): error expected", args)
 		}
 	}
@@ -121,7 +123,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunRejectsBadFASTA(t *testing.T) {
 	var out strings.Builder
-	if err := run(nil, strings.NewReader(">a\nAC\n"), &out); err == nil {
+	if err := run(context.Background(), nil, strings.NewReader(">a\nAC\n"), &out); err == nil {
 		t.Fatal("single-record FASTA accepted")
 	}
 }
@@ -220,7 +222,57 @@ func seqReadTriple(in string) (repro.Triple, error) {
 func TestRunBothStrandsProteinErrors(t *testing.T) {
 	in := ">a\nMKT\n>b\nMKT\n>c\nMKT\n"
 	var out strings.Builder
-	if err := run([]string{"-alphabet", "protein", "-both-strands"}, strings.NewReader(in), &out); err == nil {
+	if err := run(context.Background(), []string{"-alphabet", "protein", "-both-strands"}, strings.NewReader(in), &out); err == nil {
 		t.Fatal("protein both-strands accepted")
 	}
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, []string{"-format", "quiet"}, strings.NewReader(testFASTA), &out)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v, want context.Canceled", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("cancelled run wrote partial output: %q", out.String())
+	}
+}
+
+func TestRunTimeoutWithoutFallbackFails(t *testing.T) {
+	big := hugeFASTA(220)
+	var out strings.Builder
+	err := run(context.Background(), []string{"-format", "quiet", "-timeout", "1ns"},
+		strings.NewReader(big), &out)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout run: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunTimeoutWithFallbackDegrades(t *testing.T) {
+	big := hugeFASTA(220)
+	out := runCLI(t, []string{"-format", "stats", "-timeout", "1ns", "-fallback"}, big)
+	if !strings.Contains(out, "degraded:") {
+		t.Fatalf("degraded run missing degraded line:\n%s", out)
+	}
+
+	jout := runCLI(t, []string{"-format", "json", "-timeout", "1ns", "-fallback"}, big)
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(jout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded || rep.DegradedCause == "" {
+		t.Fatalf("json report not marked degraded: %+v", rep)
+	}
+	if rep.Algorithm != string(repro.AlgorithmCenterStarRefined) {
+		t.Fatalf("degraded algorithm = %q, want center-star-refined", rep.Algorithm)
+	}
+}
+
+// hugeFASTA builds a triple large enough that exact alignment cannot finish
+// within a nanosecond deadline.
+func hugeFASTA(n int) string {
+	row := strings.Repeat("ACGT", n/4+1)[:n]
+	return ">s1\n" + row + "\n>s2\n" + row + "\n>s3\n" + row + "\n"
 }

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -145,10 +146,10 @@ func runT1(cfg config) error {
 	for _, n := range lengths {
 		tr := triple(1000+int64(n), n, 0.3)
 		tFull := bench.Measure(cfg.reps, func() {
-			mustAlign(core.AlignFull(tr, dnaSch(), core.Options{}))
+			mustAlign(core.AlignFull(context.Background(), tr, dnaSch(), core.Options{}))
 		})
 		tLin := bench.Measure(cfg.reps, func() {
-			mustAlign(core.AlignLinear(tr, dnaSch(), core.Options{}))
+			mustAlign(core.AlignLinear(context.Background(), tr, dnaSch(), core.Options{}))
 		})
 		tab.AddRowf(n, cells(tr), tFull.Mean,
 			bench.CellRate(cells(tr), tFull.Mean)/1e6,
@@ -187,7 +188,7 @@ func runF1(cfg config) error {
 	var t1 time.Duration
 	for _, w := range workerSweep() {
 		t := bench.Measure(cfg.reps, func() {
-			mustAlign(core.AlignParallel(tr, dnaSch(), core.Options{Workers: w}))
+			mustAlign(core.AlignParallel(context.Background(), tr, dnaSch(), core.Options{Workers: w}))
 		})
 		if w == 1 {
 			t1 = t.Mean
@@ -212,7 +213,7 @@ func runF2(cfg config) error {
 		sim1 := wavefront.Simulate(len(si), len(sj), len(sk), 1, cost)
 		for _, w := range workerSweep() {
 			t := bench.Measure(cfg.reps, func() {
-				mustAlign(core.AlignParallel(tr, dnaSch(), core.Options{Workers: w}))
+				mustAlign(core.AlignParallel(context.Background(), tr, dnaSch(), core.Options{Workers: w}))
 			})
 			sim := sim1 / wavefront.Simulate(len(si), len(sj), len(sk), w, cost)
 			tab.AddRowf(n, w, t.Mean, sim, sim/float64(w))
@@ -229,7 +230,7 @@ func runF3(cfg config) error {
 	tab.Caption = "expected: U-shape — small tiles pay scheduling overhead, huge tiles starve the pool"
 	for _, bs := range []int{4, 8, 16, 32, 64} {
 		t := bench.Measure(cfg.reps, func() {
-			mustAlign(core.AlignParallel(tr, dnaSch(), core.Options{BlockSize: bs}))
+			mustAlign(core.AlignParallel(context.Background(), tr, dnaSch(), core.Options{BlockSize: bs}))
 		})
 		si := wavefront.Partition(tr.A.Len()+1, bs)
 		sj := wavefront.Partition(tr.B.Len()+1, bs)
@@ -251,7 +252,7 @@ func runT3(cfg config) error {
 		tr := triple(6000+int64(id*100), n, 1-id)
 		var exact int32
 		tExact := bench.Measure(cfg.reps, func() {
-			a := mustAlign(core.AlignParallel(tr, dnaSch(), core.Options{}))
+			a := mustAlign(core.AlignParallel(context.Background(), tr, dnaSch(), core.Options{}))
 			exact = a.Score
 		})
 		tab.AddRowf(fmt.Sprintf("%.0f%%", id*100), "exact", exact, 0, tExact.Mean)
@@ -281,7 +282,7 @@ func runF4(cfg config) error {
 		bound := mustAlign(msa.CenterStar(tr, dnaSch()))
 		var st core.PruneStats
 		tPruned := bench.Measure(cfg.reps, func() {
-			aln, stats, err := core.AlignPruned(tr, dnaSch(), core.Options{}, bound.Score)
+			aln, stats, err := core.AlignPruned(context.Background(), tr, dnaSch(), core.Options{}, bound.Score)
 			if err != nil {
 				panic(err)
 			}
@@ -289,7 +290,7 @@ func runF4(cfg config) error {
 			st = stats
 		})
 		tFull := bench.Measure(cfg.reps, func() {
-			mustAlign(core.AlignFull(tr, dnaSch(), core.Options{}))
+			mustAlign(core.AlignFull(context.Background(), tr, dnaSch(), core.Options{}))
 		})
 		tab.AddRowf(fmt.Sprintf("%.0f%%", id*100), st.EvaluatedCells, st.TotalCells,
 			st.Fraction(), tPruned.Mean, tFull.Mean)
@@ -308,7 +309,7 @@ func runT4(cfg config) error {
 		g := seq.NewGenerator(seq.DNA, 8000+int64(i))
 		tr := g.TripleWithLengths(s[0], s[1], s[2], seq.Uniform(0.3))
 		t := bench.Measure(cfg.reps, func() {
-			mustAlign(core.AlignParallel(tr, dnaSch(), core.Options{}))
+			mustAlign(core.AlignParallel(context.Background(), tr, dnaSch(), core.Options{}))
 		})
 		tab.AddRowf(fmt.Sprintf("%dx%dx%d", s[0], s[1], s[2]), cells(tr), t.Mean,
 			bench.CellRate(cells(tr), t.Mean)/1e6)
@@ -324,7 +325,7 @@ func runF5(cfg config) error {
 	tab.Caption = "expected: linear-space parallelizes like the full matrix while using\nquadratic instead of cubic lattice memory"
 	for _, w := range workerSweep() {
 		t := bench.Measure(cfg.reps, func() {
-			mustAlign(core.AlignParallelLinear(tr, dnaSch(), core.Options{Workers: w}))
+			mustAlign(core.AlignParallelLinear(context.Background(), tr, dnaSch(), core.Options{Workers: w}))
 		})
 		tab.AddRowf(w, t.Mean, core.LinearBytes(tr), core.FullMatrixBytes(tr))
 	}
@@ -344,13 +345,13 @@ func runT5(cfg config) error {
 		tr := triple(10000+int64(n), n, 0.3)
 		var linScore, affScore int32
 		tLin := bench.Measure(cfg.reps, func() {
-			linScore = mustAlign(core.AlignFull(tr, dnaSch(), core.Options{})).Score
+			linScore = mustAlign(core.AlignFull(context.Background(), tr, dnaSch(), core.Options{})).Score
 		})
 		tAff := bench.Measure(cfg.reps, func() {
-			affScore = mustAlign(core.AlignAffine(tr, affSch, core.Options{})).Score
+			affScore = mustAlign(core.AlignAffine(context.Background(), tr, affSch, core.Options{})).Score
 		})
 		tAffLin := bench.Measure(cfg.reps, func() {
-			aln := mustAlign(core.AlignAffineLinear(tr, affSch, core.Options{}))
+			aln := mustAlign(core.AlignAffineLinear(context.Background(), tr, affSch, core.Options{}))
 			if aln.Score != affScore {
 				panic(fmt.Sprintf("affine-linear score %d != affine %d", aln.Score, affScore))
 			}
@@ -368,14 +369,14 @@ func runF6(cfg config) error {
 	for _, n := range lengths {
 		tr := triple(11000+int64(n), n, 0.3)
 		tBlocked := bench.Measure(cfg.reps, func() {
-			mustAlign(core.AlignParallel(tr, dnaSch(), core.Options{}))
+			mustAlign(core.AlignParallel(context.Background(), tr, dnaSch(), core.Options{}))
 		})
 		tDiag := bench.Measure(cfg.reps, func() {
-			mustAlign(core.AlignDiagonal(tr, dnaSch(), core.Options{}))
+			mustAlign(core.AlignDiagonal(context.Background(), tr, dnaSch(), core.Options{}))
 		})
 		bound := mustAlign(msa.CenterStar(tr, dnaSch()))
 		tPruned := bench.Measure(cfg.reps, func() {
-			_, _, err := core.AlignPrunedParallel(tr, dnaSch(), core.Options{}, bound.Score)
+			_, _, err := core.AlignPrunedParallel(context.Background(), tr, dnaSch(), core.Options{}, bound.Score)
 			if err != nil {
 				panic(err)
 			}

@@ -19,6 +19,34 @@
 //	    BlockSize: 16,
 //	})
 //
+// # Cancellation and deadlines
+//
+// AlignContext and AlignBatchContext are the context-aware entry points;
+// Align and AlignBatch are the same calls under context.Background().
+// Cancelling the context stops every kernel cooperatively: sequential
+// kernels poll at plane boundaries, parallel kernels per wavefront block,
+// and the worker pool drains without leaking goroutines. The returned
+// error wraps context.Canceled or context.DeadlineExceeded — test with
+// errors.Is:
+//
+//	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+//	defer cancel()
+//	res, err := repro.AlignContext(ctx, tr, repro.Options{})
+//	if errors.Is(err, context.DeadlineExceeded) { ... }
+//
+// Options.Deadline bounds a single call without plumbing a context, and
+// Options.Fallback turns budget exhaustion into graceful degradation: when
+// an exact algorithm is stopped by the deadline or rejected by the
+// MaxBytes admission check, the triple is re-aligned with the
+// center-star-refined heuristic and the Result is marked Degraded, with
+// DegradedCause holding the original error. Degraded scores are lower
+// bounds on the optimum, not the optimum.
+//
+// For screening workloads the two budgets are complementary: MaxBytes
+// rejects oversized inputs instantly (before any allocation), while
+// Deadline catches inputs that fit in memory but compute too slowly. The
+// typed sentinel ErrTooLarge identifies MaxBytes rejections.
+//
 // The underlying algorithm implementations live in internal/core; sequence
 // and scoring substrates in internal/seq and internal/scoring; heuristic
 // baselines in internal/msa. DESIGN.md maps every subsystem, and

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alignment"
@@ -87,9 +88,12 @@ func moveDelta(s alignment.Move) (di, dj, dk int) {
 // AlignAffine computes an optimal three-sequence alignment under the
 // quasi-natural affine sum-of-pairs objective. With GapOpen == 0 it returns
 // the same optimum as AlignFull. Memory is seven full lattices.
-func AlignAffine(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+func AlignAffine(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
+		return nil, err
+	}
+	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
 	if 7*FullMatrixBytes(tr) > opt.maxBytes() {
@@ -98,7 +102,7 @@ func AlignAffine(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Al
 	if len(ca) == 0 && len(cb) == 0 && len(cc) == 0 {
 		return &alignment.Alignment{Triple: tr, Moves: nil, Score: 0}, nil
 	}
-	moves, score, err := affineDPMoves(ca, cb, cc, sch, 7, 0)
+	moves, score, err := affineDPMoves(ctx, ca, cb, cc, sch, 7, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +120,7 @@ func AlignAffine(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Al
 // divide-and-conquer to glue sub-solutions without double-charging gap
 // opens). It returns the move list and its quasi-natural score under
 // those boundary conditions.
-func affineDPMoves(ca, cb, cc []int8, sch *scoring.Scheme, q0, sEnd alignment.Move) ([]alignment.Move, mat.Score, error) {
+func affineDPMoves(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, q0, sEnd alignment.Move) ([]alignment.Move, mat.Score, error) {
 	n, m, p := len(ca), len(cb), len(cc)
 	go_ := sch.GapOpen()
 
@@ -138,6 +142,9 @@ func affineDPMoves(ca, cb, cc []int8, sch *scoring.Scheme, q0, sEnd alignment.Mo
 	d[q0-1].Set(0, 0, 0, 0)
 
 	for i := 0; i <= n; i++ {
+		if err := checkCtx(ctx); err != nil {
+			return nil, 0, err
+		}
 		var ai int8
 		if i > 0 {
 			ai = ca[i-1]

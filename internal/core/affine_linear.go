@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alignment"
@@ -17,9 +18,12 @@ import (
 // crossing the plane charge their opens exactly once. Sub-problems inherit
 // boundary masks (q0 entering, sEnd leaving) and bottom out in the
 // boundary-aware full DP.
-func AlignAffineLinear(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+func AlignAffineLinear(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
+		return nil, err
+	}
+	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
 	// Peak lattice memory: 7 state planes ×2 (sweep double-buffer) ×2
@@ -27,7 +31,7 @@ func AlignAffineLinear(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignm
 	if need := 28 * mat.PlaneBytes(len(cb)+1, len(cc)+1); need > opt.maxBytes() {
 		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, need, opt.maxBytes())
 	}
-	moves, err := affineLinearRec(ca, cb, cc, sch, 7, 0)
+	moves, err := affineLinearRec(ctx, ca, cb, cc, sch, 7, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -44,14 +48,23 @@ func AlignAffineLinear(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignm
 // cell, so this keeps leaf allocations around a megabyte.
 const affineSmallVolume = 1 << 14
 
-func affineLinearRec(ca, cb, cc []int8, sch *scoring.Scheme, q0, sEnd alignment.Move) ([]alignment.Move, error) {
+func affineLinearRec(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, q0, sEnd alignment.Move) ([]alignment.Move, error) {
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
 	if len(ca) <= 1 || (len(ca)+1)*(len(cb)+1)*(len(cc)+1) <= affineSmallVolume {
-		moves, _, err := affineDPMoves(ca, cb, cc, sch, q0, sEnd)
+		moves, _, err := affineDPMoves(ctx, ca, cb, cc, sch, q0, sEnd)
 		return moves, err
 	}
 	mid := len(ca) / 2
-	fwd := affineForwardPlanes(ca[:mid], cb, cc, sch, q0)
-	bwd := affineBackwardPlanes(ca[mid:], cb, cc, sch, sEnd)
+	fwd, err := affineForwardPlanes(ctx, ca[:mid], cb, cc, sch, q0)
+	if err != nil {
+		return nil, err
+	}
+	bwd, err := affineBackwardPlanes(ctx, ca[mid:], cb, cc, sch, sEnd)
+	if err != nil {
+		return nil, err
+	}
 
 	m, p := len(cb), len(cc)
 	bestV := mat.NegInf
@@ -79,11 +92,11 @@ func affineLinearRec(ca, cb, cc []int8, sch *scoring.Scheme, q0, sEnd alignment.
 		return nil, fmt.Errorf("core: affine linear join infeasible (box %d,%d,%d end %s)", len(ca), m, p, sEnd)
 	}
 
-	left, err := affineLinearRec(ca[:mid], cb[:bestJ], cc[:bestK], sch, q0, bestS)
+	left, err := affineLinearRec(ctx, ca[:mid], cb[:bestJ], cc[:bestK], sch, q0, bestS)
 	if err != nil {
 		return nil, err
 	}
-	right, err := affineLinearRec(ca[mid:], cb[bestJ:], cc[bestK:], sch, bestS, sEnd)
+	right, err := affineLinearRec(ctx, ca[mid:], cb[bestJ:], cc[bestK:], sch, bestS, sEnd)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +107,7 @@ func affineLinearRec(ca, cb, cc []int8, sch *scoring.Scheme, q0, sEnd alignment.
 // returns, per state s, the plane F[s](j, k): the best score of aligning
 // ca, cb[:j], cc[:k] ending with column mask s, with q0 as the virtual
 // mask before the first column.
-func affineForwardPlanes(ca, cb, cc []int8, sch *scoring.Scheme, q0 alignment.Move) [7]*mat.Plane {
+func affineForwardPlanes(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, q0 alignment.Move) ([7]*mat.Plane, error) {
 	m, p := len(cb), len(cc)
 	go_ := sch.GapOpen()
 	var prev, cur [7]*mat.Plane
@@ -161,10 +174,13 @@ func affineForwardPlanes(ca, cb, cc []int8, sch *scoring.Scheme, q0 alignment.Mo
 	prev, cur = cur, prev
 
 	for i := 1; i <= len(ca); i++ {
+		if err := checkCtx(ctx); err != nil {
+			return prev, err
+		}
 		fill(i)
 		prev, cur = cur, prev
 	}
-	return prev
+	return prev, nil
 }
 
 // affineBackwardPlanes computes, per prev-mask q, the plane G[q](j, k):
@@ -172,7 +188,7 @@ func affineForwardPlanes(ca, cb, cc []int8, sch *scoring.Scheme, q0 alignment.Mo
 // immediately before this suffix had mask q, under the end constraint
 // sEnd (0 = unconstrained; otherwise the suffix's final column — or, for
 // an empty suffix, q itself — must be sEnd).
-func affineBackwardPlanes(ca, cb, cc []int8, sch *scoring.Scheme, sEnd alignment.Move) [7]*mat.Plane {
+func affineBackwardPlanes(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, sEnd alignment.Move) ([7]*mat.Plane, error) {
 	n, m, p := len(ca), len(cb), len(cc)
 	go_ := sch.GapOpen()
 	var next, cur [7]*mat.Plane
@@ -235,10 +251,13 @@ func affineBackwardPlanes(ca, cb, cc []int8, sch *scoring.Scheme, sEnd alignment
 	fill(n, true)
 	next, cur = cur, next
 	for i := n - 1; i >= 0; i-- {
+		if err := checkCtx(ctx); err != nil {
+			return next, err
+		}
 		fill(i, false)
 		next, cur = cur, next
 	}
-	return next
+	return next, nil
 }
 
 // QuasiNaturalScore evaluates an alignment under the quasi-natural affine

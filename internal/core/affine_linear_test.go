@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -16,11 +17,11 @@ func TestAlignAffineLinearEqualsFullAffine(t *testing.T) {
 	rng := rand.New(rand.NewSource(701))
 	for trial := 0; trial < 30; trial++ {
 		tr := randomTriple(rng, rng.Intn(12), rng.Intn(12), rng.Intn(12))
-		ref, err := AlignAffine(tr, sch, Options{})
+		ref, err := AlignAffine(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		lin, err := AlignAffineLinear(tr, sch, Options{})
+		lin, err := AlignAffineLinear(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatalf("trial %d (%s): %v", trial, tr.Describe(), err)
 		}
@@ -43,11 +44,11 @@ func TestAlignAffineLinearExercisesRecursion(t *testing.T) {
 	}
 	for seed := int64(0); seed < 4; seed++ {
 		tr := relatedTriple(800+seed, 40, 0.2) // 41³ ≈ 69k > affineSmallVolume
-		ref, err := AlignAffine(tr, sch, Options{})
+		ref, err := AlignAffine(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		lin, err := AlignAffineLinear(tr, sch, Options{})
+		lin, err := AlignAffineLinear(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -61,11 +62,11 @@ func TestAlignAffineLinearZeroOpenEqualsLinearModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(703))
 	for trial := 0; trial < 10; trial++ {
 		tr := randomTriple(rng, rng.Intn(15), rng.Intn(15), rng.Intn(15))
-		lin, err := AlignFull(tr, dnaSch, Options{}) // gapOpen == 0
+		lin, err := AlignFull(context.Background(), tr, dnaSch, Options{}) // gapOpen == 0
 		if err != nil {
 			t.Fatal(err)
 		}
-		aff, err := AlignAffineLinear(tr, dnaSch, Options{})
+		aff, err := AlignAffineLinear(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,11 +82,11 @@ func TestAlignAffineLinearEmptyShapes(t *testing.T) {
 		{"", "", ""}, {"ACGT", "", ""}, {"", "ACG", "AG"}, {"ACGT", "ACG", ""},
 	} {
 		tr := dnaTriple(t, s[0], s[1], s[2])
-		ref, err := AlignAffine(tr, sch, Options{})
+		ref, err := AlignAffine(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		lin, err := AlignAffineLinear(tr, sch, Options{})
+		lin, err := AlignAffineLinear(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
@@ -100,7 +101,7 @@ func TestQuasiNaturalScoreMatchesDP(t *testing.T) {
 	rng := rand.New(rand.NewSource(705))
 	for trial := 0; trial < 15; trial++ {
 		tr := randomTriple(rng, rng.Intn(10), rng.Intn(10), rng.Intn(10))
-		aln, err := AlignAffine(tr, sch, Options{})
+		aln, err := AlignAffine(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,11 +115,11 @@ func TestAlignAffineLinearProtein(t *testing.T) {
 	sch := scoring.BLOSUM62()
 	g := seq.NewGenerator(seq.Protein, 707)
 	tr := g.RelatedTriple(14, seq.Uniform(0.2))
-	ref, err := AlignAffine(tr, sch, Options{})
+	ref, err := AlignAffine(context.Background(), tr, sch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lin, err := AlignAffineLinear(tr, sch, Options{})
+	lin, err := AlignAffineLinear(context.Background(), tr, sch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestAlignAffineLinearProtein(t *testing.T) {
 func TestAlignAffineLinearMemoryCap(t *testing.T) {
 	tr := dnaTriple(t, "ACGTACGT", "ACGTACGT", "ACGTACGT")
 	sch, _ := scoring.DNADefault().WithGaps(-4, -1)
-	if _, err := AlignAffineLinear(tr, sch, Options{MaxBytes: 64}); err == nil {
+	if _, err := AlignAffineLinear(context.Background(), tr, sch, Options{MaxBytes: 64}); err == nil {
 		t.Fatal("memory cap not enforced")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alignment"
@@ -63,9 +64,12 @@ func fillRangeAffine(d *[7]*mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme,
 // AlignAffineParallel computes the same quasi-natural affine optimum as
 // AlignAffine with the blocked-wavefront schedule over a goroutine pool —
 // the paper's parallelization applied to the seven-state recurrence.
-func AlignAffineParallel(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+func AlignAffineParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
+		return nil, err
+	}
+	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
 	if 7*FullMatrixBytes(tr) > opt.maxBytes() {
@@ -86,9 +90,11 @@ func AlignAffineParallel(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alig
 	si := wavefront.Partition(n+1, bs)
 	sj := wavefront.Partition(m+1, bs)
 	sk := wavefront.Partition(p+1, bs)
-	wavefront.Run3D(len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
+	if err := wavefront.Run3DContext(ctx, len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
 		fillRangeAffine(&d, ca, cb, cc, sch, si[bi], sj[bj], sk[bk])
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	moves, score, err := affineTraceback(d, ca, cb, cc, sch, 0)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -35,11 +36,11 @@ func TestAlignAffineZeroOpenEqualsLinear(t *testing.T) {
 	rng := rand.New(rand.NewSource(19))
 	for trial := 0; trial < 15; trial++ {
 		tr := randomTriple(rng, rng.Intn(10), rng.Intn(10), rng.Intn(10))
-		lin, err := AlignFull(tr, dnaSch, Options{})
+		lin, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		aff, err := AlignAffine(tr, dnaSch, Options{}) // gapOpen == 0
+		aff, err := AlignAffine(context.Background(), tr, dnaSch, Options{}) // gapOpen == 0
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func TestAlignAffineMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		aln, err := AlignAffine(tr, sch, Options{})
+		aln, err := AlignAffine(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func TestAlignAffineNaturalRescoreNeverBelowDP(t *testing.T) {
 	rng := rand.New(rand.NewSource(37))
 	for trial := 0; trial < 10; trial++ {
 		tr := randomTriple(rng, 3+rng.Intn(8), 3+rng.Intn(8), 3+rng.Intn(8))
-		aln, err := AlignAffine(tr, sch, Options{})
+		aln, err := AlignAffine(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func TestAlignAffinePrefersSingleLongGap(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := dnaTriple(t, "ACGTACGTACGT", "ACGTACGT", "ACGTACGTACGT")
-	aln, err := AlignAffine(tr, sch, Options{})
+	aln, err := AlignAffine(context.Background(), tr, sch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestAlignAffinePrefersSingleLongGap(t *testing.T) {
 
 func TestAlignAffineEmpty(t *testing.T) {
 	sch, _ := scoring.DNADefault().WithGaps(-4, -1)
-	aln, err := AlignAffine(dnaTriple(t, "", "", ""), sch, Options{})
+	aln, err := AlignAffine(context.Background(), dnaTriple(t, "", "", ""), sch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestAlignAffineEmpty(t *testing.T) {
 	}
 	// One sequence only: a single gap run in each of the two pairs that
 	// involve the non-empty sequence.
-	aln, err = AlignAffine(dnaTriple(t, "ACG", "", ""), sch, Options{})
+	aln, err = AlignAffine(context.Background(), dnaTriple(t, "ACG", "", ""), sch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestAlignAffineProtein(t *testing.T) {
 	sch := scoring.BLOSUM62() // affine by default: -11/-1
 	g := seq.NewGenerator(seq.Protein, 53)
 	tr := g.RelatedTriple(12, seq.Uniform(0.15))
-	aln, err := AlignAffine(tr, sch, Options{})
+	aln, err := AlignAffine(context.Background(), tr, sch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestAlignAffineParallelEqualsSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(47))
 	for trial := 0; trial < 12; trial++ {
 		tr := randomTriple(rng, rng.Intn(14), rng.Intn(14), rng.Intn(14))
-		ref, err := AlignAffine(tr, sch, Options{})
+		ref, err := AlignAffine(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,7 +186,7 @@ func TestAlignAffineParallelEqualsSequential(t *testing.T) {
 			{Workers: 4, BlockSize: 3},
 			{Workers: 8, BlockSize: 16},
 		} {
-			par, err := AlignAffineParallel(tr, sch, opt)
+			par, err := AlignAffineParallel(context.Background(), tr, sch, opt)
 			if err != nil {
 				t.Fatalf("trial %d %+v: %v", trial, opt, err)
 			}
@@ -202,12 +203,12 @@ func TestAlignAffineParallelEqualsSequential(t *testing.T) {
 
 func TestAlignAffineParallelEmptyAndCap(t *testing.T) {
 	sch, _ := scoring.DNADefault().WithGaps(-4, -1)
-	aln, err := AlignAffineParallel(dnaTriple(t, "", "", ""), sch, Options{})
+	aln, err := AlignAffineParallel(context.Background(), dnaTriple(t, "", "", ""), sch, Options{})
 	if err != nil || aln.Score != 0 {
 		t.Fatalf("empty parallel affine: %v score %d", err, aln.Score)
 	}
 	tr := dnaTriple(t, "ACGTACGT", "ACGTACGT", "ACGTACGT")
-	if _, err := AlignAffineParallel(tr, sch, Options{MaxBytes: 64}); err == nil {
+	if _, err := AlignAffineParallel(context.Background(), tr, sch, Options{MaxBytes: 64}); err == nil {
 		t.Fatal("memory cap not enforced")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alignment"
@@ -17,12 +18,15 @@ import (
 // regime for highly similar sequences, where the tube shrinks the O(n³)
 // work to O(n·width²). Width must be at least 1 (the tube always contains
 // the scaled-diagonal path, so a result always exists).
-func AlignBanded(tr seq.Triple, sch *scoring.Scheme, opt Options, width int) (*alignment.Alignment, error) {
+func AlignBanded(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options, width int) (*alignment.Alignment, error) {
 	if width < 1 {
 		return nil, fmt.Errorf("core: band width %d must be at least 1", width)
 	}
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
+		return nil, err
+	}
+	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
 	if FullMatrixBytes(tr) > opt.maxBytes() {
@@ -34,6 +38,9 @@ func AlignBanded(tr seq.Triple, sch *scoring.Scheme, opt Options, width int) (*a
 	t := mat.NewTensor3(n+1, m+1, p+1)
 	ge2 := 2 * sch.GapExtend()
 	for i := 0; i <= n; i++ {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		var ai int8
 		if i > 0 {
 			ai = ca[i-1]

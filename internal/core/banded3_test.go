@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -11,12 +12,12 @@ func TestScoreEqualsFull(t *testing.T) {
 	rng := rand.New(rand.NewSource(81))
 	for trial := 0; trial < 15; trial++ {
 		tr := randomTriple(rng, rng.Intn(25), rng.Intn(25), rng.Intn(25))
-		ref, err := AlignFull(tr, dnaSch, Options{})
+		ref, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{0, 1, 4} {
-			got, err := Score(tr, dnaSch, Options{Workers: workers, BlockSize: 8})
+			got, err := Score(context.Background(), tr, dnaSch, Options{Workers: workers, BlockSize: 8})
 			if err != nil {
 				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
 			}
@@ -29,7 +30,7 @@ func TestScoreEqualsFull(t *testing.T) {
 
 func TestScoreMemoryCap(t *testing.T) {
 	tr := dnaTriple(t, "ACGTACGT", "ACGTACGT", "ACGTACGT")
-	if _, err := Score(tr, dnaSch, Options{MaxBytes: 8}); err == nil {
+	if _, err := Score(context.Background(), tr, dnaSch, Options{MaxBytes: 8}); err == nil {
 		t.Fatal("memory cap not enforced")
 	}
 }
@@ -38,12 +39,12 @@ func TestAlignBandedWideIsOptimal(t *testing.T) {
 	rng := rand.New(rand.NewSource(83))
 	for trial := 0; trial < 10; trial++ {
 		tr := randomTriple(rng, rng.Intn(18), rng.Intn(18), rng.Intn(18))
-		ref, err := AlignFull(tr, dnaSch, Options{})
+		ref, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		w := tr.A.Len() + tr.B.Len() + tr.C.Len() + 1
-		aln, err := AlignBanded(tr, dnaSch, Options{}, w)
+		aln, err := AlignBanded(context.Background(), tr, dnaSch, Options{}, w)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -58,12 +59,12 @@ func TestAlignBandedNarrowIsValidLowerBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(87))
 	for trial := 0; trial < 12; trial++ {
 		tr := randomTriple(rng, rng.Intn(20), rng.Intn(20), rng.Intn(20))
-		ref, err := AlignFull(tr, dnaSch, Options{})
+		ref, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, w := range []int{1, 2, 4} {
-			aln, err := AlignBanded(tr, dnaSch, Options{}, w)
+			aln, err := AlignBanded(context.Background(), tr, dnaSch, Options{}, w)
 			if err != nil {
 				t.Fatalf("trial %d width=%d (%s): %v", trial, w, tr.Describe(), err)
 			}
@@ -86,7 +87,7 @@ func TestAlignBandedUnequalLengthsConnected(t *testing.T) {
 			B: g.Random("B", s[1]),
 			C: g.Random("C", s[2]),
 		}
-		aln, err := AlignBanded(tr, dnaSch, Options{}, 1)
+		aln, err := AlignBanded(context.Background(), tr, dnaSch, Options{}, 1)
 		if err != nil {
 			t.Fatalf("shape %v: %v", s, err)
 		}
@@ -96,11 +97,11 @@ func TestAlignBandedUnequalLengthsConnected(t *testing.T) {
 
 func TestAlignBandedSimilarSequencesExact(t *testing.T) {
 	tr := relatedTriple(91, 60, 0.05)
-	ref, err := AlignFull(tr, dnaSch, Options{})
+	ref, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	aln, err := AlignBanded(tr, dnaSch, Options{}, 8)
+	aln, err := AlignBanded(context.Background(), tr, dnaSch, Options{}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestAlignBandedSimilarSequencesExact(t *testing.T) {
 
 func TestAlignBandedWidthValidation(t *testing.T) {
 	tr := dnaTriple(t, "AC", "AC", "AC")
-	if _, err := AlignBanded(tr, dnaSch, Options{}, 0); err == nil {
+	if _, err := AlignBanded(context.Background(), tr, dnaSch, Options{}, 0); err == nil {
 		t.Fatal("width 0 accepted")
 	}
 }

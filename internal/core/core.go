@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -60,6 +61,17 @@ const DefaultMaxBytes int64 = 4 << 30
 
 // ErrTooLarge is returned when an algorithm would exceed Options.MaxBytes.
 var ErrTooLarge = errors.New("core: score lattice exceeds memory cap")
+
+// checkCtx translates a done context into the error every kernel returns at
+// its cancellation points. Sequential kernels poll it at plane boundaries;
+// parallel kernels inherit the per-block polling of the wavefront
+// scheduler.
+func checkCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: alignment cancelled: %w", err)
+	}
+	return nil
+}
 
 func (o Options) workers() int { return wavefront.Workers(o.Workers) }
 
@@ -235,20 +247,27 @@ func prepare(tr seq.Triple, sch *scoring.Scheme) (ca, cb, cc []int8, err error) 
 }
 
 // AlignFull computes an optimal alignment with the sequential full-matrix
-// algorithm.
-func AlignFull(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+// algorithm. The context is polled at every i-plane boundary.
+func AlignFull(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
+		return nil, err
+	}
+	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
 	if FullMatrixBytes(tr) > opt.maxBytes() {
 		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, FullMatrixBytes(tr), opt.maxBytes())
 	}
 	t := mat.NewTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
-	fillRange(t, ca, cb, cc, sch,
-		wavefront.Span{Lo: 0, Hi: len(ca) + 1},
-		wavefront.Span{Lo: 0, Hi: len(cb) + 1},
-		wavefront.Span{Lo: 0, Hi: len(cc) + 1})
+	sj := wavefront.Span{Lo: 0, Hi: len(cb) + 1}
+	sk := wavefront.Span{Lo: 0, Hi: len(cc) + 1}
+	for i := 0; i <= len(ca); i++ {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
+		fillRange(t, ca, cb, cc, sch, wavefront.Span{Lo: i, Hi: i + 1}, sj, sk)
+	}
 	moves, err := tracebackTensor(t, ca, cb, cc, sch)
 	if err != nil {
 		return nil, err
@@ -259,9 +278,13 @@ func AlignFull(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alig
 // AlignParallel computes the same optimum as AlignFull using the blocked
 // wavefront schedule over a goroutine pool — the paper's parallel
 // algorithm. The full lattice is retained, so traceback is exact.
-func AlignParallel(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+// Cancellation is checked per block by the wavefront scheduler.
+func AlignParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
+		return nil, err
+	}
+	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
 	if FullMatrixBytes(tr) > opt.maxBytes() {
@@ -272,9 +295,11 @@ func AlignParallel(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.
 	si := wavefront.Partition(len(ca)+1, bs)
 	sj := wavefront.Partition(len(cb)+1, bs)
 	sk := wavefront.Partition(len(cc)+1, bs)
-	wavefront.Run3D(len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
+	if err := wavefront.Run3DContext(ctx, len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
 		fillRange(t, ca, cb, cc, sch, si[bi], sj[bj], sk[bk])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	moves, err := tracebackTensor(t, ca, cb, cc, sch)
 	if err != nil {
 		return nil, err

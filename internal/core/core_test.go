@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -60,7 +61,7 @@ func TestAlignFullKnownCases(t *testing.T) {
 	}
 	for _, c := range cases {
 		tr := dnaTriple(t, c.a, c.b, c.c)
-		aln, err := AlignFull(tr, dnaSch, Options{})
+		aln, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatalf("AlignFull(%q,%q,%q): %v", c.a, c.b, c.c, err)
 		}
@@ -73,7 +74,7 @@ func TestAlignFullKnownCases(t *testing.T) {
 
 func TestAlignFullIdenticalSequencesAllXXX(t *testing.T) {
 	tr := dnaTriple(t, "ACGTACGT", "ACGTACGT", "ACGTACGT")
-	aln, err := AlignFull(tr, dnaSch, Options{})
+	aln, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestAlignFullMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		aln, err := AlignFull(tr, dnaSch, Options{})
+		aln, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +119,7 @@ func TestAlignFullMatchesBruteForceProtein(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		aln, err := AlignFull(tr, sch, Options{})
+		aln, err := AlignFull(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestAlignFullMatchesBruteForceProtein(t *testing.T) {
 func TestAllAlgorithmsAgreeOnScore(t *testing.T) {
 	type algo struct {
 		name string
-		run  func(seq.Triple, *scoring.Scheme, Options) (*alignment.Alignment, error)
+		run  func(context.Context, seq.Triple, *scoring.Scheme, Options) (*alignment.Alignment, error)
 	}
 	algos := []algo{
 		{"parallel", AlignParallel},
@@ -146,14 +147,14 @@ func TestAllAlgorithmsAgreeOnScore(t *testing.T) {
 		} else {
 			tr = relatedTriple(rng.Int63(), 10+rng.Intn(25), 0.2)
 		}
-		ref, err := AlignFull(tr, dnaSch, Options{})
+		ref, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		checkAlignment(t, ref, dnaSch)
 		for _, a := range algos {
 			opt := Options{Workers: 1 + rng.Intn(8), BlockSize: 1 + rng.Intn(12)}
-			aln, err := a.run(tr, dnaSch, opt)
+			aln, err := a.run(context.Background(), tr, dnaSch, opt)
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, a.name, err)
 			}
@@ -178,17 +179,17 @@ func TestAlgorithmsHandleEmptySequences(t *testing.T) {
 	}
 	for _, s := range shapes {
 		tr := dnaTriple(t, s[0], s[1], s[2])
-		ref, err := AlignFull(tr, dnaSch, Options{})
+		ref, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatalf("%v full: %v", s, err)
 		}
 		checkAlignment(t, ref, dnaSch)
-		for name, run := range map[string]func(seq.Triple, *scoring.Scheme, Options) (*alignment.Alignment, error){
+		for name, run := range map[string]func(context.Context, seq.Triple, *scoring.Scheme, Options) (*alignment.Alignment, error){
 			"parallel":        AlignParallel,
 			"linear":          AlignLinear,
 			"parallel-linear": AlignParallelLinear,
 		} {
-			aln, err := run(tr, dnaSch, Options{Workers: 4, BlockSize: 3})
+			aln, err := run(context.Background(), tr, dnaSch, Options{Workers: 4, BlockSize: 3})
 			if err != nil {
 				t.Fatalf("%v %s: %v", s, name, err)
 			}
@@ -202,13 +203,13 @@ func TestAlgorithmsHandleEmptySequences(t *testing.T) {
 
 func TestAlignParallelManyConfigurations(t *testing.T) {
 	tr := relatedTriple(7, 40, 0.25)
-	ref, err := AlignFull(tr, dnaSch, Options{})
+	ref, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 3, 8, 33} {
 		for _, bs := range []int{1, 2, 7, 16, 64, 1000} {
-			aln, err := AlignParallel(tr, dnaSch, Options{Workers: workers, BlockSize: bs})
+			aln, err := AlignParallel(context.Background(), tr, dnaSch, Options{Workers: workers, BlockSize: bs})
 			if err != nil {
 				t.Fatalf("workers=%d bs=%d: %v", workers, bs, err)
 			}
@@ -224,12 +225,12 @@ func TestReversalSymmetry(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	for trial := 0; trial < 10; trial++ {
 		tr := randomTriple(rng, 4+rng.Intn(12), 4+rng.Intn(12), 4+rng.Intn(12))
-		fwd, err := AlignFull(tr, dnaSch, Options{})
+		fwd, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		rev := seq.Triple{A: tr.A.Reverse(), B: tr.B.Reverse(), C: tr.C.Reverse()}
-		bwd, err := AlignFull(rev, dnaSch, Options{})
+		bwd, err := AlignFull(context.Background(), rev, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,7 +243,7 @@ func TestReversalSymmetry(t *testing.T) {
 func TestSequencePermutationSymmetry(t *testing.T) {
 	// The SP objective is symmetric in the three sequences.
 	tr := relatedTriple(31, 18, 0.3)
-	base, err := AlignFull(tr, dnaSch, Options{})
+	base, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestSequencePermutationSymmetry(t *testing.T) {
 		{A: tr.B, B: tr.C, C: tr.A},
 	}
 	for i, p := range perms {
-		aln, err := AlignFull(p, dnaSch, Options{})
+		aln, err := AlignFull(context.Background(), p, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,37 +265,37 @@ func TestSequencePermutationSymmetry(t *testing.T) {
 
 func TestPrepareErrors(t *testing.T) {
 	tr := dnaTriple(t, "AC", "AC", "AC")
-	if _, err := AlignFull(tr, nil, Options{}); err == nil {
+	if _, err := AlignFull(context.Background(), tr, nil, Options{}); err == nil {
 		t.Error("nil scheme accepted")
 	}
-	if _, err := AlignFull(tr, scoring.BLOSUM62(), Options{}); err == nil {
+	if _, err := AlignFull(context.Background(), tr, scoring.BLOSUM62(), Options{}); err == nil {
 		t.Error("alphabet mismatch accepted")
 	}
 	mixed := seq.Triple{A: tr.A, B: tr.B, C: seq.MustNew("C", "ARN", seq.Protein)}
-	if _, err := AlignFull(mixed, dnaSch, Options{}); err == nil {
+	if _, err := AlignFull(context.Background(), mixed, dnaSch, Options{}); err == nil {
 		t.Error("mixed-alphabet triple accepted")
 	}
-	if _, err := AlignFull(seq.Triple{A: tr.A, B: tr.B}, dnaSch, Options{}); err == nil {
+	if _, err := AlignFull(context.Background(), seq.Triple{A: tr.A, B: tr.B}, dnaSch, Options{}); err == nil {
 		t.Error("missing sequence accepted")
 	}
 }
 
 func TestMemoryCap(t *testing.T) {
 	tr := dnaTriple(t, "ACGTACGTAC", "ACGTACGTAC", "ACGTACGTAC")
-	_, err := AlignFull(tr, dnaSch, Options{MaxBytes: 100})
+	_, err := AlignFull(context.Background(), tr, dnaSch, Options{MaxBytes: 100})
 	if !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("err = %v, want ErrTooLarge", err)
 	}
-	if _, err := AlignParallel(tr, dnaSch, Options{MaxBytes: 100}); !errors.Is(err, ErrTooLarge) {
+	if _, err := AlignParallel(context.Background(), tr, dnaSch, Options{MaxBytes: 100}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("parallel err = %v, want ErrTooLarge", err)
 	}
-	if _, err := AlignLinear(tr, dnaSch, Options{MaxBytes: 100}); !errors.Is(err, ErrTooLarge) {
+	if _, err := AlignLinear(context.Background(), tr, dnaSch, Options{MaxBytes: 100}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("linear err = %v, want ErrTooLarge", err)
 	}
-	if _, _, err := AlignPruned(tr, dnaSch, Options{MaxBytes: 100}); !errors.Is(err, ErrTooLarge) {
+	if _, _, err := AlignPruned(context.Background(), tr, dnaSch, Options{MaxBytes: 100}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("pruned err = %v, want ErrTooLarge", err)
 	}
-	if _, err := AlignAffine(tr, dnaSch, Options{MaxBytes: 100}); !errors.Is(err, ErrTooLarge) {
+	if _, err := AlignAffine(context.Background(), tr, dnaSch, Options{MaxBytes: 100}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("affine err = %v, want ErrTooLarge", err)
 	}
 }
@@ -316,19 +317,19 @@ func TestProteinEndToEnd(t *testing.T) {
 	}
 	g := seq.NewGenerator(seq.Protein, 41)
 	tr := g.RelatedTriple(25, seq.Uniform(0.2))
-	ref, err := AlignFull(tr, sch, Options{})
+	ref, err := AlignFull(context.Background(), tr, sch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkAlignment(t, ref, sch)
-	par, err := AlignParallel(tr, sch, Options{Workers: 4, BlockSize: 8})
+	par, err := AlignParallel(context.Background(), tr, sch, Options{Workers: 4, BlockSize: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if par.Score != ref.Score {
 		t.Fatalf("parallel protein %d != %d", par.Score, ref.Score)
 	}
-	lin, err := AlignLinear(tr, sch, Options{})
+	lin, err := AlignLinear(context.Background(), tr, sch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

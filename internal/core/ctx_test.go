@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/alignment"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// TestKernelsPreCancelled verifies every exact kernel rejects an
+// already-cancelled context before touching the lattice.
+func TestKernelsPreCancelled(t *testing.T) {
+	tr := dnaTriple(t, "ACGTACGT", "ACGACGT", "ACGTACG")
+	affSch, err := scoring.DNADefault().WithGaps(-4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	kernels := []struct {
+		name string
+		run  func() error
+	}{
+		{"full", func() error { _, err := AlignFull(ctx, tr, dnaSch, Options{}); return err }},
+		{"parallel", func() error { _, err := AlignParallel(ctx, tr, dnaSch, Options{}); return err }},
+		{"linear", func() error { _, err := AlignLinear(ctx, tr, dnaSch, Options{}); return err }},
+		{"parallel-linear", func() error { _, err := AlignParallelLinear(ctx, tr, dnaSch, Options{}); return err }},
+		{"diagonal", func() error { _, err := AlignDiagonal(ctx, tr, dnaSch, Options{}); return err }},
+		{"pruned", func() error { _, _, err := AlignPruned(ctx, tr, dnaSch, Options{}, -1000); return err }},
+		{"pruned-parallel", func() error { _, _, err := AlignPrunedParallel(ctx, tr, dnaSch, Options{}, -1000); return err }},
+		{"affine", func() error { _, err := AlignAffine(ctx, tr, affSch, Options{}); return err }},
+		{"affine-linear", func() error { _, err := AlignAffineLinear(ctx, tr, affSch, Options{}); return err }},
+		{"affine-parallel", func() error { _, err := AlignAffineParallel(ctx, tr, affSch, Options{}); return err }},
+		{"score", func() error { _, err := Score(ctx, tr, dnaSch, Options{}); return err }},
+	}
+	for _, k := range kernels {
+		err := k.run()
+		if err == nil {
+			t.Errorf("%s: pre-cancelled context accepted", k.name)
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want wrapped context.Canceled", k.name, err)
+		}
+	}
+}
+
+// TestKernelMidPlaneCancel cancels a sequential kernel after it has
+// started: the per-plane poll must stop the fill and surface the error.
+func TestKernelMidPlaneCancel(t *testing.T) {
+	g := seq.NewGenerator(seq.DNA, 91)
+	tr := g.RelatedTriple(80, seq.Uniform(0.1))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var aln *alignment.Alignment
+	var err error
+	go func() {
+		defer close(done)
+		aln, err = AlignFull(ctx, tr, dnaSch, Options{})
+	}()
+	cancel()
+	<-done
+	if err == nil {
+		// The fill won the race — legal, but then the result must be valid.
+		if vErr := aln.Validate(); vErr != nil {
+			t.Fatal(vErr)
+		}
+		return
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -20,9 +21,12 @@ import (
 // (n+m+p+1 of them) and touches memory in scattered order, which is
 // exactly the overhead the paper's blocked design removes; the F6
 // experiment quantifies the difference.
-func AlignDiagonal(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+func AlignDiagonal(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
+		return nil, err
+	}
+	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
 	if FullMatrixBytes(tr) > opt.maxBytes() {
@@ -33,6 +37,11 @@ func AlignDiagonal(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.
 	workers := opt.workers()
 
 	for d := 0; d <= n+m+p; d++ {
+		// The plane barrier is the natural cancellation point: between
+		// planes no worker goroutine is in flight.
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		iLo := d - m - p
 		if iLo < 0 {
 			iLo = 0

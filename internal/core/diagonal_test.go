@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -16,12 +17,12 @@ func TestAlignDiagonalEqualsFull(t *testing.T) {
 		} else {
 			tr = relatedTriple(rng.Int63(), 8+rng.Intn(20), 0.2)
 		}
-		ref, err := AlignFull(tr, dnaSch, Options{})
+		ref, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 2, 4, 7} {
-			aln, err := AlignDiagonal(tr, dnaSch, Options{Workers: workers})
+			aln, err := AlignDiagonal(context.Background(), tr, dnaSch, Options{Workers: workers})
 			if err != nil {
 				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
 			}
@@ -39,11 +40,11 @@ func TestAlignDiagonalEmptyShapes(t *testing.T) {
 		{"", "", ""}, {"ACGT", "", ""}, {"", "AC", "GT"}, {"A", "C", "G"},
 	} {
 		tr := dnaTriple(t, s[0], s[1], s[2])
-		ref, err := AlignFull(tr, dnaSch, Options{})
+		ref, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		aln, err := AlignDiagonal(tr, dnaSch, Options{Workers: 3})
+		aln, err := AlignDiagonal(context.Background(), tr, dnaSch, Options{Workers: 3})
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
@@ -55,7 +56,7 @@ func TestAlignDiagonalEmptyShapes(t *testing.T) {
 
 func TestAlignDiagonalMemoryCap(t *testing.T) {
 	tr := dnaTriple(t, "ACGTACGTAC", "ACGTACGTAC", "ACGTACGTAC")
-	if _, err := AlignDiagonal(tr, dnaSch, Options{MaxBytes: 64}); err == nil {
+	if _, err := AlignDiagonal(context.Background(), tr, dnaSch, Options{MaxBytes: 64}); err == nil {
 		t.Fatal("memory cap not enforced")
 	}
 }
@@ -64,11 +65,11 @@ func TestAlignPrunedParallelEqualsSequentialPruned(t *testing.T) {
 	rng := rand.New(rand.NewSource(67))
 	for trial := 0; trial < 8; trial++ {
 		tr := relatedTriple(rng.Int63(), 10+rng.Intn(25), 0.15)
-		seqAln, seqStats, err := AlignPruned(tr, dnaSch, Options{})
+		seqAln, seqStats, err := AlignPruned(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		parAln, parStats, err := AlignPrunedParallel(tr, dnaSch, Options{Workers: 4, BlockSize: 8})
+		parAln, parStats, err := AlignPrunedParallel(context.Background(), tr, dnaSch, Options{Workers: 4, BlockSize: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,11 +89,11 @@ func TestAlignPrunedParallelEqualsSequentialPruned(t *testing.T) {
 
 func TestAlignPrunedParallelWithHeuristicBound(t *testing.T) {
 	tr := relatedTriple(71, 40, 0.1)
-	ref, err := AlignFull(tr, dnaSch, Options{})
+	ref, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	aln, stats, err := AlignPrunedParallel(tr, dnaSch, Options{Workers: 3}, ref.Score)
+	aln, stats, err := AlignPrunedParallel(context.Background(), tr, dnaSch, Options{Workers: 3}, ref.Score)
 	if err != nil {
 		t.Fatal(err)
 	}

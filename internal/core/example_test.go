@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -15,8 +16,8 @@ func ExampleAlignParallel() {
 	tr := g.RelatedTriple(60, seq.MutationModel{SubstitutionRate: 0.2})
 	sch := scoring.DNADefault()
 
-	par, _ := core.AlignParallel(tr, sch, core.Options{Workers: 8, BlockSize: 16})
-	ref, _ := core.AlignFull(tr, sch, core.Options{})
+	par, _ := core.AlignParallel(context.Background(), tr, sch, core.Options{Workers: 8, BlockSize: 16})
+	ref, _ := core.AlignFull(context.Background(), tr, sch, core.Options{})
 	fmt.Println("parallel equals sequential:", par.Score == ref.Score)
 	// Output:
 	// parallel equals sequential: true
@@ -29,8 +30,8 @@ func ExampleAlignLinear() {
 	tr := g.RelatedTriple(80, seq.MutationModel{SubstitutionRate: 0.2})
 	sch := scoring.DNADefault()
 
-	lin, _ := core.AlignLinear(tr, sch, core.Options{})
-	ref, _ := core.AlignFull(tr, sch, core.Options{})
+	lin, _ := core.AlignLinear(context.Background(), tr, sch, core.Options{})
+	ref, _ := core.AlignFull(context.Background(), tr, sch, core.Options{})
 	fmt.Println("same optimum:", lin.Score == ref.Score)
 	fmt.Println("memory ratio >= 20x:", core.FullMatrixBytes(tr)/core.LinearBytes(tr) >= 20)
 	// Output:
@@ -45,8 +46,8 @@ func ExampleAlignPruned() {
 	tr := g.RelatedTriple(70, seq.MutationModel{SubstitutionRate: 0.05})
 	sch := scoring.DNADefault()
 
-	aln, stats, _ := core.AlignPruned(tr, sch, core.Options{})
-	ref, _ := core.AlignFull(tr, sch, core.Options{})
+	aln, stats, _ := core.AlignPruned(context.Background(), tr, sch, core.Options{})
+	ref, _ := core.AlignFull(context.Background(), tr, sch, core.Options{})
 	fmt.Println("optimal:", aln.Score == ref.Score)
 	fmt.Println("evaluated under 10% of cells:", stats.Fraction() < 0.10)
 	// Output:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/seq"
@@ -21,42 +22,42 @@ func FuzzAlgorithmsAgree(f *testing.F) {
 		if err != nil {
 			return // invalid residues: not this fuzzer's concern
 		}
-		ref, err := AlignFull(tr, dnaSch, Options{})
+		ref, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			t.Fatalf("AlignFull: %v", err)
 		}
 		checkAlignment(t, ref, dnaSch)
 		runs := map[string]func() (int32, error){
 			"parallel": func() (int32, error) {
-				aln, err := AlignParallel(tr, dnaSch, Options{Workers: 3, BlockSize: 4})
+				aln, err := AlignParallel(context.Background(), tr, dnaSch, Options{Workers: 3, BlockSize: 4})
 				if err != nil {
 					return 0, err
 				}
 				return aln.Score, nil
 			},
 			"linear": func() (int32, error) {
-				aln, err := AlignLinear(tr, dnaSch, Options{})
+				aln, err := AlignLinear(context.Background(), tr, dnaSch, Options{})
 				if err != nil {
 					return 0, err
 				}
 				return aln.Score, nil
 			},
 			"diagonal": func() (int32, error) {
-				aln, err := AlignDiagonal(tr, dnaSch, Options{Workers: 2})
+				aln, err := AlignDiagonal(context.Background(), tr, dnaSch, Options{Workers: 2})
 				if err != nil {
 					return 0, err
 				}
 				return aln.Score, nil
 			},
 			"pruned": func() (int32, error) {
-				aln, _, err := AlignPruned(tr, dnaSch, Options{})
+				aln, _, err := AlignPruned(context.Background(), tr, dnaSch, Options{})
 				if err != nil {
 					return 0, err
 				}
 				return aln.Score, nil
 			},
 			"score-only": func() (int32, error) {
-				return Score(tr, dnaSch, Options{})
+				return Score(context.Background(), tr, dnaSch, Options{})
 			},
 		}
 		for name, run := range runs {
@@ -111,18 +112,18 @@ func FuzzAffineFamilyAgrees(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ref, err := AlignAffine(tr, sch, Options{})
+		ref, err := AlignAffine(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatalf("AlignAffine(%q,%q,%q): %v", a, b, c, err)
 		}
-		lin, err := AlignAffineLinear(tr, sch, Options{})
+		lin, err := AlignAffineLinear(context.Background(), tr, sch, Options{})
 		if err != nil {
 			t.Fatalf("AlignAffineLinear(%q,%q,%q): %v", a, b, c, err)
 		}
 		if lin.Score != ref.Score {
 			t.Fatalf("linear %d != full %d for (%q,%q,%q)", lin.Score, ref.Score, a, b, c)
 		}
-		par, err := AlignAffineParallel(tr, sch, Options{Workers: 3, BlockSize: 3})
+		par, err := AlignAffineParallel(context.Background(), tr, sch, Options{Workers: 3, BlockSize: 3})
 		if err != nil {
 			t.Fatalf("AlignAffineParallel(%q,%q,%q): %v", a, b, c, err)
 		}

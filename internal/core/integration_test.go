@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -13,14 +14,14 @@ func TestLongSequencesLinearSpace(t *testing.T) {
 		t.Skip("long-input integration test")
 	}
 	tr := relatedTriple(2026, 320, 0.1)
-	lin, err := AlignParallelLinear(tr, dnaSch, Options{MaxBytes: 16 << 20})
+	lin, err := AlignParallelLinear(context.Background(), tr, dnaSch, Options{MaxBytes: 16 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkAlignment(t, lin, dnaSch)
 
 	// Independent cross-check with a completely different strategy.
-	pruned, _, err := AlignPruned(tr, dnaSch, Options{})
+	pruned, _, err := AlignPruned(context.Background(), tr, dnaSch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,11 +40,11 @@ func TestLongSequencesBandedFastPath(t *testing.T) {
 		t.Skip("long-input integration test")
 	}
 	tr := relatedTriple(2027, 200, 0.03)
-	ref, _, err := AlignPruned(tr, dnaSch, Options{})
+	ref, _, err := AlignPruned(context.Background(), tr, dnaSch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	banded, err := AlignBanded(tr, dnaSch, Options{}, 12)
+	banded, err := AlignBanded(context.Background(), tr, dnaSch, Options{}, 12)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -26,22 +27,22 @@ func TestColumnCountBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(901))
 	algos := map[string]func(seq.Triple) (*alignment.Alignment, error){
 		"full": func(tr seq.Triple) (*alignment.Alignment, error) {
-			return AlignFull(tr, dnaSch, Options{})
+			return AlignFull(context.Background(), tr, dnaSch, Options{})
 		},
 		"parallel": func(tr seq.Triple) (*alignment.Alignment, error) {
-			return AlignParallel(tr, dnaSch, Options{Workers: 3, BlockSize: 5})
+			return AlignParallel(context.Background(), tr, dnaSch, Options{Workers: 3, BlockSize: 5})
 		},
 		"linear": func(tr seq.Triple) (*alignment.Alignment, error) {
-			return AlignLinear(tr, dnaSch, Options{})
+			return AlignLinear(context.Background(), tr, dnaSch, Options{})
 		},
 		"diagonal": func(tr seq.Triple) (*alignment.Alignment, error) {
-			return AlignDiagonal(tr, dnaSch, Options{Workers: 2})
+			return AlignDiagonal(context.Background(), tr, dnaSch, Options{Workers: 2})
 		},
 		"affine": func(tr seq.Triple) (*alignment.Alignment, error) {
-			return AlignAffine(tr, dnaSch, Options{})
+			return AlignAffine(context.Background(), tr, dnaSch, Options{})
 		},
 		"banded": func(tr seq.Triple) (*alignment.Alignment, error) {
-			return AlignBanded(tr, dnaSch, Options{}, 3)
+			return AlignBanded(context.Background(), tr, dnaSch, Options{}, 3)
 		},
 	}
 	for trial := 0; trial < 10; trial++ {
@@ -65,9 +66,9 @@ func TestColumnCountBounds(t *testing.T) {
 func TestDeterministicTracebacks(t *testing.T) {
 	tr := relatedTriple(903, 25, 0.25)
 	for name, run := range map[string]func() (*alignment.Alignment, error){
-		"full":   func() (*alignment.Alignment, error) { return AlignFull(tr, dnaSch, Options{}) },
-		"linear": func() (*alignment.Alignment, error) { return AlignLinear(tr, dnaSch, Options{}) },
-		"affine": func() (*alignment.Alignment, error) { return AlignAffine(tr, dnaSch, Options{}) },
+		"full":   func() (*alignment.Alignment, error) { return AlignFull(context.Background(), tr, dnaSch, Options{}) },
+		"linear": func() (*alignment.Alignment, error) { return AlignLinear(context.Background(), tr, dnaSch, Options{}) },
+		"affine": func() (*alignment.Alignment, error) { return AlignAffine(context.Background(), tr, dnaSch, Options{}) },
 	} {
 		a, err := run()
 		if err != nil {
@@ -92,11 +93,11 @@ func TestDeterministicTracebacks(t *testing.T) {
 // is bitwise the same as the sequential one, so even the traceback agrees.
 func TestParallelTracebackMatchesSequential(t *testing.T) {
 	tr := relatedTriple(905, 30, 0.2)
-	seqAln, err := AlignFull(tr, dnaSch, Options{})
+	seqAln, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parAln, err := AlignParallel(tr, dnaSch, Options{Workers: 4, BlockSize: 7})
+	parAln, err := AlignParallel(context.Background(), tr, dnaSch, Options{Workers: 4, BlockSize: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,11 +125,11 @@ func TestScoreMonotoneInGapPenalty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sMild, err := Score(tr, mild, Options{})
+		sMild, err := Score(context.Background(), tr, mild, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		sHarsh, err := Score(tr, harsh, Options{})
+		sHarsh, err := Score(context.Background(), tr, harsh, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,8 +144,12 @@ func TestScoreMonotoneInGapPenalty(t *testing.T) {
 func TestAlignmentNeverHasAllGapColumn(t *testing.T) {
 	tr := relatedTriple(909, 20, 0.4)
 	for _, run := range []func() (*alignment.Alignment, error){
-		func() (*alignment.Alignment, error) { return AlignParallel(tr, dnaSch, Options{Workers: 5}) },
-		func() (*alignment.Alignment, error) { return AlignParallelLinear(tr, dnaSch, Options{Workers: 5}) },
+		func() (*alignment.Alignment, error) {
+			return AlignParallel(context.Background(), tr, dnaSch, Options{Workers: 5})
+		},
+		func() (*alignment.Alignment, error) {
+			return AlignParallelLinear(context.Background(), tr, dnaSch, Options{Workers: 5})
+		},
 	} {
 		aln, err := run()
 		if err != nil {

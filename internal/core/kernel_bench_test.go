@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/mat"
@@ -40,7 +41,7 @@ func BenchmarkKernelPlaneSweep(b *testing.B) {
 	sch := scoring.DNADefault()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		planeSweep(ca, cb, cc, sch, 1, DefaultBlockSize)
+		planeSweep(context.Background(), ca, cb, cc, sch, 1, DefaultBlockSize)
 	}
 }
 
@@ -68,7 +69,7 @@ func BenchmarkKernelAffineFill(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := affineDPMoves(ca, cb, cc, sch, 7, 0); err != nil {
+		if _, _, err := affineDPMoves(context.Background(), ca, cb, cc, sch, 7, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

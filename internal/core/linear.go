@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -121,28 +122,39 @@ func fillPlaneRange(cur, prev *mat.Plane, ai int8, cb, cc []int8, sch *scoring.S
 // planeSweep runs the forward DP over all of A and returns the final
 // (len(cb)+1)×(len(cc)+1) plane: out[j][k] is the optimal score of aligning
 // all of ca with cb[:j] and cc[:k]. With workers > 1 each plane is computed
-// by a 2D blocked wavefront.
-func planeSweep(ca, cb, cc []int8, sch *scoring.Scheme, workers, blockSize int) *mat.Plane {
+// by a 2D blocked wavefront. The context is polled at every plane boundary
+// (and per block inside parallel sweeps).
+func planeSweep(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, workers, blockSize int) (*mat.Plane, error) {
 	m, p := len(cb), len(cc)
 	prev := mat.NewPlane(m+1, p+1)
 	cur := mat.NewPlane(m+1, p+1)
 	sj := wavefront.Partition(m+1, blockSize)
 	sk := wavefront.Partition(p+1, blockSize)
-	sweep := func(dst, src *mat.Plane, ai int8) {
+	sweep := func(dst, src *mat.Plane, ai int8) error {
 		if workers <= 1 {
 			fillPlaneRange(dst, src, ai, cb, cc, sch, wavefront.Span{Lo: 0, Hi: m + 1}, wavefront.Span{Lo: 0, Hi: p + 1})
-			return
+			return nil
 		}
-		wavefront.Run2D(len(sj), len(sk), workers, func(bj, bk int) {
+		return wavefront.Run2DContext(ctx, len(sj), len(sk), workers, func(bj, bk int) {
 			fillPlaneRange(dst, src, ai, cb, cc, sch, sj[bj], sk[bk])
 		})
 	}
-	sweep(prev, nil, 0) // the i == 0 plane
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
+	if err := sweep(prev, nil, 0); err != nil { // the i == 0 plane
+		return nil, err
+	}
 	for i := 1; i <= len(ca); i++ {
-		sweep(cur, prev, ca[i-1])
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
+		if err := sweep(cur, prev, ca[i-1]); err != nil {
+			return nil, err
+		}
 		prev, cur = cur, prev
 	}
-	return prev
+	return prev, nil
 }
 
 // hctx carries the recursion-invariant state of a Hirschberg run.
@@ -167,7 +179,10 @@ func fullMoves(ca, cb, cc []int8, sch *scoring.Scheme) ([]alignment.Move, error)
 	return tracebackTensor(t, ca, cb, cc, sch)
 }
 
-func (h *hctx) rec(ca, cb, cc []int8) ([]alignment.Move, error) {
+func (h *hctx) rec(ctx context.Context, ca, cb, cc []int8) ([]alignment.Move, error) {
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
 	switch {
 	case len(ca) == 0:
 		return pairMoves(pairwise.Hirschberg(cb, cc, h.derived).Ops, 0), nil
@@ -184,18 +199,27 @@ func (h *hctx) rec(ca, cb, cc []int8) ([]alignment.Move, error) {
 
 	mid := len(ca) / 2
 	var fwd, bwdRev *mat.Plane
+	var errF, errB error
 	if h.parallel {
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fwd = planeSweep(ca[:mid], cb, cc, h.sch, h.workers, h.block)
+			fwd, errF = planeSweep(ctx, ca[:mid], cb, cc, h.sch, h.workers, h.block)
 		}()
-		bwdRev = planeSweep(reverseCodes(ca[mid:]), reverseCodes(cb), reverseCodes(cc), h.sch, h.workers, h.block)
+		bwdRev, errB = planeSweep(ctx, reverseCodes(ca[mid:]), reverseCodes(cb), reverseCodes(cc), h.sch, h.workers, h.block)
 		wg.Wait()
 	} else {
-		fwd = planeSweep(ca[:mid], cb, cc, h.sch, 1, h.block)
-		bwdRev = planeSweep(reverseCodes(ca[mid:]), reverseCodes(cb), reverseCodes(cc), h.sch, 1, h.block)
+		fwd, errF = planeSweep(ctx, ca[:mid], cb, cc, h.sch, 1, h.block)
+		if errF == nil {
+			bwdRev, errB = planeSweep(ctx, reverseCodes(ca[mid:]), reverseCodes(cb), reverseCodes(cc), h.sch, 1, h.block)
+		}
+	}
+	if errF != nil {
+		return nil, errF
+	}
+	if errB != nil {
+		return nil, errB
 	}
 
 	m, p := len(cb), len(cc)
@@ -216,14 +240,14 @@ func (h *hctx) rec(ca, cb, cc []int8) ([]alignment.Move, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			left, errL = h.rec(ca[:mid], cb[:bestJ], cc[:bestK])
+			left, errL = h.rec(ctx, ca[:mid], cb[:bestJ], cc[:bestK])
 		}()
-		right, errR = h.rec(ca[mid:], cb[bestJ:], cc[bestK:])
+		right, errR = h.rec(ctx, ca[mid:], cb[bestJ:], cc[bestK:])
 		wg.Wait()
 	} else {
-		left, errL = h.rec(ca[:mid], cb[:bestJ], cc[:bestK])
+		left, errL = h.rec(ctx, ca[:mid], cb[:bestJ], cc[:bestK])
 		if errL == nil {
-			right, errR = h.rec(ca[mid:], cb[bestJ:], cc[bestK:])
+			right, errR = h.rec(ctx, ca[mid:], cb[bestJ:], cc[bestK:])
 		}
 	}
 	if errL != nil {
@@ -243,7 +267,7 @@ func reverseCodes(s []int8) []int8 {
 	return out
 }
 
-func alignHirschberg(tr seq.Triple, sch *scoring.Scheme, opt Options, parallel bool) (*alignment.Alignment, error) {
+func alignHirschberg(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options, parallel bool) (*alignment.Alignment, error) {
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
 		return nil, err
@@ -259,7 +283,7 @@ func alignHirschberg(tr seq.Triple, sch *scoring.Scheme, opt Options, parallel b
 		parallel: parallel,
 	}
 	h.spawn.Store(int32(h.workers))
-	moves, err := h.rec(ca, cb, cc)
+	moves, err := h.rec(ctx, ca, cb, cc)
 	if err != nil {
 		return nil, err
 	}
@@ -272,13 +296,14 @@ func alignHirschberg(tr seq.Triple, sch *scoring.Scheme, opt Options, parallel b
 }
 
 // AlignLinear computes the same optimum as AlignFull with the 3D Hirschberg
-// divide-and-conquer, using O(len(B)·len(C)) working memory.
-func AlignLinear(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
-	return alignHirschberg(tr, sch, opt, false)
+// divide-and-conquer, using O(len(B)·len(C)) working memory. The context
+// is polled at every plane boundary and recursion step.
+func AlignLinear(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+	return alignHirschberg(ctx, tr, sch, opt, false)
 }
 
 // AlignParallelLinear is AlignLinear with parallel plane sweeps (2D blocked
 // wavefronts) and concurrent independent sub-problems.
-func AlignParallelLinear(tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
-	return alignHirschberg(tr, sch, opt, true)
+func AlignParallelLinear(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+	return alignHirschberg(ctx, tr, sch, opt, true)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -25,7 +26,7 @@ func quickTriple(seed int64, la, lb, lc uint8) seq.Triple {
 func TestPropertyPairwiseProjectionUpperBound(t *testing.T) {
 	f := func(seed int64, la, lb, lc uint8) bool {
 		tr := quickTriple(seed, la, lb, lc)
-		opt, err := Score(tr, dnaSch, Options{})
+		opt, err := Score(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			return false
 		}
@@ -45,7 +46,7 @@ func TestPropertyPairwiseProjectionUpperBound(t *testing.T) {
 func TestPropertyTrivialLowerBound(t *testing.T) {
 	f := func(seed int64, la, lb, lc uint8) bool {
 		tr := quickTriple(seed, la, lb, lc)
-		opt, err := Score(tr, dnaSch, Options{})
+		opt, err := Score(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			return false
 		}
@@ -74,15 +75,15 @@ func TestPropertyConcatenationSuperadditive(t *testing.T) {
 		whole := seq.Triple{A: join(a1, a2), B: join(b1, b2), C: join(c1, c2)}
 		left := seq.Triple{A: a1, B: b1, C: c1}
 		right := seq.Triple{A: a2, B: b2, C: c2}
-		sWhole, err := Score(whole, dnaSch, Options{})
+		sWhole, err := Score(context.Background(), whole, dnaSch, Options{})
 		if err != nil {
 			return false
 		}
-		sLeft, err := Score(left, dnaSch, Options{})
+		sLeft, err := Score(context.Background(), left, dnaSch, Options{})
 		if err != nil {
 			return false
 		}
-		sRight, err := Score(right, dnaSch, Options{})
+		sRight, err := Score(context.Background(), right, dnaSch, Options{})
 		if err != nil {
 			return false
 		}
@@ -99,7 +100,7 @@ func TestPropertyAppendSharedColumn(t *testing.T) {
 	matchCol := 3 * dnaSch.Sub(0, 0) // (A,A,A) column
 	f := func(seed int64, la, lb, lc uint8) bool {
 		tr := quickTriple(seed, la, lb, lc)
-		base, err := Score(tr, dnaSch, Options{})
+		base, err := Score(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			return false
 		}
@@ -108,7 +109,7 @@ func TestPropertyAppendSharedColumn(t *testing.T) {
 			B: seq.MustNew("B", tr.B.String()+"A", seq.DNA),
 			C: seq.MustNew("C", tr.C.String()+"A", seq.DNA),
 		}
-		got, err := Score(ext, dnaSch, Options{})
+		got, err := Score(context.Background(), ext, dnaSch, Options{})
 		if err != nil {
 			return false
 		}
@@ -130,7 +131,7 @@ func TestPropertyIdenticalTriplesScoreExactly(t *testing.T) {
 			B: seq.MustNew("B", s.String(), seq.DNA),
 			C: seq.MustNew("C", s.String(), seq.DNA),
 		}
-		opt, err := Score(tr, dnaSch, Options{})
+		opt, err := Score(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			return false
 		}
@@ -151,11 +152,11 @@ func TestPropertyIdenticalTriplesScoreExactly(t *testing.T) {
 func TestPropertyLinearEqualsFullQuick(t *testing.T) {
 	f := func(seed int64, la, lb, lc uint8) bool {
 		tr := quickTriple(seed, la, lb, lc)
-		full, err := AlignFull(tr, dnaSch, Options{})
+		full, err := AlignFull(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			return false
 		}
-		lin, err := AlignLinear(tr, dnaSch, Options{})
+		lin, err := AlignLinear(context.Background(), tr, dnaSch, Options{})
 		if err != nil {
 			return false
 		}

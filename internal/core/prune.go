@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alignment"
@@ -83,9 +84,12 @@ func min3(a, b, c int) int { return min2(min2(a, b), c) }
 // tighter valid lower bound (any real alignment's SP score, e.g. from a
 // heuristic) to prune more aggressively. Passing an L greater than the
 // optimum is invalid and yields an error or a sub-optimal result.
-func AlignPruned(tr seq.Triple, sch *scoring.Scheme, opt Options, lower ...mat.Score) (*alignment.Alignment, PruneStats, error) {
+func AlignPruned(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options, lower ...mat.Score) (*alignment.Alignment, PruneStats, error) {
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
+		return nil, PruneStats{}, err
+	}
+	if err := checkCtx(ctx); err != nil {
 		return nil, PruneStats{}, err
 	}
 	if FullMatrixBytes(tr) > opt.maxBytes() {
@@ -106,10 +110,15 @@ func AlignPruned(tr seq.Triple, sch *scoring.Scheme, opt Options, lower ...mat.S
 	n, m, p := len(ca), len(cb), len(cc)
 	t := mat.NewTensor3(n+1, m+1, p+1)
 	stats := PruneStats{TotalCells: int64(n+1) * int64(m+1) * int64(p+1), LowerBound: bound}
-	stats.EvaluatedCells = fillRangePruned(t, ca, cb, cc, sch, pc,
-		wavefront.Span{Lo: 0, Hi: n + 1},
-		wavefront.Span{Lo: 0, Hi: m + 1},
-		wavefront.Span{Lo: 0, Hi: p + 1})
+	sj := wavefront.Span{Lo: 0, Hi: m + 1}
+	sk := wavefront.Span{Lo: 0, Hi: p + 1}
+	for i := 0; i <= n; i++ {
+		if err := checkCtx(ctx); err != nil {
+			return nil, stats, err
+		}
+		stats.EvaluatedCells += fillRangePruned(t, ca, cb, cc, sch, pc,
+			wavefront.Span{Lo: i, Hi: i + 1}, sj, sk)
+	}
 
 	moves, err := tracebackTensor(t, ca, cb, cc, sch)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -133,9 +134,12 @@ func fillRangePruned(t *mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme, pc 
 // wavefront schedule: the paper's parallel algorithm evaluating only the
 // admissible region. The evaluated-cell count is identical to AlignPruned
 // (the bound is deterministic); only the schedule differs.
-func AlignPrunedParallel(tr seq.Triple, sch *scoring.Scheme, opt Options, lower ...mat.Score) (*alignment.Alignment, PruneStats, error) {
+func AlignPrunedParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options, lower ...mat.Score) (*alignment.Alignment, PruneStats, error) {
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
+		return nil, PruneStats{}, err
+	}
+	if err := checkCtx(ctx); err != nil {
 		return nil, PruneStats{}, err
 	}
 	if FullMatrixBytes(tr) > opt.maxBytes() {
@@ -160,15 +164,17 @@ func AlignPrunedParallel(tr seq.Triple, sch *scoring.Scheme, opt Options, lower 
 	sj := wavefront.Partition(m+1, bs)
 	sk := wavefront.Partition(p+1, bs)
 	var evaluated atomic.Int64
-	wavefront.Run3D(len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
-		evaluated.Add(fillRangePruned(t, ca, cb, cc, sch, pc, si[bi], sj[bj], sk[bk]))
-	})
-
 	stats := PruneStats{
-		TotalCells:     int64(n+1) * int64(m+1) * int64(p+1),
-		EvaluatedCells: evaluated.Load(),
-		LowerBound:     bound,
+		TotalCells: int64(n+1) * int64(m+1) * int64(p+1),
+		LowerBound: bound,
 	}
+	if err := wavefront.Run3DContext(ctx, len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
+		evaluated.Add(fillRangePruned(t, ca, cb, cc, sch, pc, si[bi], sj[bj], sk[bk]))
+	}); err != nil {
+		stats.EvaluatedCells = evaluated.Load()
+		return nil, stats, err
+	}
+	stats.EvaluatedCells = evaluated.Load()
 	moves, err := tracebackTensor(t, ca, cb, cc, sch)
 	if err != nil {
 		return nil, stats, fmt.Errorf("core: pruned traceback failed (is the lower bound valid?): %w", err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mat"
@@ -11,8 +12,8 @@ import (
 // Score computes the optimal linear-gap SP score without an alignment,
 // using two (m+1)×(p+1) planes — the cheapest exact query this package
 // offers. With opt.Workers > 1 each plane advances by a 2D blocked
-// wavefront.
-func Score(tr seq.Triple, sch *scoring.Scheme, opt Options) (mat.Score, error) {
+// wavefront. The context is polled at every plane boundary.
+func Score(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (mat.Score, error) {
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
 		return 0, err
@@ -25,6 +26,9 @@ func Score(tr seq.Triple, sch *scoring.Scheme, opt Options) (mat.Score, error) {
 	if opt.Workers != 0 {
 		workers = opt.workers()
 	}
-	final := planeSweep(ca, cb, cc, sch, workers, opt.blockSize())
+	final, err := planeSweep(ctx, ca, cb, cc, sch, workers, opt.blockSize())
+	if err != nil {
+		return 0, err
+	}
 	return final.At(len(cb), len(cc)), nil
 }

@@ -1,6 +1,7 @@
 package msa_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -18,7 +19,7 @@ func ExampleCenterStar() {
 
 	cs, _ := msa.CenterStar(tr, sch)
 	csr, _ := msa.CenterStarRefined(tr, sch)
-	opt, _ := core.AlignFull(tr, sch, core.Options{})
+	opt, _ := core.AlignFull(context.Background(), tr, sch, core.Options{})
 
 	fmt.Println("center-star <= refined:", cs.Score <= csr.Score)
 	fmt.Println("refined <= optimum:", csr.Score <= opt.Score)

@@ -1,6 +1,7 @@
 package msa
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestHeuristicsValidAndBounded(t *testing.T) {
 			g := seq.NewGenerator(seq.DNA, rng.Int63())
 			tr = g.RelatedTriple(8+rng.Intn(20), seq.Uniform(0.2))
 		}
-		opt, err := core.AlignFull(tr, dnaSch, core.Options{})
+		opt, err := core.AlignFull(context.Background(), tr, dnaSch, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func TestHeuristicsCloseToOptimalOnSimilarTriples(t *testing.T) {
 	// optimum (this is the regime where center-star's bound is tight).
 	g := seq.NewGenerator(seq.DNA, 5)
 	tr := g.RelatedTriple(60, seq.MutationModel{SubstitutionRate: 0.05})
-	opt, err := core.AlignFull(tr, dnaSch, core.Options{})
+	opt, err := core.AlignFull(context.Background(), tr, dnaSch, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,18 +109,18 @@ func TestHeuristicScoreIsValidPruningBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aln, stats, err := core.AlignPruned(tr, dnaSch, core.Options{}, cs.Score)
+	aln, stats, err := core.AlignPruned(context.Background(), tr, dnaSch, core.Options{}, cs.Score)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := core.AlignFull(tr, dnaSch, core.Options{})
+	opt, err := core.AlignFull(context.Background(), tr, dnaSch, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if aln.Score != opt.Score {
 		t.Fatalf("pruned with heuristic bound: %d != %d", aln.Score, opt.Score)
 	}
-	_, base, err := core.AlignPruned(tr, dnaSch, core.Options{})
+	_, base, err := core.AlignPruned(context.Background(), tr, dnaSch, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestCenterStarPicksBestCenter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := core.AlignFull(tr, dnaSch, core.Options{})
+	opt, err := core.AlignFull(context.Background(), tr, dnaSch, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,135 @@
+package wavefront
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRun3DContextCompletes(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var count atomic.Int64
+		err := Run3DContext(context.Background(), 4, 5, 6, workers, func(bi, bj, bk int) {
+			count.Add(1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error: %v", workers, err)
+		}
+		if count.Load() != 4*5*6 {
+			t.Fatalf("workers=%d: ran %d blocks, want %d", workers, count.Load(), 4*5*6)
+		}
+	}
+}
+
+func TestRun3DContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var count atomic.Int64
+		err := Run3DContext(ctx, 8, 8, 8, workers, func(bi, bj, bk int) {
+			count.Add(1)
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if count.Load() != 0 {
+			t.Fatalf("workers=%d: ran %d blocks on a pre-cancelled context", workers, count.Load())
+		}
+	}
+}
+
+func TestRun3DContextMidFlightCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var count atomic.Int64
+		before := runtime.NumGoroutine()
+		err := Run3DContext(ctx, 16, 16, 16, workers, func(bi, bj, bk int) {
+			if count.Add(1) == 10 {
+				cancel()
+			}
+			time.Sleep(50 * time.Microsecond)
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		total := int64(16 * 16 * 16)
+		if got := count.Load(); got >= total {
+			t.Fatalf("workers=%d: all %d blocks ran despite cancellation", workers, got)
+		}
+		waitForGoroutines(t, before)
+	}
+}
+
+func TestRun3DContextPanicContained(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		before := runtime.NumGoroutine()
+		var count atomic.Int64
+		err := Run3DContext(context.Background(), 8, 8, 8, workers, func(bi, bj, bk int) {
+			if count.Add(1) == 5 {
+				panic("boom")
+			}
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "boom" {
+			t.Fatalf("workers=%d: panic value = %v, want boom", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic error carries no stack", workers)
+		}
+		if !IsPanic(err) {
+			t.Fatalf("workers=%d: IsPanic = false for %v", workers, err)
+		}
+		waitForGoroutines(t, before)
+	}
+}
+
+func TestRun3DPanicReRaised(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run3D swallowed the block panic")
+		}
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", r)
+		}
+		if pe.Value != "kaboom" {
+			t.Fatalf("panic value = %v, want kaboom", pe.Value)
+		}
+	}()
+	Run3D(4, 4, 4, 2, func(bi, bj, bk int) {
+		if bi == 1 && bj == 1 {
+			panic("kaboom")
+		}
+	})
+}
+
+func TestRun2DContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Run2DContext(ctx, 8, 8, 4, func(bi, bj int) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// waitForGoroutines asserts the goroutine count settles back to (near) the
+// baseline, giving exiting workers a grace period.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}

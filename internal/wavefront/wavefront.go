@@ -18,11 +18,20 @@
 // values are not, because every read a block performs is of cells written
 // by blocks that happened-before it (atomic counters plus channel sends
 // establish the ordering).
+//
+// Run2DContext and Run3DContext add two robustness guarantees on top of
+// the plain runners: cooperative cancellation (workers stop claiming
+// blocks once the context is done and the pool drains without leaking
+// goroutines) and panic containment (a panic inside fn cancels the run
+// and is returned as a *PanicError instead of crashing the process).
 package wavefront
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -63,14 +72,47 @@ func Workers(requested int) int {
 	return requested
 }
 
+// PanicError is returned by the context-aware runners when fn panicked in
+// a worker. Value is the recovered panic value and Stack the worker's stack
+// at the point of the panic.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("wavefront: panic in block function: %v\n%s", e.Value, e.Stack)
+}
+
 // Run3D executes fn for every block of an nbi×nbj×nbk grid in wavefront
 // order using the given number of workers (clamped by Workers). fn must
 // only read cells produced by predecessor blocks; the scheduler guarantees
 // those writes are visible. Run3D returns when every block has completed.
+// A panic inside fn is re-raised on the calling goroutine as a *PanicError.
 func Run3D(nbi, nbj, nbk, workers int, fn func(bi, bj, bk int)) {
+	if err := Run3DContext(context.Background(), nbi, nbj, nbk, workers, fn); err != nil {
+		// A background context never cancels, so the only possible error is
+		// a contained panic; surface it where the caller can recover it.
+		panic(err)
+	}
+}
+
+// Run2D executes fn for every block of an nbi×nbj grid in wavefront order;
+// see Run3D for the contract.
+func Run2D(nbi, nbj, workers int, fn func(bi, bj int)) {
+	Run3D(nbi, nbj, 1, workers, func(bi, bj, _ int) { fn(bi, bj) })
+}
+
+// Run3DContext is Run3D with cooperative cancellation and panic
+// containment. Workers check the context before claiming each block; when
+// it is cancelled the pool drains (in-flight blocks finish, queued ones are
+// abandoned) and the wrapped context error is returned. A panic inside fn
+// cancels the remaining schedule and is returned as a *PanicError. All
+// worker goroutines have exited by the time Run3DContext returns.
+func Run3DContext(ctx context.Context, nbi, nbj, nbk, workers int, fn func(bi, bj, bk int)) error {
 	total := nbi * nbj * nbk
 	if total <= 0 {
-		return
+		return nil
 	}
 	workers = Workers(workers)
 	if workers > total {
@@ -78,16 +120,28 @@ func Run3D(nbi, nbj, nbk, workers int, fn func(bi, bj, bk int)) {
 	}
 	if workers == 1 {
 		// Sequential fast path: plain lexicographic order satisfies all
-		// dependencies with no synchronization.
+		// dependencies with no synchronization. The context is polled per
+		// block, the same granularity the pooled path offers.
+		var pe *PanicError
 		for bi := 0; bi < nbi; bi++ {
 			for bj := 0; bj < nbj; bj++ {
 				for bk := 0; bk < nbk; bk++ {
-					fn(bi, bj, bk)
+					if err := ctx.Err(); err != nil {
+						return fmt.Errorf("wavefront: run cancelled: %w", err)
+					}
+					if pe = safeRun(fn, bi, bj, bk); pe != nil {
+						return pe
+					}
 				}
 			}
 		}
-		return
+		return nil
 	}
+
+	// An internal cancel lets a panicking worker stop its peers even when
+	// the caller's context never fires.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	idx := func(bi, bj, bk int) int { return (bi*nbj+bj)*nbk + bk }
 	remaining := make([]atomic.Int32, total)
@@ -109,39 +163,81 @@ func Run3D(nbi, nbj, nbk, workers int, fn func(bi, bj, bk int)) {
 		}
 	}
 
+	// ready is buffered for every block, so successor sends never block and
+	// a cancelled run can abandon queued entries without a drain protocol.
 	ready := make(chan int, total)
 	ready <- 0 // block (0,0,0) has no predecessors
 	var done atomic.Int32
+	var panicOnce sync.Once
+	var panicErr *PanicError
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for id := range ready {
-				bi := id / (nbj * nbk)
-				bj := (id / nbk) % nbj
-				bk := id % nbk
-				fn(bi, bj, bk)
-				if bi+1 < nbi && remaining[idx(bi+1, bj, bk)].Add(-1) == 0 {
-					ready <- idx(bi+1, bj, bk)
-				}
-				if bj+1 < nbj && remaining[idx(bi, bj+1, bk)].Add(-1) == 0 {
-					ready <- idx(bi, bj+1, bk)
-				}
-				if bk+1 < nbk && remaining[idx(bi, bj, bk+1)].Add(-1) == 0 {
-					ready <- idx(bi, bj, bk+1)
-				}
-				if int(done.Add(1)) == total {
-					close(ready)
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case id, ok := <-ready:
+					if !ok {
+						return
+					}
+					if runCtx.Err() != nil {
+						return
+					}
+					bi := id / (nbj * nbk)
+					bj := (id / nbk) % nbj
+					bk := id % nbk
+					if pe := safeRun(fn, bi, bj, bk); pe != nil {
+						panicOnce.Do(func() { panicErr = pe })
+						cancel()
+						return
+					}
+					if bi+1 < nbi && remaining[idx(bi+1, bj, bk)].Add(-1) == 0 {
+						ready <- idx(bi+1, bj, bk)
+					}
+					if bj+1 < nbj && remaining[idx(bi, bj+1, bk)].Add(-1) == 0 {
+						ready <- idx(bi, bj+1, bk)
+					}
+					if bk+1 < nbk && remaining[idx(bi, bj, bk+1)].Add(-1) == 0 {
+						ready <- idx(bi, bj, bk+1)
+					}
+					if int(done.Add(1)) == total {
+						close(ready)
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if panicErr != nil {
+		return panicErr
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("wavefront: run cancelled: %w", err)
+	}
+	return nil
 }
 
-// Run2D executes fn for every block of an nbi×nbj grid in wavefront order;
-// see Run3D for the contract.
-func Run2D(nbi, nbj, workers int, fn func(bi, bj int)) {
-	Run3D(nbi, nbj, 1, workers, func(bi, bj, _ int) { fn(bi, bj) })
+// Run2DContext is Run2D with the cancellation and panic-containment
+// guarantees of Run3DContext.
+func Run2DContext(ctx context.Context, nbi, nbj, workers int, fn func(bi, bj int)) error {
+	return Run3DContext(ctx, nbi, nbj, 1, workers, func(bi, bj, _ int) { fn(bi, bj) })
+}
+
+// IsPanic reports whether err carries a contained worker panic.
+func IsPanic(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
+
+func safeRun(fn func(bi, bj, bk int), bi, bj, bk int) (pe *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn(bi, bj, bk)
+	return nil
 }

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -119,17 +121,41 @@ type Options struct {
 	// MaxBytes caps lattice allocations; non-positive means the core
 	// default (4 GiB).
 	MaxBytes int64
+	// Deadline, when positive, bounds the wall-clock time of one Align
+	// call: the alignment runs under a context that expires after this
+	// duration (in addition to any deadline already on the caller's
+	// context). Use Deadline to bound time and MaxBytes to bound memory;
+	// for screening workloads the two are complementary — MaxBytes rejects
+	// oversized inputs instantly, Deadline catches inputs that fit in
+	// memory but compute too slowly.
+	Deadline time.Duration
+	// Fallback enables graceful degradation for exact algorithms: when the
+	// exact run is stopped by a deadline, a cancelled context with budget
+	// remaining, or the MaxBytes admission check, the triple is re-aligned
+	// with AlgorithmCenterStarRefined inside the remaining budget and the
+	// Result is marked Degraded instead of returning the error. Fallback
+	// never triggers when the caller's own context is already done.
+	Fallback bool
 }
 
 // Result is a completed alignment plus execution metadata.
 type Result struct {
 	*Alignment
-	// Algorithm is the algorithm that actually ran (resolved from Auto).
+	// Algorithm is the algorithm that actually ran (resolved from Auto;
+	// AlgorithmCenterStarRefined when Degraded).
 	Algorithm Algorithm
 	// Elapsed is the wall-clock alignment time.
 	Elapsed time.Duration
 	// Prune carries Carrillo–Lipman statistics when AlgorithmPruned ran.
 	Prune *PruneStats
+	// Degraded reports that the exact algorithm was abandoned (deadline or
+	// memory cap) and the alignment came from the heuristic fallback; the
+	// score is a lower bound on the optimum, not the optimum.
+	Degraded bool
+	// DegradedCause is the error that triggered the fallback when Degraded
+	// is set; it wraps ErrTooLarge, context.DeadlineExceeded, or
+	// context.Canceled and satisfies errors.Is for them.
+	DegradedCause error
 }
 
 // DefaultScheme returns the default scoring scheme for an alphabet:
@@ -196,61 +222,66 @@ func NewGenerator(alpha *Alphabet, s int64) *Generator { return seq.NewGenerator
 // alignment in screening pipelines.
 func KmerDistance(a, b *Sequence, k int) float64 { return seq.KmerDistance(a, b, k) }
 
-// Align aligns the triple according to opt.
-func Align(tr Triple, opt Options) (*Result, error) {
-	if err := tr.Validate(); err != nil {
-		return nil, err
+// resolveScheme returns opt.Scheme or the alphabet default.
+func resolveScheme(tr Triple, opt Options) (*Scheme, error) {
+	if opt.Scheme != nil {
+		return opt.Scheme, nil
 	}
-	sch := opt.Scheme
-	if sch == nil {
-		var err error
-		sch, err = DefaultScheme(tr.A.Alphabet())
-		if err != nil {
-			return nil, err
-		}
-	}
-	copt := core.Options{Workers: opt.Workers, BlockSize: opt.BlockSize, MaxBytes: opt.MaxBytes}
-	algo := opt.Algorithm
-	if algo == AlgorithmAuto {
-		maxB := copt.MaxBytes
-		if maxB <= 0 {
-			maxB = core.DefaultMaxBytes
-		}
-		switch {
-		case sch.Affine() && 7*core.FullMatrixBytes(tr) <= maxB:
-			algo = AlgorithmAffineParallel
-		case sch.Affine():
-			algo = AlgorithmAffineLinear
-		case core.FullMatrixBytes(tr) <= maxB:
-			algo = AlgorithmParallel
-		default:
-			algo = AlgorithmParallelLinear
-		}
-	}
+	return DefaultScheme(tr.A.Alphabet())
+}
 
-	start := time.Now()
-	var (
-		aln   *Alignment
-		prune *PruneStats
-		err   error
-	)
+// resolveAlgorithm maps AlgorithmAuto to a concrete strategy for the
+// triple and scheme. With parallel set it picks the intra-alignment
+// parallel variants (the single-call default); otherwise the sequential
+// ones (the right choice when an outer batch supplies the parallelism).
+func resolveAlgorithm(tr Triple, sch *Scheme, opt Options, parallel bool) Algorithm {
+	if opt.Algorithm != AlgorithmAuto {
+		return opt.Algorithm
+	}
+	maxB := opt.MaxBytes
+	if maxB <= 0 {
+		maxB = core.DefaultMaxBytes
+	}
+	switch {
+	case sch.Affine() && 7*core.FullMatrixBytes(tr) <= maxB:
+		if parallel {
+			return AlgorithmAffineParallel
+		}
+		return AlgorithmAffine
+	case sch.Affine():
+		return AlgorithmAffineLinear
+	case core.FullMatrixBytes(tr) <= maxB:
+		if parallel {
+			return AlgorithmParallel
+		}
+		return AlgorithmFull
+	default:
+		if parallel {
+			return AlgorithmParallelLinear
+		}
+		return AlgorithmLinear
+	}
+}
+
+// runAlgorithm dispatches one resolved algorithm.
+func runAlgorithm(ctx context.Context, algo Algorithm, tr Triple, sch *Scheme, copt core.Options) (aln *Alignment, prune *PruneStats, err error) {
 	switch algo {
 	case AlgorithmFull:
-		aln, err = core.AlignFull(tr, sch, copt)
+		aln, err = core.AlignFull(ctx, tr, sch, copt)
 	case AlgorithmParallel:
-		aln, err = core.AlignParallel(tr, sch, copt)
+		aln, err = core.AlignParallel(ctx, tr, sch, copt)
 	case AlgorithmLinear:
-		aln, err = core.AlignLinear(tr, sch, copt)
+		aln, err = core.AlignLinear(ctx, tr, sch, copt)
 	case AlgorithmParallelLinear:
-		aln, err = core.AlignParallelLinear(tr, sch, copt)
+		aln, err = core.AlignParallelLinear(ctx, tr, sch, copt)
 	case AlgorithmDiagonal:
-		aln, err = core.AlignDiagonal(tr, sch, copt)
+		aln, err = core.AlignDiagonal(ctx, tr, sch, copt)
 	case AlgorithmAffine:
-		aln, err = core.AlignAffine(tr, sch, copt)
+		aln, err = core.AlignAffine(ctx, tr, sch, copt)
 	case AlgorithmAffineLinear:
-		aln, err = core.AlignAffineLinear(tr, sch, copt)
+		aln, err = core.AlignAffineLinear(ctx, tr, sch, copt)
 	case AlgorithmAffineParallel:
-		aln, err = core.AlignAffineParallel(tr, sch, copt)
+		aln, err = core.AlignAffineParallel(ctx, tr, sch, copt)
 	case AlgorithmPruned, AlgorithmPrunedParallel:
 		var bound *Alignment
 		bound, err = msa.CenterStarRefined(tr, sch)
@@ -259,9 +290,9 @@ func Align(tr Triple, opt Options) (*Result, error) {
 		}
 		var st core.PruneStats
 		if algo == AlgorithmPruned {
-			aln, st, err = core.AlignPruned(tr, sch, copt, bound.Score)
+			aln, st, err = core.AlignPruned(ctx, tr, sch, copt, bound.Score)
 		} else {
-			aln, st, err = core.AlignPrunedParallel(tr, sch, copt, bound.Score)
+			aln, st, err = core.AlignPrunedParallel(ctx, tr, sch, copt, bound.Score)
 		}
 		if err == nil {
 			prune = &st
@@ -273,9 +304,88 @@ func Align(tr Triple, opt Options) (*Result, error) {
 	case AlgorithmProgressive:
 		aln, err = msa.Progressive(tr, sch)
 	default:
-		return nil, fmt.Errorf("repro: unknown algorithm %q", algo)
+		return nil, nil, fmt.Errorf("repro: unknown algorithm %q", algo)
 	}
+	return aln, prune, err
+}
+
+// exactAlgorithm reports whether algo is one of the exact kernels — the
+// only algorithms the Fallback policy degrades from.
+func exactAlgorithm(algo Algorithm) bool {
+	switch algo {
+	case AlgorithmCenterStar, AlgorithmCenterStarRefined, AlgorithmProgressive:
+		return false
+	}
+	return true
+}
+
+// degradable reports whether err is a budget exhaustion the Fallback
+// policy may recover from: a deadline or cancellation that stopped the
+// kernel mid-flight, or the MaxBytes admission check rejecting the lattice
+// up front.
+func degradable(err error) bool {
+	return errors.Is(err, ErrTooLarge) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// Align aligns the triple according to opt. It is AlignContext under
+// context.Background(): uncancellable, but still subject to Options.Deadline
+// and Options.Fallback.
+func Align(tr Triple, opt Options) (*Result, error) {
+	return AlignContext(context.Background(), tr, opt)
+}
+
+// AlignContext aligns the triple according to opt under a context — the
+// primary entry point. Cancelling ctx (or exceeding Options.Deadline)
+// stops the alignment cooperatively: sequential kernels poll at plane
+// boundaries, parallel kernels per wavefront block, and the worker pool
+// drains without leaking goroutines. The returned error wraps
+// context.Canceled or context.DeadlineExceeded (check with errors.Is).
+//
+// With Options.Fallback set, a deadline or memory-cap failure of an exact
+// algorithm degrades to AlgorithmCenterStarRefined instead of failing; the
+// Result then has Degraded set and DegradedCause holding the original
+// error.
+func AlignContext(ctx context.Context, tr Triple, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("repro: align: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	sch, err := resolveScheme(tr, opt)
 	if err != nil {
+		return nil, err
+	}
+	copt := core.Options{Workers: opt.Workers, BlockSize: opt.BlockSize, MaxBytes: opt.MaxBytes}
+	algo := resolveAlgorithm(tr, sch, opt, true)
+
+	runCtx := ctx
+	if opt.Deadline > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
+	}
+
+	start := time.Now()
+	aln, prune, err := runAlgorithm(runCtx, algo, tr, sch, copt)
+	if err != nil {
+		// Degrade only when the caller's own context still has budget:
+		// a dead parent means the caller is gone, not over-ambitious.
+		if opt.Fallback && exactAlgorithm(algo) && degradable(err) && ctx.Err() == nil {
+			aln2, ferr := msa.CenterStarRefined(tr, sch)
+			if ferr != nil {
+				return nil, fmt.Errorf("repro: fallback after %v failed: %w", err, ferr)
+			}
+			return &Result{
+				Alignment:     aln2,
+				Algorithm:     AlgorithmCenterStarRefined,
+				Elapsed:       time.Since(start),
+				Degraded:      true,
+				DegradedCause: err,
+			}, nil
+		}
 		return nil, err
 	}
 	return &Result{Alignment: aln, Algorithm: algo, Elapsed: time.Since(start), Prune: prune}, nil
