@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pairwise"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// Machine-readable kernel metrics: BENCH_<rev>.json is the perf-regression
+// baseline the CI bench-smoke job archives. Each entry reports the cell
+// rate, per-operation allocation profile, and predicted peak lattice bytes
+// of one alignment kernel on a fixed seeded workload, so two revisions can
+// be diffed without re-parsing text tables.
+
+// kernelMetric is one kernel's measurement.
+type kernelMetric struct {
+	Kernel           string  `json:"kernel"`
+	N                int     `json:"n"`
+	Cells            int64   `json:"cells"`
+	NsPerOp          int64   `json:"ns_per_op"`
+	McellsPerS       float64 `json:"mcells_per_s"`
+	AllocsPerOp      uint64  `json:"allocs_per_op"`
+	BytesPerOp       uint64  `json:"bytes_per_op"`
+	PeakLatticeBytes int64   `json:"peak_lattice_bytes"`
+}
+
+// benchReport is the top-level BENCH_<rev>.json document.
+type benchReport struct {
+	Rev        string         `json:"rev"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Quick      bool           `json:"quick"`
+	Reps       int            `json:"reps"`
+	Kernels    []kernelMetric `json:"kernels"`
+}
+
+// gitRev is the short commit hash used in the default output name, or "dev"
+// outside a git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	if rev := strings.TrimSpace(string(out)); rev != "" {
+		return rev
+	}
+	return "dev"
+}
+
+// resolveBenchJSON maps the -benchjson flag to an output path: "off"
+// disables, "auto" writes BENCH_<rev>.json only when the whole suite runs,
+// and anything else is an explicit path that always triggers emission.
+func resolveBenchJSON(flagVal string, allExperiments bool) string {
+	switch flagVal {
+	case "off":
+		return ""
+	case "auto":
+		if allExperiments {
+			return "BENCH_" + gitRev() + ".json"
+		}
+		return ""
+	default:
+		return flagVal
+	}
+}
+
+// measureKernel times reps runs of f after one warm-up and reports the mean
+// latency plus the per-run heap allocation profile.
+func measureKernel(reps int, f func()) (mean time.Duration, bytesPerOp, allocsPerOp uint64) {
+	if reps < 1 {
+		reps = 1
+	}
+	f() // warm-up: page in lattices, populate the buffer arena
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed / time.Duration(reps),
+		(after.TotalAlloc - before.TotalAlloc) / uint64(reps),
+		(after.Mallocs - before.Mallocs) / uint64(reps)
+}
+
+// writeBenchJSON measures every kernel on seeded workloads and writes the
+// report to path.
+func writeBenchJSON(path string, cfg config) error {
+	ctx := context.Background()
+	sch := dnaSch()
+	affSch, err := scoring.DNADefault().WithGaps(-4, -1)
+	if err != nil {
+		return err
+	}
+	n := pick(cfg.quick, 48, 96)
+	nAff := pick(cfg.quick, 24, 48)
+	tr := triple(12000, n, 0.3)
+	trAff := triple(12000, nAff, 0.3)
+	nPair := pick(cfg.quick, 256, 512)
+	g := seq.NewGenerator(seq.DNA, 12001)
+	pa := g.Random("A", nPair).Codes()
+	pb := g.Random("B", nPair).Codes()
+
+	pairCells := int64(nPair+1) * int64(nPair+1)
+	lattice := func(t seq.Triple) int64 { return core.FullMatrixBytes(t) }
+	kernels := []struct {
+		name  string
+		n     int
+		peak  int64
+		run   func()
+		cells int64
+	}{
+		{"full", n, lattice(tr), func() {
+			mustAlign(core.AlignFull(ctx, tr, sch, core.Options{}))
+		}, cells(tr)},
+		{"parallel", n, lattice(tr), func() {
+			mustAlign(core.AlignParallel(ctx, tr, sch, core.Options{}))
+		}, cells(tr)},
+		{"score", n, 2 * int64(tr.B.Len()+1) * int64(tr.C.Len()+1) * 4, func() {
+			if _, err := core.Score(ctx, tr, sch, core.Options{}); err != nil {
+				panic(err)
+			}
+		}, cells(tr)},
+		{"linear", n, core.LinearBytes(tr), func() {
+			mustAlign(core.AlignLinear(ctx, tr, sch, core.Options{}))
+		}, cells(tr)},
+		{"pruned", n, lattice(tr), func() {
+			if _, _, err := core.AlignPruned(ctx, tr, sch, core.Options{}); err != nil {
+				panic(err)
+			}
+		}, cells(tr)},
+		{"diagonal", n, lattice(tr), func() {
+			mustAlign(core.AlignDiagonal(ctx, tr, sch, core.Options{}))
+		}, cells(tr)},
+		{"affine7", nAff, 7 * lattice(trAff), func() {
+			mustAlign(core.AlignAffine(ctx, trAff, affSch, core.Options{}))
+		}, cells(trAff)},
+		{"pairwise-global", nPair, pairCells * 4, func() {
+			pairwise.Global(pa, pb, sch)
+		}, pairCells},
+		{"pairwise-gotoh", nPair, 3 * pairCells * 4, func() {
+			pairwise.GlobalAffine(pa, pb, affSch)
+		}, pairCells},
+	}
+
+	rep := benchReport{
+		Rev:        gitRev(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      cfg.quick,
+		Reps:       cfg.reps,
+	}
+	for _, k := range kernels {
+		mean, bytesPerOp, allocsPerOp := measureKernel(cfg.reps, k.run)
+		m := kernelMetric{
+			Kernel:           k.name,
+			N:                k.n,
+			Cells:            k.cells,
+			NsPerOp:          mean.Nanoseconds(),
+			AllocsPerOp:      allocsPerOp,
+			BytesPerOp:       bytesPerOp,
+			PeakLatticeBytes: k.peak,
+		}
+		if mean > 0 {
+			m.McellsPerS = float64(k.cells) / mean.Seconds() / 1e6
+		}
+		rep.Kernels = append(rep.Kernels, m)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -5,10 +5,17 @@
 //
 // Usage:
 //
-//	benchsuite                 # run everything
+//	benchsuite                 # run everything; also writes BENCH_<rev>.json
 //	benchsuite -exp f1,t3      # selected experiments
 //	benchsuite -quick          # reduced sizes and repetitions
 //	benchsuite -reps 5         # more repetitions per configuration
+//	benchsuite -benchjson p    # force machine-readable kernel metrics to p
+//	benchsuite -benchjson off  # never write kernel metrics
+//
+// BENCH_<rev>.json records per-kernel Mcells/s, allocs/op, bytes/op, and
+// predicted peak lattice bytes on seeded workloads — the machine-readable
+// perf-regression baseline consumed by the CI bench-smoke job. With the
+// default -benchjson auto it is written only when every experiment runs.
 //
 // On hosts with fewer cores than a worker setting, measured wall-clock
 // times stay flat while the "sim-speedup" column — the makespan of the
@@ -82,10 +89,11 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		expFlag = fs.String("exp", "all", "comma-separated experiment ids (t1,t2,f1,f2,f3,t3,f4,t4,f5,t5,f6,f7) or 'all'")
-		quick   = fs.Bool("quick", false, "reduced sizes and repetitions")
-		reps    = fs.Int("reps", 3, "repetitions per configuration")
-		csvOut  = fs.Bool("csv", false, "emit CSV instead of text tables")
+		expFlag   = fs.String("exp", "all", "comma-separated experiment ids (t1,t2,f1,f2,f3,t3,f4,t4,f5,t5,f6,f7) or 'all'")
+		quick     = fs.Bool("quick", false, "reduced sizes and repetitions")
+		reps      = fs.Int("reps", 3, "repetitions per configuration")
+		csvOut    = fs.Bool("csv", false, "emit CSV instead of text tables")
+		benchjson = fs.String("benchjson", "auto", "kernel metrics JSON: 'auto' (BENCH_<rev>.json when running all), 'off', or an explicit path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("benchsuite: %w", err)
@@ -112,6 +120,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if ran == 0 {
 		return fmt.Errorf("benchsuite: no experiment matches -exp %q", *expFlag)
+	}
+	if path := resolveBenchJSON(*benchjson, want["all"]); path != "" {
+		if err := writeBenchJSON(path, cfg); err != nil {
+			return fmt.Errorf("benchsuite: benchjson: %w", err)
+		}
+		fmt.Fprintf(cfg.out, "\nwrote kernel metrics to %s\n", path)
 	}
 	return nil
 }
@@ -182,9 +196,13 @@ func runF1(cfg config) error {
 	sk := wavefront.Partition(tr.C.Len()+1, core.DefaultBlockSize)
 	cost := wavefront.SpanCost(si, sj, sk, 1)
 	sim1 := wavefront.Simulate(len(si), len(sj), len(sk), 1, cost)
+	procs := runtime.NumCPU()
 	tab := bench.NewTable(fmt.Sprintf("F1: speedup vs workers (n=%d, block=%d)", n, core.DefaultBlockSize),
 		"workers", "time", "meas-speedup", "sim-speedup")
-	tab.Caption = "expected: near-linear sim-speedup until the wavefront width saturates;\nmeasured speedup tracks it only when the host has that many cores"
+	tab.Caption = fmt.Sprintf("expected: near-linear sim-speedup until the wavefront width saturates;\n"+
+		"measured speedup tracks it only when the host has that many cores\n"+
+		"* = workers exceed the host's %d core(s); meas-speedup is invalid there,\n"+
+		"read sim-speedup for the scaling curve", procs)
 	var t1 time.Duration
 	for _, w := range workerSweep() {
 		t := bench.Measure(cfg.reps, func() {
@@ -194,7 +212,15 @@ func runF1(cfg config) error {
 			t1 = t.Mean
 		}
 		sim := sim1 / wavefront.Simulate(len(si), len(sj), len(sk), w, cost)
-		tab.AddRowf(w, t.Mean, bench.Speedup(t1, t.Mean), sim)
+		// The trailing space on unstarred rows keeps the column aligned:
+		// Render right-aligns only purely numeric cells.
+		meas := fmt.Sprintf("%.2f", bench.Speedup(t1, t.Mean))
+		if w > procs {
+			meas += "*"
+		} else {
+			meas += " "
+		}
+		tab.AddRowf(w, t.Mean, meas, sim)
 	}
 	return cfg.render(tab)
 }

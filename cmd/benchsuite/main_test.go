@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,6 +60,72 @@ func TestExperimentIDsUnique(t *testing.T) {
 	}
 	if len(experiments) != 12 {
 		t.Errorf("expected 12 experiments, found %d", len(experiments))
+	}
+}
+
+// TestBenchJSON drives the -benchjson path end to end: an explicit path
+// forces emission even for a partial run, and the document must parse with
+// sane per-kernel metrics.
+func TestBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var out strings.Builder
+	if err := run([]string{"-quick", "-reps", "1", "-exp", "t2", "-benchjson", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH json does not parse: %v", err)
+	}
+	if rep.Rev == "" || rep.GoVersion == "" || rep.GOMAXPROCS < 1 {
+		t.Fatalf("missing environment metadata: %+v", rep)
+	}
+	want := map[string]bool{"full": false, "parallel": false, "score": false, "linear": false,
+		"pruned": false, "diagonal": false, "affine7": false, "pairwise-global": false, "pairwise-gotoh": false}
+	for _, k := range rep.Kernels {
+		if _, ok := want[k.Kernel]; !ok {
+			t.Errorf("unexpected kernel %q", k.Kernel)
+			continue
+		}
+		want[k.Kernel] = true
+		if k.McellsPerS <= 0 || k.NsPerOp <= 0 || k.Cells <= 0 || k.PeakLatticeBytes <= 0 {
+			t.Errorf("kernel %q has degenerate metrics: %+v", k.Kernel, k)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("kernel %q missing from report", name)
+		}
+	}
+}
+
+// TestBenchJSONOffAndAuto pins the gating: "off" never writes, and "auto"
+// does not write for a partial experiment selection.
+func TestBenchJSONOffAndAuto(t *testing.T) {
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	for _, flagVal := range []string{"off", "auto"} {
+		var out strings.Builder
+		if err := run([]string{"-quick", "-exp", "t2", "-benchjson", flagVal}, &out); err != nil {
+			t.Fatal(err)
+		}
+		matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) != 0 {
+			t.Fatalf("-benchjson %s wrote %v for a partial run", flagVal, matches)
+		}
 	}
 }
 

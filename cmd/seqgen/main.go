@@ -1,7 +1,10 @@
 // Command seqgen writes deterministic synthetic FASTA workloads: three
 // sequences descended from a common random ancestor under a configurable
-// mutation model. The experiment suite and examples draw their inputs from
-// the same generator, so seqgen reproduces any workload by seed.
+// mutation model. The experiment suite, the kernel differential tests
+// (internal/core/tables_diff_test.go), and the examples draw their inputs
+// from the same seq.Generator, so any workload in this repository — and any
+// failing differential case — is reproduced exactly by its (alphabet, seed,
+// lengths, rates) tuple; nothing needs to be checked in as FASTA.
 //
 // Usage:
 //

@@ -47,6 +47,18 @@
 // Deadline catches inputs that fit in memory but compute too slowly. The
 // typed sentinel ErrTooLarge identifies MaxBytes rejections.
 //
+// # Performance
+//
+// Every kernel precomputes the three pairwise substitution-score planes
+// before filling the lattice, trading O(nm + np + mp) extra memory for an
+// interior loop of plain array reads — negligible next to the O(nmp)
+// lattice itself, and not counted against Options.MaxBytes. Scratch
+// buffers (score rows, planes, tensors) are recycled through a size-classed
+// arena in internal/mat; recycled buffers are returned dirty, so kernels
+// seed every boundary cell explicitly rather than relying on zeroed
+// memory. See the README's Performance section for measured numbers and
+// the BENCH_<rev>.json regression harness.
+//
 // The underlying algorithm implementations live in internal/core; sequence
 // and scoring substrates in internal/seq and internal/scoring; heuristic
 // baselines in internal/msa. DESIGN.md maps every subsystem, and

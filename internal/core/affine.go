@@ -8,6 +8,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/scoring"
 	"repro/internal/seq"
+	"repro/internal/wavefront"
 )
 
 // The affine aligner generalizes Gotoh's algorithm to three sequences.
@@ -122,7 +123,6 @@ func AlignAffine(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Op
 // those boundary conditions.
 func affineDPMoves(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, q0, sEnd alignment.Move) ([]alignment.Move, mat.Score, error) {
 	n, m, p := len(ca), len(cb), len(cc)
-	go_ := sch.GapOpen()
 
 	if n == 0 && m == 0 && p == 0 {
 		if sEnd != 0 && sEnd != q0 {
@@ -134,57 +134,24 @@ func affineDPMoves(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, 
 	// d[s-1] holds the best score of prefix alignments whose last column
 	// has mask s. The origin is seeded in state q0 so that the first real
 	// column charges opens relative to the enclosing context.
+	st := newScoreTables(ca, cb, cc, sch)
+	defer st.release()
+	open := newAffineOpenTable(sch)
 	var d [7]*mat.Tensor3
 	for s := 0; s < 7; s++ {
-		d[s] = mat.NewTensor3(n+1, m+1, p+1)
+		d[s] = mat.GetTensor3(n+1, m+1, p+1)
 		d[s].Fill(mat.NegInf)
+		defer mat.PutTensor3(d[s])
 	}
 	d[q0-1].Set(0, 0, 0, 0)
 
+	sj := wavefront.Span{Lo: 0, Hi: m + 1}
+	sk := wavefront.Span{Lo: 0, Hi: p + 1}
 	for i := 0; i <= n; i++ {
 		if err := checkCtx(ctx); err != nil {
 			return nil, 0, err
 		}
-		var ai int8
-		if i > 0 {
-			ai = ca[i-1]
-		}
-		for j := 0; j <= m; j++ {
-			var bj int8
-			if j > 0 {
-				bj = cb[j-1]
-			}
-			for k := 0; k <= p; k++ {
-				if i == 0 && j == 0 && k == 0 {
-					continue
-				}
-				var ck int8
-				if k > 0 {
-					ck = cc[k-1]
-				}
-				for s := alignment.Move(1); s <= 7; s++ {
-					di, dj, dk := moveDelta(s)
-					pi, pj, pk := i-di, j-dj, k-dk
-					if pi < 0 || pj < 0 || pk < 0 {
-						continue
-					}
-					base := colBaseAffine(sch, s, ai, bj, ck)
-					best := mat.NegInf
-					for q := alignment.Move(1); q <= 7; q++ {
-						pv := d[q-1].At(pi, pj, pk)
-						if pv <= mat.NegInf/2 {
-							continue
-						}
-						if v := pv + mat.Score(openCount[q][s])*go_; v > best {
-							best = v
-						}
-					}
-					if best > mat.NegInf/2 {
-						d[s-1].Set(i, j, k, best+base)
-					}
-				}
-			}
-		}
+		fillRangeAffine(&d, st, ca, cb, cc, sch, &open, wavefront.Span{Lo: i, Hi: i + 1}, sj, sk)
 	}
 
 	return affineTraceback(d, ca, cb, cc, sch, sEnd)

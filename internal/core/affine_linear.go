@@ -63,6 +63,7 @@ func affineLinearRec(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme
 	}
 	bwd, err := affineBackwardPlanes(ctx, ca[mid:], cb, cc, sch, sEnd)
 	if err != nil {
+		putPlanes7(&fwd)
 		return nil, err
 	}
 
@@ -73,12 +74,14 @@ func affineLinearRec(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme
 	for s := alignment.Move(1); s <= 7; s++ {
 		fp, bp := fwd[s-1], bwd[s-1]
 		for j := 0; j <= m; j++ {
+			fRow := fp.Row(j)
+			bRow := bp.Row(j)
 			for k := 0; k <= p; k++ {
-				f := fp.At(j, k)
+				f := fRow[k]
 				if f <= mat.NegInf/2 {
 					continue
 				}
-				b := bp.At(j, k)
+				b := bRow[k]
 				if b <= mat.NegInf/2 {
 					continue
 				}
@@ -88,6 +91,8 @@ func affineLinearRec(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme
 			}
 		}
 	}
+	putPlanes7(&fwd)
+	putPlanes7(&bwd)
 	if bestV <= mat.NegInf/2 {
 		return nil, fmt.Errorf("core: affine linear join infeasible (box %d,%d,%d end %s)", len(ca), m, p, sEnd)
 	}
@@ -103,63 +108,137 @@ func affineLinearRec(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme
 	return append(left, right...), nil
 }
 
+// putPlanes7 returns a seven-plane state set to the arena.
+func putPlanes7(ps *[7]*mat.Plane) {
+	for s := 0; s < 7; s++ {
+		mat.PutPlane(ps[s])
+		ps[s] = nil
+	}
+}
+
 // affineForwardPlanes sweeps the 7-state recurrence over all of ca and
 // returns, per state s, the plane F[s](j, k): the best score of aligning
 // ca, cb[:j], cc[:k] ending with column mask s, with q0 as the virtual
-// mask before the first column.
+// mask before the first column. The caller owns the returned planes and
+// must release them with putPlanes7; on error everything is released here.
 func affineForwardPlanes(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, q0 alignment.Move) ([7]*mat.Plane, error) {
 	m, p := len(cb), len(cc)
 	go_ := sch.GapOpen()
+	ge := sch.GapExtend()
+	prof := newPairProfile(cc, sch)
+	defer prof.release()
+	open := newAffineOpenTable(sch)
+	var opT [8][8]mat.Score
+	for s := 1; s <= 7; s++ {
+		for q := 1; q <= 7; q++ {
+			opT[s][q] = open[q][s]
+		}
+	}
 	var prev, cur [7]*mat.Plane
 	for s := 0; s < 7; s++ {
-		prev[s] = mat.NewPlane(m+1, p+1)
-		cur[s] = mat.NewPlane(m+1, p+1)
+		prev[s] = mat.GetPlane(m+1, p+1)
+		cur[s] = mat.GetPlane(m+1, p+1)
 	}
 
-	fill := func(i int) {
-		var ai int8
+	// cell is the guarded transition for boundary cells (i == 0 plane,
+	// j == 0 row, k == 0 column), verbatim from the original sweep.
+	cell := func(i, j, k int) {
+		var ai, bj, ck int8
 		if i > 0 {
 			ai = ca[i-1]
 		}
-		for j := 0; j <= m; j++ {
-			var bj int8
-			if j > 0 {
-				bj = cb[j-1]
+		if j > 0 {
+			bj = cb[j-1]
+		}
+		if k > 0 {
+			ck = cc[k-1]
+		}
+		for s := alignment.Move(1); s <= 7; s++ {
+			di, dj, dk := moveDelta(s)
+			pj, pk := j-dj, k-dk
+			if pj < 0 || pk < 0 || (di == 1 && i == 0) {
+				cur[s-1].Set(j, k, mat.NegInf)
+				continue
 			}
-			for k := 0; k <= p; k++ {
-				var ck int8
-				if k > 0 {
-					ck = cc[k-1]
+			src := &cur
+			if di == 1 {
+				src = &prev
+			}
+			best := mat.NegInf
+			for q := alignment.Move(1); q <= 7; q++ {
+				pv := src[q-1].At(pj, pk)
+				if pv <= mat.NegInf/2 {
+					continue
 				}
-				if i == 0 && j == 0 && k == 0 {
-					continue // origin cell carries the q0 seed
+				if v := pv + mat.Score(openCount[q][s])*go_; v > best {
+					best = v
 				}
-				for s := alignment.Move(1); s <= 7; s++ {
-					di, dj, dk := moveDelta(s)
-					pj, pk := j-dj, k-dk
-					if pj < 0 || pk < 0 || (di == 1 && i == 0) {
-						cur[s-1].Set(j, k, mat.NegInf)
-						continue
+			}
+			if best <= mat.NegInf/2 {
+				cur[s-1].Set(j, k, mat.NegInf)
+				continue
+			}
+			cur[s-1].Set(j, k, best+colBaseAffine(sch, s, ai, bj, ck))
+		}
+	}
+
+	fill := func(i int) {
+		if i == 0 {
+			for j := 0; j <= m; j++ {
+				for k := 0; k <= p; k++ {
+					if j == 0 && k == 0 {
+						continue // origin cell carries the q0 seed
 					}
-					src := &cur
-					if di == 1 {
-						src = &prev
-					}
-					best := mat.NegInf
-					for q := alignment.Move(1); q <= 7; q++ {
-						pv := src[q-1].At(pj, pk)
-						if pv <= mat.NegInf/2 {
-							continue
-						}
-						if v := pv + mat.Score(openCount[q][s])*go_; v > best {
+					cell(0, j, k)
+				}
+			}
+			return
+		}
+		ai := ca[i-1]
+		acRow := prof.Row(ai)
+		subAi := sch.SubRow(ai)
+		for k := 0; k <= p; k++ {
+			cell(i, 0, k)
+		}
+		for j := 1; j <= m; j++ {
+			bj := cb[j-1]
+			sAB := subAi[bj]
+			bcRow := prof.Row(bj)
+			var p0, p1, c0, c1 [7][]mat.Score
+			for q := 0; q < 7; q++ {
+				p0[q] = prev[q].Row(j)
+				p1[q] = prev[q].Row(j - 1)
+				c0[q] = cur[q].Row(j)
+				c1[q] = cur[q].Row(j - 1)
+			}
+			// Predecessor row group and k-offset per successor mask:
+			// consuming A selects the prev plane, B the j-1 row, C the
+			// k-1 column.
+			preds := [8]struct {
+				rows *[7][]mat.Score
+				off  int
+			}{
+				1: {&p0, 0}, 2: {&c1, 0}, 3: {&p1, 0},
+				4: {&c0, -1}, 5: {&p0, -1}, 6: {&c1, -1}, 7: {&p1, -1},
+			}
+			cell(i, j, 0)
+			for k := 1; k <= p; k++ {
+				base := affineBases(sAB, acRow[k], bcRow[k], ge)
+				for s := 1; s <= 7; s++ {
+					rows := preds[s].rows
+					idx := k + preds[s].off
+					op := &opT[s]
+					best := rows[0][idx] + op[1]
+					for q := 1; q < 7; q++ {
+						if v := rows[q][idx] + op[q+1]; v > best {
 							best = v
 						}
 					}
 					if best <= mat.NegInf/2 {
-						cur[s-1].Set(j, k, mat.NegInf)
-						continue
+						c0[s-1][k] = mat.NegInf
+					} else {
+						c0[s-1][k] = best + base[s]
 					}
-					cur[s-1].Set(j, k, best+colBaseAffine(sch, s, ai, bj, ck))
 				}
 			}
 		}
@@ -175,11 +254,14 @@ func affineForwardPlanes(ctx context.Context, ca, cb, cc []int8, sch *scoring.Sc
 
 	for i := 1; i <= len(ca); i++ {
 		if err := checkCtx(ctx); err != nil {
-			return prev, err
+			putPlanes7(&prev)
+			putPlanes7(&cur)
+			return [7]*mat.Plane{}, err
 		}
 		fill(i)
 		prev, cur = cur, prev
 	}
+	putPlanes7(&cur)
 	return prev, nil
 }
 
@@ -187,62 +269,127 @@ func affineForwardPlanes(ctx context.Context, ca, cb, cc []int8, sch *scoring.Sc
 // the best score of aligning all of ca with cb[j:], cc[k:] when the column
 // immediately before this suffix had mask q, under the end constraint
 // sEnd (0 = unconstrained; otherwise the suffix's final column — or, for
-// an empty suffix, q itself — must be sEnd).
+// an empty suffix, q itself — must be sEnd). The caller owns the returned
+// planes and must release them with putPlanes7; on error everything is
+// released here.
 func affineBackwardPlanes(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, sEnd alignment.Move) ([7]*mat.Plane, error) {
 	n, m, p := len(ca), len(cb), len(cc)
 	go_ := sch.GapOpen()
+	ge := sch.GapExtend()
+	prof := newPairProfile(cc, sch)
+	defer prof.release()
+	open := newAffineOpenTable(sch)
 	var next, cur [7]*mat.Plane
 	for s := 0; s < 7; s++ {
-		next[s] = mat.NewPlane(m+1, p+1)
-		cur[s] = mat.NewPlane(m+1, p+1)
+		next[s] = mat.GetPlane(m+1, p+1)
+		cur[s] = mat.GetPlane(m+1, p+1)
 	}
 
-	fill := func(i int, base bool) {
-		var ai int8
+	// cell is the guarded transition for boundary cells (terminal plane,
+	// j == m row, k == p column), verbatim from the original sweep.
+	cell := func(i, j, k int, base bool) {
+		var ai, bj, ck int8
 		if i < n {
 			ai = ca[i]
 		}
-		for j := m; j >= 0; j-- {
-			var bj int8
-			if j < m {
-				bj = cb[j]
-			}
-			for k := p; k >= 0; k-- {
-				var ck int8
-				if k < p {
-					ck = cc[k]
+		if j < m {
+			bj = cb[j]
+		}
+		if k < p {
+			ck = cc[k]
+		}
+		for q := alignment.Move(1); q <= 7; q++ {
+			best := mat.NegInf
+			if base && j == m && k == p {
+				// Empty suffix: valid iff the constraint is already
+				// satisfied by the previous column.
+				if sEnd == 0 || q == sEnd {
+					best = 0
 				}
-				for q := alignment.Move(1); q <= 7; q++ {
-					best := mat.NegInf
-					if base && j == m && k == p {
-						// Empty suffix: valid iff the constraint is
-						// already satisfied by the previous column.
-						if sEnd == 0 || q == sEnd {
-							best = 0
-						}
-						cur[q-1].Set(j, k, best)
-						continue
-					}
-					for s := alignment.Move(1); s <= 7; s++ {
-						di, dj, dk := moveDelta(s)
-						nj, nk := j+dj, k+dk
-						if nj > m || nk > p || (di == 1 && i >= n) {
-							continue
-						}
-						src := &cur
-						if di == 1 {
-							src = &next
-						}
-						sv := src[s-1].At(nj, nk)
-						if sv <= mat.NegInf/2 {
-							continue
-						}
-						v := mat.Score(openCount[q][s])*go_ + colBaseAffine(sch, s, ai, bj, ck) + sv
-						if v > best {
+				cur[q-1].Set(j, k, best)
+				continue
+			}
+			for s := alignment.Move(1); s <= 7; s++ {
+				di, dj, dk := moveDelta(s)
+				nj, nk := j+dj, k+dk
+				if nj > m || nk > p || (di == 1 && i >= n) {
+					continue
+				}
+				src := &cur
+				if di == 1 {
+					src = &next
+				}
+				sv := src[s-1].At(nj, nk)
+				if sv <= mat.NegInf/2 {
+					continue
+				}
+				v := mat.Score(openCount[q][s])*go_ + colBaseAffine(sch, s, ai, bj, ck) + sv
+				if v > best {
+					best = v
+				}
+			}
+			cur[q-1].Set(j, k, best)
+		}
+	}
+
+	fill := func(i int, base bool) {
+		if base || i >= n {
+			for j := m; j >= 0; j-- {
+				for k := p; k >= 0; k-- {
+					cell(i, j, k, base)
+				}
+			}
+			return
+		}
+		ai := ca[i]
+		acRow := prof.Row(ai)
+		subAi := sch.SubRow(ai)
+		for k := p; k >= 0; k-- {
+			cell(i, m, k, false)
+		}
+		for j := m - 1; j >= 0; j-- {
+			bj := cb[j]
+			sAB := subAi[bj]
+			bcRow := prof.Row(bj)
+			var n0, n1, c0, c1 [7][]mat.Score
+			for s := 0; s < 7; s++ {
+				n0[s] = next[s].Row(j)
+				n1[s] = next[s].Row(j + 1)
+				c0[s] = cur[s].Row(j)
+				c1[s] = cur[s].Row(j + 1)
+			}
+			// Successor row group and k-offset per successor mask:
+			// consuming A selects the next plane, B the j+1 row, C the
+			// k+1 column.
+			succs := [8]struct {
+				rows *[7][]mat.Score
+				off  int
+			}{
+				1: {&n0, 0}, 2: {&c1, 0}, 3: {&n1, 0},
+				4: {&c0, 1}, 5: {&n0, 1}, 6: {&c1, 1}, 7: {&n1, 1},
+			}
+			cell(i, j, p, false)
+			for k := p - 1; k >= 0; k-- {
+				// The profile is 1-based against cc, and the suffix sweep
+				// consumes cc[k], so its score row is read at k+1.
+				base := affineBases(sAB, acRow[k+1], bcRow[k+1], ge)
+				var tmp [8]mat.Score
+				for s := 1; s <= 7; s++ {
+					tmp[s] = succs[s].rows[s-1][k+succs[s].off] + base[s]
+				}
+				for q := 1; q <= 7; q++ {
+					op := &open[q]
+					best := tmp[1] + op[1]
+					for s := 2; s <= 7; s++ {
+						if v := tmp[s] + op[s]; v > best {
 							best = v
 						}
 					}
-					cur[q-1].Set(j, k, best)
+					if best <= mat.NegInf/2 {
+						c0[q-1][k] = mat.NegInf
+					} else {
+						c0[q-1][k] = best
+					}
 				}
 			}
 		}
@@ -252,11 +399,14 @@ func affineBackwardPlanes(ctx context.Context, ca, cb, cc []int8, sch *scoring.S
 	next, cur = cur, next
 	for i := n - 1; i >= 0; i-- {
 		if err := checkCtx(ctx); err != nil {
-			return next, err
+			putPlanes7(&next)
+			putPlanes7(&cur)
+			return [7]*mat.Plane{}, err
 		}
 		fill(i, false)
 		next, cur = cur, next
 	}
+	putPlanes7(&cur)
 	return next, nil
 }
 

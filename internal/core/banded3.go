@@ -35,83 +35,48 @@ func AlignBanded(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Op
 	n, m, p := len(ca), len(cb), len(cc)
 	inBand := bandPredicate(n, m, p, width)
 
-	t := mat.NewTensor3(n+1, m+1, p+1)
+	st := newScoreTables(ca, cb, cc, sch)
+	defer st.release()
+	t := mat.GetTensor3(n+1, m+1, p+1)
+	defer mat.PutTensor3(t)
 	ge2 := 2 * sch.GapExtend()
-	for i := 0; i <= n; i++ {
+	bandedBoundaryI0(t, st, inBand, ge2, m, p)
+	for i := 1; i <= n; i++ {
 		if err := checkCtx(ctx); err != nil {
 			return nil, err
 		}
-		var ai int8
-		if i > 0 {
-			ai = ca[i-1]
-		}
-		for j := 0; j <= m; j++ {
-			var bj int8
-			var sAB mat.Score
-			if j > 0 {
-				bj = cb[j-1]
-				if i > 0 {
-					sAB = sch.Sub(ai, bj)
-				}
+		abRow := st.ab.Row(i)
+		acRow := st.ac.Row(i)
+		bandedBoundaryJ0(t, inBand, ge2, i, acRow, p)
+		for j := 1; j <= m; j++ {
+			sAB := abRow[j]
+			ac := acRow[: p+1 : p+1]
+			bcRow := st.bc.Row(j)[: p+1 : p+1]
+			cur := t.Lane(i, j)[: p+1 : p+1]
+			lane11 := t.Lane(i-1, j-1)[: p+1 : p+1]
+			lane10 := t.Lane(i-1, j)[: p+1 : p+1]
+			lane01 := t.Lane(i, j-1)[: p+1 : p+1]
+			if !inBand(i, j, 0) {
+				cur[0] = mat.NegInf
+			} else {
+				cur[0] = max(mat.NegInf, lane11[0]+sAB+ge2, lane10[0]+ge2, lane01[0]+ge2)
 			}
-			cur := t.Lane(i, j)
-			var lane11, lane10, lane01 []mat.Score
-			if i > 0 && j > 0 {
-				lane11 = t.Lane(i-1, j-1)
-			}
-			if i > 0 {
-				lane10 = t.Lane(i-1, j)
-			}
-			if j > 0 {
-				lane01 = t.Lane(i, j-1)
-			}
-			for k := 0; k <= p; k++ {
-				if i == 0 && j == 0 && k == 0 {
-					cur[0] = 0
-					continue
-				}
+			for k := 1; k <= p; k++ {
 				if !inBand(i, j, k) {
 					cur[k] = mat.NegInf
 					continue
 				}
-				best := mat.NegInf
-				if k > 0 {
-					ck := cc[k-1]
-					if lane11 != nil {
-						if v := lane11[k-1] + sAB + sch.Sub(ai, ck) + sch.Sub(bj, ck); v > best {
-							best = v
-						}
-					}
-					if lane10 != nil {
-						if v := lane10[k-1] + sch.Sub(ai, ck) + ge2; v > best {
-							best = v
-						}
-					}
-					if lane01 != nil {
-						if v := lane01[k-1] + sch.Sub(bj, ck) + ge2; v > best {
-							best = v
-						}
-					}
-					if v := cur[k-1] + ge2; v > best {
-						best = v
-					}
-				}
-				if lane11 != nil {
-					if v := lane11[k] + sAB + ge2; v > best {
-						best = v
-					}
-				}
-				if lane10 != nil {
-					if v := lane10[k] + ge2; v > best {
-						best = v
-					}
-				}
-				if lane01 != nil {
-					if v := lane01[k] + ge2; v > best {
-						best = v
-					}
-				}
-				cur[k] = best
+				sac, sbc := ac[k], bcRow[k]
+				cur[k] = max(
+					mat.NegInf,
+					lane11[k-1]+sAB+sac+sbc, // XXX
+					lane10[k-1]+sac+ge2,     // XGX
+					lane01[k-1]+sbc+ge2,     // GXX
+					cur[k-1]+ge2,            // GGX
+					lane11[k]+sAB+ge2,       // XXG
+					lane10[k]+ge2,           // XGG
+					lane01[k]+ge2,           // GXG
+				)
 			}
 		}
 	}
@@ -120,6 +85,54 @@ func AlignBanded(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Op
 		return nil, fmt.Errorf("core: banded traceback failed: %w", err)
 	}
 	return &alignment.Alignment{Triple: tr, Moves: moves, Score: t.At(n, m, p)}, nil
+}
+
+// bandedBoundaryI0 fills the i == 0 plane of the banded lattice.
+func bandedBoundaryI0(t *mat.Tensor3, st *scoreTables, inBand func(i, j, k int) bool, ge2 mat.Score, m, p int) {
+	cur := t.Lane(0, 0)
+	cur[0] = 0
+	for k := 1; k <= p; k++ {
+		if !inBand(0, 0, k) {
+			cur[k] = mat.NegInf
+			continue
+		}
+		cur[k] = max(mat.NegInf, cur[k-1]+ge2) // GGX
+	}
+	for j := 1; j <= m; j++ {
+		prev := cur
+		cur = t.Lane(0, j)
+		bcRow := st.bc.Row(j)
+		if !inBand(0, j, 0) {
+			cur[0] = mat.NegInf
+		} else {
+			cur[0] = max(mat.NegInf, prev[0]+ge2) // GXG
+		}
+		for k := 1; k <= p; k++ {
+			if !inBand(0, j, k) {
+				cur[k] = mat.NegInf
+				continue
+			}
+			cur[k] = max(mat.NegInf, prev[k-1]+bcRow[k]+ge2, cur[k-1]+ge2, prev[k]+ge2)
+		}
+	}
+}
+
+// bandedBoundaryJ0 fills the j == 0 row of banded plane i ≥ 1.
+func bandedBoundaryJ0(t *mat.Tensor3, inBand func(i, j, k int) bool, ge2 mat.Score, i int, acRow []mat.Score, p int) {
+	cur := t.Lane(i, 0)
+	prev := t.Lane(i-1, 0)
+	if !inBand(i, 0, 0) {
+		cur[0] = mat.NegInf
+	} else {
+		cur[0] = max(mat.NegInf, prev[0]+ge2) // XGG
+	}
+	for k := 1; k <= p; k++ {
+		if !inBand(i, 0, k) {
+			cur[k] = mat.NegInf
+			continue
+		}
+		cur[k] = max(mat.NegInf, prev[k-1]+acRow[k]+ge2, prev[k]+ge2, cur[k-1]+ge2)
+	}
 }
 
 // bandPredicate returns the tube membership test. Each coordinate is

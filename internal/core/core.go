@@ -111,79 +111,111 @@ func colXXX(sch *scoring.Scheme, ai, bj, ck int8) mat.Score {
 // fillRange computes every lattice cell in the box si×sj×sk in
 // lexicographic order. The caller guarantees all predecessor cells outside
 // the box are already computed (true for sequential whole-lattice fills and
-// for wavefront-scheduled blocks).
-func fillRange(t *mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme, si, sj, sk wavefront.Span) {
-	ge2 := 2 * sch.GapExtend()
-	for i := si.Lo; i < si.Hi; i++ {
-		var ai int8
-		if i > 0 {
-			ai = ca[i-1]
+// for wavefront-scheduled blocks). Pair scores come from the precomputed
+// tables; ge2 is 2·GapExtend.
+//
+// The box is peeled into explicit boundary passes (i == 0 plane, j == 0
+// row, k == 0 column) and a branch-minimal interior loop, so the interior
+// carries no per-cell boundary tests and no nil-lane checks.
+func fillRange(t *mat.Tensor3, st *scoreTables, ge2 mat.Score, si, sj, sk wavefront.Span) {
+	if si.Lo == 0 {
+		fillBoundaryI0(t, st, ge2, sj, sk)
+	}
+	for i := max(si.Lo, 1); i < si.Hi; i++ {
+		abRow := st.ab.Row(i)
+		acRow := st.ac.Row(i)
+		if sj.Lo == 0 {
+			fillBoundaryJ0(t, ge2, i, acRow, sk)
 		}
-		for j := sj.Lo; j < sj.Hi; j++ {
-			var bj int8
-			var sAB mat.Score
-			if j > 0 {
-				bj = cb[j-1]
-				if i > 0 {
-					sAB = sch.Sub(ai, bj)
-				}
-			}
-			var lane11, lane10, lane01 []mat.Score
-			if i > 0 && j > 0 {
-				lane11 = t.Lane(i-1, j-1)
-			}
-			if i > 0 {
-				lane10 = t.Lane(i-1, j)
-			}
-			if j > 0 {
-				lane01 = t.Lane(i, j-1)
-			}
-			cur := t.Lane(i, j)
-			for k := sk.Lo; k < sk.Hi; k++ {
-				if i == 0 && j == 0 && k == 0 {
-					cur[0] = 0
-					continue
-				}
-				best := mat.NegInf
-				if k > 0 {
-					ck := cc[k-1]
-					if lane11 != nil {
-						if v := lane11[k-1] + sAB + sch.Sub(ai, ck) + sch.Sub(bj, ck); v > best {
-							best = v
-						}
-					}
-					if lane10 != nil {
-						if v := lane10[k-1] + sch.Sub(ai, ck) + ge2; v > best {
-							best = v
-						}
-					}
-					if lane01 != nil {
-						if v := lane01[k-1] + sch.Sub(bj, ck) + ge2; v > best {
-							best = v
-						}
-					}
-					if v := cur[k-1] + ge2; v > best {
-						best = v
-					}
-				}
-				if lane11 != nil {
-					if v := lane11[k] + sAB + ge2; v > best {
-						best = v
-					}
-				}
-				if lane10 != nil {
-					if v := lane10[k] + ge2; v > best {
-						best = v
-					}
-				}
-				if lane01 != nil {
-					if v := lane01[k] + ge2; v > best {
-						best = v
-					}
-				}
-				cur[k] = best
-			}
+		for j := max(sj.Lo, 1); j < sj.Hi; j++ {
+			fillLane(t, ge2, i, j, abRow[j], acRow, st.bc.Row(j), sk)
 		}
+	}
+}
+
+// fillLane fills the interior k-lane of cell row (i, j), i ≥ 1, j ≥ 1. The
+// four predecessor lanes are hoisted and re-sliced to the span's upper
+// bound so the compiler elides every interior bounds check (verified with
+// -gcflags=-d=ssa/check_bce), and the k-1 predecessors are carried in
+// registers across iterations, so each lattice and table element is loaded
+// exactly once.
+func fillLane(t *mat.Tensor3, ge2 mat.Score, i, j int, sAB mat.Score, acRow, bcRow []mat.Score, sk wavefront.Span) {
+	hi := sk.Hi
+	cur := t.Lane(i, j)[:hi:hi]
+	lane11 := t.Lane(i-1, j-1)[:hi]
+	lane10 := t.Lane(i-1, j)[:hi]
+	lane01 := t.Lane(i, j-1)[:hi]
+	acRow = acRow[:hi]
+	bcRow = bcRow[:hi]
+	lo := sk.Lo
+	if lo < 1 {
+		// k == 0 column: only the k-preserving moves XXG, XGG, GXG apply.
+		cur[0] = max(lane11[0]+sAB, lane10[0], lane01[0]) + ge2
+		lo = 1
+	}
+	if lo >= hi {
+		return
+	}
+	v11, v10, v01 := lane11[lo-1], lane10[lo-1], lane01[lo-1]
+	vkk := cur[lo-1]
+	for k := lo; k < hi; k++ {
+		n11, n10, n01 := lane11[k], lane10[k], lane01[k]
+		sac, sbc := acRow[k], bcRow[k]
+		best := max(
+			v11+sAB+sac+sbc, // XXX
+			v10+sac+ge2,     // XGX
+			v01+sbc+ge2,     // GXX
+			vkk+ge2,         // GGX
+			n11+sAB+ge2,     // XXG
+			n10+ge2,         // XGG
+			n01+ge2,         // GXG
+		)
+		cur[k] = best
+		v11, v10, v01, vkk = n11, n10, n01, best
+	}
+}
+
+// fillBoundaryI0 fills the i == 0 plane portion of the box: only the moves
+// that leave A untouched (GXX, GXG, GGX) apply.
+func fillBoundaryI0(t *mat.Tensor3, st *scoreTables, ge2 mat.Score, sj, sk wavefront.Span) {
+	for j := sj.Lo; j < sj.Hi; j++ {
+		cur := t.Lane(0, j)
+		if j == 0 {
+			k := sk.Lo
+			if k == 0 {
+				cur[0] = 0
+				k = 1
+			}
+			for ; k < sk.Hi; k++ {
+				cur[k] = cur[k-1] + ge2 // GGX chain from the origin
+			}
+			continue
+		}
+		prev := t.Lane(0, j-1)
+		bcRow := st.bc.Row(j)
+		k := sk.Lo
+		if k == 0 {
+			cur[0] = prev[0] + ge2 // GXG
+			k = 1
+		}
+		for ; k < sk.Hi; k++ {
+			cur[k] = max(prev[k-1]+bcRow[k], prev[k], cur[k-1]) + ge2
+		}
+	}
+}
+
+// fillBoundaryJ0 fills the j == 0 row of plane i ≥ 1: only the B-gapped
+// moves XGX, XGG, GGX apply.
+func fillBoundaryJ0(t *mat.Tensor3, ge2 mat.Score, i int, acRow []mat.Score, sk wavefront.Span) {
+	cur := t.Lane(i, 0)
+	prev := t.Lane(i-1, 0)
+	k := sk.Lo
+	if k == 0 {
+		cur[0] = prev[0] + ge2 // XGG
+		k = 1
+	}
+	for ; k < sk.Hi; k++ {
+		cur[k] = max(prev[k-1]+acRow[k], prev[k], cur[k-1]) + ge2
 	}
 }
 
@@ -259,14 +291,18 @@ func AlignFull(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Opti
 	if FullMatrixBytes(tr) > opt.maxBytes() {
 		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, FullMatrixBytes(tr), opt.maxBytes())
 	}
-	t := mat.NewTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	st := newScoreTables(ca, cb, cc, sch)
+	defer st.release()
+	t := mat.GetTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	defer mat.PutTensor3(t)
+	ge2 := 2 * sch.GapExtend()
 	sj := wavefront.Span{Lo: 0, Hi: len(cb) + 1}
 	sk := wavefront.Span{Lo: 0, Hi: len(cc) + 1}
 	for i := 0; i <= len(ca); i++ {
 		if err := checkCtx(ctx); err != nil {
 			return nil, err
 		}
-		fillRange(t, ca, cb, cc, sch, wavefront.Span{Lo: i, Hi: i + 1}, sj, sk)
+		fillRange(t, st, ge2, wavefront.Span{Lo: i, Hi: i + 1}, sj, sk)
 	}
 	moves, err := tracebackTensor(t, ca, cb, cc, sch)
 	if err != nil {
@@ -290,13 +326,17 @@ func AlignParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt 
 	if FullMatrixBytes(tr) > opt.maxBytes() {
 		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, FullMatrixBytes(tr), opt.maxBytes())
 	}
-	t := mat.NewTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	st := newScoreTables(ca, cb, cc, sch)
+	defer st.release()
+	t := mat.GetTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	defer mat.PutTensor3(t)
+	ge2 := 2 * sch.GapExtend()
 	bs := opt.blockSize()
 	si := wavefront.Partition(len(ca)+1, bs)
 	sj := wavefront.Partition(len(cb)+1, bs)
 	sk := wavefront.Partition(len(cc)+1, bs)
 	if err := wavefront.Run3DContext(ctx, len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
-		fillRange(t, ca, cb, cc, sch, si[bi], sj[bj], sk[bk])
+		fillRange(t, st, ge2, si[bi], sj[bj], sk[bk])
 	}); err != nil {
 		return nil, err
 	}

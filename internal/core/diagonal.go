@@ -33,7 +33,11 @@ func AlignDiagonal(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt 
 		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, FullMatrixBytes(tr), opt.maxBytes())
 	}
 	n, m, p := len(ca), len(cb), len(cc)
-	t := mat.NewTensor3(n+1, m+1, p+1)
+	st := newScoreTables(ca, cb, cc, sch)
+	defer st.release()
+	t := mat.GetTensor3(n+1, m+1, p+1)
+	defer mat.PutTensor3(t)
+	ge2 := 2 * sch.GapExtend()
 	workers := opt.workers()
 
 	for d := 0; d <= n+m+p; d++ {
@@ -59,7 +63,7 @@ func AlignDiagonal(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt 
 			w = rows
 		}
 		if w <= 1 {
-			diagonalRows(t, ca, cb, cc, sch, d, iLo, iHi)
+			diagonalRows(t, st, ge2, d, iLo, iHi, m, p)
 			continue
 		}
 		var wg sync.WaitGroup
@@ -74,7 +78,7 @@ func AlignDiagonal(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt 
 			go func(lo, hi int) {
 				defer wg.Done()
 				if lo <= hi {
-					diagonalRows(t, ca, cb, cc, sch, d, lo, hi)
+					diagonalRows(t, st, ge2, d, lo, hi, m, p)
 				}
 			}(lo, hi)
 		}
@@ -89,15 +93,11 @@ func AlignDiagonal(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt 
 }
 
 // diagonalRows computes the cells of plane d whose first index lies in
-// [iLo, iHi].
-func diagonalRows(t *mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme, d, iLo, iHi int) {
-	m, p := len(cb), len(cc)
-	ge2 := 2 * sch.GapExtend()
+// [iLo, iHi]. Interior cells (all three indices positive) take the
+// branch-free table-driven path; the O(surface) boundary cells keep the
+// guarded form.
+func diagonalRows(t *mat.Tensor3, st *scoreTables, ge2 mat.Score, d, iLo, iHi, m, p int) {
 	for i := iLo; i <= iHi; i++ {
-		var ai int8
-		if i > 0 {
-			ai = ca[i-1]
-		}
 		jLo := d - i - p
 		if jLo < 0 {
 			jLo = 0
@@ -106,56 +106,89 @@ func diagonalRows(t *mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme, d, iLo
 		if jHi > m {
 			jHi = m
 		}
-		for j := jLo; j <= jHi; j++ {
+		if i == 0 {
+			diagonalBoundary(t, st, ge2, 0, d, jLo, jHi)
+			continue
+		}
+		abRow := st.ab.Row(i)
+		acRow := st.ac.Row(i)
+		j := jLo
+		if j == 0 {
+			diagonalBoundary(t, st, ge2, i, d, 0, 0)
+			j = 1
+		}
+		// k = d-i-j decreases as j grows; the last j may hit k == 0.
+		for ; j <= jHi; j++ {
 			k := d - i - j
-			if i == 0 && j == 0 && k == 0 {
-				t.Set(0, 0, 0, 0)
+			if k == 0 {
+				diagonalBoundary(t, st, ge2, i, d, j, j)
 				continue
 			}
-			var bj, ck int8
-			if j > 0 {
-				bj = cb[j-1]
-			}
-			if k > 0 {
-				ck = cc[k-1]
-			}
-			best := mat.NegInf
-			if i > 0 && j > 0 && k > 0 {
-				if v := t.At(i-1, j-1, k-1) + colXXX(sch, ai, bj, ck); v > best {
-					best = v
-				}
-			}
-			if i > 0 && j > 0 {
-				if v := t.At(i-1, j-1, k) + sch.Sub(ai, bj) + ge2; v > best {
-					best = v
-				}
-			}
-			if i > 0 && k > 0 {
-				if v := t.At(i-1, j, k-1) + sch.Sub(ai, ck) + ge2; v > best {
-					best = v
-				}
-			}
-			if j > 0 && k > 0 {
-				if v := t.At(i, j-1, k-1) + sch.Sub(bj, ck) + ge2; v > best {
-					best = v
-				}
-			}
-			if i > 0 {
-				if v := t.At(i-1, j, k) + ge2; v > best {
-					best = v
-				}
-			}
-			if j > 0 {
-				if v := t.At(i, j-1, k) + ge2; v > best {
-					best = v
-				}
-			}
-			if k > 0 {
-				if v := t.At(i, j, k-1) + ge2; v > best {
-					best = v
-				}
-			}
-			t.Set(i, j, k, best)
+			sAB := abRow[j]
+			sac := acRow[k]
+			sbc := st.bc.Row(j)[k]
+			lane11 := t.Lane(i-1, j-1)
+			lane10 := t.Lane(i-1, j)
+			lane01 := t.Lane(i, j-1)
+			cur := t.Lane(i, j)
+			cur[k] = max(
+				lane11[k-1]+sAB+sac+sbc, // XXX
+				lane11[k]+sAB+ge2,       // XXG
+				lane10[k-1]+sac+ge2,     // XGX
+				lane01[k-1]+sbc+ge2,     // GXX
+				lane10[k]+ge2,           // XGG
+				lane01[k]+ge2,           // GXG
+				cur[k-1]+ge2,            // GGX
+			)
 		}
+	}
+}
+
+// diagonalBoundary computes the cells of plane d in row i whose j index
+// lies in [jLo, jHi], tolerating zero indices on any axis.
+func diagonalBoundary(t *mat.Tensor3, st *scoreTables, ge2 mat.Score, i, d, jLo, jHi int) {
+	for j := jLo; j <= jHi; j++ {
+		k := d - i - j
+		if i == 0 && j == 0 && k == 0 {
+			t.Set(0, 0, 0, 0)
+			continue
+		}
+		best := mat.NegInf
+		if i > 0 && j > 0 && k > 0 {
+			if v := t.At(i-1, j-1, k-1) + st.ab.At(i, j) + st.ac.At(i, k) + st.bc.At(j, k); v > best {
+				best = v
+			}
+		}
+		if i > 0 && j > 0 {
+			if v := t.At(i-1, j-1, k) + st.ab.At(i, j) + ge2; v > best {
+				best = v
+			}
+		}
+		if i > 0 && k > 0 {
+			if v := t.At(i-1, j, k-1) + st.ac.At(i, k) + ge2; v > best {
+				best = v
+			}
+		}
+		if j > 0 && k > 0 {
+			if v := t.At(i, j-1, k-1) + st.bc.At(j, k) + ge2; v > best {
+				best = v
+			}
+		}
+		if i > 0 {
+			if v := t.At(i-1, j, k) + ge2; v > best {
+				best = v
+			}
+		}
+		if j > 0 {
+			if v := t.At(i, j-1, k) + ge2; v > best {
+				best = v
+			}
+		}
+		if k > 0 {
+			if v := t.At(i, j, k-1) + ge2; v > best {
+				best = v
+			}
+		}
+		t.Set(i, j, k, best)
 	}
 }

@@ -11,7 +11,9 @@ import (
 )
 
 // Kernel micro-benchmarks: raw cell rates of the inner DP loops,
-// independent of scheduling and traceback. The experiment-level
+// independent of scheduling and traceback. Benchmarks whose names contain
+// "Interior" run against prebuilt tables and buffers and must not allocate;
+// the CI bench-smoke job enforces 0 allocs/op on them. The experiment-level
 // benchmarks live in the repository root.
 
 func benchCodes(n int) ([]int8, []int8, []int8) {
@@ -20,19 +22,104 @@ func benchCodes(n int) ([]int8, []int8, []int8) {
 	return tr.A.Codes(), tr.B.Codes(), tr.C.Codes()
 }
 
+func fullSpans(ca, cb, cc []int8) (si, sj, sk wavefront.Span) {
+	return wavefront.Span{Lo: 0, Hi: len(ca) + 1},
+		wavefront.Span{Lo: 0, Hi: len(cb) + 1},
+		wavefront.Span{Lo: 0, Hi: len(cc) + 1}
+}
+
+// BenchmarkKernelFillRange measures the full sequential fill path: score
+// tables built per iteration, lattice from the arena, then the peeled
+// kernel over the whole box.
 func BenchmarkKernelFillRange(b *testing.B) {
 	ca, cb, cc := benchCodes(64)
 	sch := scoring.DNADefault()
-	t := mat.NewTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	si, sj, sk := fullSpans(ca, cb, cc)
 	cells := int64(len(ca)+1) * int64(len(cb)+1) * int64(len(cc)+1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fillRange(t, ca, cb, cc, sch,
-			wavefront.Span{Lo: 0, Hi: len(ca) + 1},
-			wavefront.Span{Lo: 0, Hi: len(cb) + 1},
-			wavefront.Span{Lo: 0, Hi: len(cc) + 1})
+		st := newScoreTables(ca, cb, cc, sch)
+		t := mat.GetTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+		fillRange(t, st, 2*sch.GapExtend(), si, sj, sk)
+		mat.PutTensor3(t)
+		st.release()
 	}
+	b.StopTimer() // exclude the metric bookkeeping from the alloc count
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkKernelFillRangeInterior measures only the cell-fill loop:
+// tables and lattice are prebuilt, so the loop body must not allocate.
+func BenchmarkKernelFillRangeInterior(b *testing.B) {
+	ca, cb, cc := benchCodes(64)
+	sch := scoring.DNADefault()
+	st := newScoreTables(ca, cb, cc, sch)
+	defer st.release()
+	t := mat.GetTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	defer mat.PutTensor3(t)
+	ge2 := 2 * sch.GapExtend()
+	si, sj, sk := fullSpans(ca, cb, cc)
+	cells := int64(len(ca)+1) * int64(len(cb)+1) * int64(len(cc)+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fillRange(t, st, ge2, si, sj, sk)
+	}
+	b.StopTimer() // exclude the metric bookkeeping from the alloc count
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkKernelPrunedInterior measures the admissibility-gated kernel
+// with prebuilt bounds, tables, and lattice.
+func BenchmarkKernelPrunedInterior(b *testing.B) {
+	ca, cb, cc := benchCodes(64)
+	sch := scoring.DNADefault()
+	pc := newPruneCtx(ca, cb, cc, sch, mat.NegInf/4)
+	defer pc.release()
+	st := newScoreTables(ca, cb, cc, sch)
+	defer st.release()
+	t := mat.GetTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	defer mat.PutTensor3(t)
+	ge2 := 2 * sch.GapExtend()
+	si, sj, sk := fullSpans(ca, cb, cc)
+	cells := int64(len(ca)+1) * int64(len(cb)+1) * int64(len(cc)+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fillRangePruned(t, st, pc, ge2, si, sj, sk)
+	}
+	b.StopTimer() // exclude the metric bookkeeping from the alloc count
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkKernelAffineInterior measures the 7-state transition kernel
+// with prebuilt tables and lattices. The fill is idempotent, so the seeded
+// lattices are reused across iterations.
+func BenchmarkKernelAffineInterior(b *testing.B) {
+	ca, cb, cc := benchCodes(32)
+	sch, err := scoring.DNADefault().WithGaps(-4, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := newScoreTables(ca, cb, cc, sch)
+	defer st.release()
+	open := newAffineOpenTable(sch)
+	var d [7]*mat.Tensor3
+	for s := 0; s < 7; s++ {
+		d[s] = mat.GetTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+		d[s].Fill(mat.NegInf)
+		defer mat.PutTensor3(d[s])
+	}
+	d[6].Set(0, 0, 0, 0)
+	si, sj, sk := fullSpans(ca, cb, cc)
+	cells := int64(len(ca)+1) * int64(len(cb)+1) * int64(len(cc)+1) * 7
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fillRangeAffine(&d, st, ca, cb, cc, sch, &open, si, sj, sk)
+	}
+	b.StopTimer() // exclude the metric bookkeeping from the alloc count
 	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 }
 
@@ -41,18 +128,23 @@ func BenchmarkKernelPlaneSweep(b *testing.B) {
 	sch := scoring.DNADefault()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		planeSweep(context.Background(), ca, cb, cc, sch, 1, DefaultBlockSize)
+		final, err := planeSweep(context.Background(), ca, cb, cc, sch, 1, DefaultBlockSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mat.PutPlane(final)
 	}
 }
 
 func BenchmarkKernelTraceback(b *testing.B) {
 	ca, cb, cc := benchCodes(64)
 	sch := scoring.DNADefault()
-	t := mat.NewTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
-	fillRange(t, ca, cb, cc, sch,
-		wavefront.Span{Lo: 0, Hi: len(ca) + 1},
-		wavefront.Span{Lo: 0, Hi: len(cb) + 1},
-		wavefront.Span{Lo: 0, Hi: len(cc) + 1})
+	st := newScoreTables(ca, cb, cc, sch)
+	defer st.release()
+	t := mat.GetTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	defer mat.PutTensor3(t)
+	si, sj, sk := fullSpans(ca, cb, cc)
+	fillRange(t, st, 2*sch.GapExtend(), si, sj, sk)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tracebackTensor(t, ca, cb, cc, sch); err != nil {

@@ -60,61 +60,95 @@ func pairMoves(ops []pairwise.Op, absent int) []alignment.Move {
 // fillPlaneRange computes cells (j, k) of one i-plane inside the given
 // spans. prev is the completed (i-1)-plane; a nil prev means i == 0 (only
 // the in-plane moves GXX, GXG, GGX apply). ai is the residue consumed when
-// advancing in A.
-func fillPlaneRange(cur, prev *mat.Plane, ai int8, cb, cc []int8, sch *scoring.Scheme, sj, sk wavefront.Span) {
+// advancing in A; prof is the residue profile against C, serving both the
+// A-vs-C and B-vs-C lookups of the interior loop.
+//
+// Like fillRange, the box is peeled into j == 0 / k == 0 boundary passes
+// and a branch-minimal interior loop with hoisted, length-capped rows.
+func fillPlaneRange(cur, prev *mat.Plane, ai int8, cb []int8, sch *scoring.Scheme, prof *pairProfile, sj, sk wavefront.Span) {
 	ge2 := 2 * sch.GapExtend()
-	for j := sj.Lo; j < sj.Hi; j++ {
-		var bj int8
-		var sAB mat.Score
-		if j > 0 {
-			bj = cb[j-1]
-			if prev != nil {
-				sAB = sch.Sub(ai, bj)
-			}
+	if prev == nil {
+		fillPlaneRangeI0(cur, prof, ge2, cb, sj, sk)
+		return
+	}
+	acRow := prof.Row(ai)
+	subAi := sch.SubRow(ai)
+	if sj.Lo == 0 {
+		// j == 0 row: only XGX, XGG, GGX apply.
+		curRow := cur.Row(0)
+		prevRow := prev.Row(0)
+		k := sk.Lo
+		if k == 0 {
+			curRow[0] = prevRow[0] + ge2 // XGG
+			k = 1
 		}
-		for k := sk.Lo; k < sk.Hi; k++ {
-			if prev == nil && j == 0 && k == 0 {
-				cur.Set(0, 0, 0)
-				continue
+		for ; k < sk.Hi; k++ {
+			curRow[k] = max(prevRow[k-1]+acRow[k], prevRow[k], curRow[k-1]) + ge2
+		}
+	}
+	hi := sk.Hi
+	for j := max(sj.Lo, 1); j < sj.Hi; j++ {
+		bj := cb[j-1]
+		sAB := subAi[bj]
+		bcRow := prof.Row(bj)[:hi]
+		ac := acRow[:hi]
+		curRow := cur.Row(j)[:hi:hi]
+		cur01 := cur.Row(j - 1)[:hi]
+		prev10 := prev.Row(j)[:hi]
+		prev11 := prev.Row(j - 1)[:hi]
+		lo := sk.Lo
+		if lo < 1 {
+			curRow[0] = max(prev11[0]+sAB, prev10[0], cur01[0]) + ge2
+			lo = 1
+		}
+		if lo >= hi {
+			continue
+		}
+		v11, v10, v01 := prev11[lo-1], prev10[lo-1], cur01[lo-1]
+		vkk := curRow[lo-1]
+		for k := lo; k < hi; k++ {
+			n11, n10, n01 := prev11[k], prev10[k], cur01[k]
+			sac, sbc := ac[k], bcRow[k]
+			best := max(
+				v11+sAB+sac+sbc, // XXX
+				v10+sac+ge2,     // XGX
+				v01+sbc+ge2,     // GXX
+				vkk+ge2,         // GGX
+				n11+sAB+ge2,     // XXG
+				n10+ge2,         // XGG
+				n01+ge2,         // GXG
+			)
+			curRow[k] = best
+			v11, v10, v01, vkk = n11, n10, n01, best
+		}
+	}
+}
+
+// fillPlaneRangeI0 fills the i == 0 plane portion, where only the in-plane
+// moves GXX, GXG, GGX apply.
+func fillPlaneRangeI0(cur *mat.Plane, prof *pairProfile, ge2 mat.Score, cb []int8, sj, sk wavefront.Span) {
+	for j := sj.Lo; j < sj.Hi; j++ {
+		curRow := cur.Row(j)
+		if j == 0 {
+			k := sk.Lo
+			if k == 0 {
+				curRow[0] = 0
+				k = 1
 			}
-			best := mat.NegInf
-			if k > 0 {
-				ck := cc[k-1]
-				if j > 0 {
-					if v := cur.At(j-1, k-1) + sch.Sub(bj, ck) + ge2; v > best {
-						best = v
-					}
-				}
-				if v := cur.At(j, k-1) + ge2; v > best {
-					best = v
-				}
-				if prev != nil {
-					if v := prev.At(j, k-1) + sch.Sub(ai, ck) + ge2; v > best {
-						best = v
-					}
-					if j > 0 {
-						if v := prev.At(j-1, k-1) + sAB + sch.Sub(ai, ck) + sch.Sub(bj, ck); v > best {
-							best = v
-						}
-					}
-				}
+			for ; k < sk.Hi; k++ {
+				curRow[k] = curRow[k-1] + ge2 // GGX chain
 			}
-			if j > 0 {
-				if v := cur.At(j-1, k) + ge2; v > best {
-					best = v
-				}
-				if prev != nil {
-					if v := prev.At(j-1, k) + sAB + ge2; v > best {
-						best = v
-					}
-				}
-			}
-			if prev != nil {
-				if v := prev.At(j, k) + ge2; v > best {
-					best = v
-				}
-			}
-			cur.Set(j, k, best)
+			continue
+		}
+		prevRow := cur.Row(j - 1)
+		bcRow := prof.Row(cb[j-1])
+		k := sk.Lo
+		if k == 0 {
+			curRow[0] = prevRow[0] + ge2 // GXG
+			k = 1
+		}
+		for ; k < sk.Hi; k++ {
+			curRow[k] = max(prevRow[k-1]+bcRow[k], prevRow[k], curRow[k-1]) + ge2
 		}
 	}
 }
@@ -124,36 +158,46 @@ func fillPlaneRange(cur, prev *mat.Plane, ai int8, cb, cc []int8, sch *scoring.S
 // all of ca with cb[:j] and cc[:k]. With workers > 1 each plane is computed
 // by a 2D blocked wavefront. The context is polled at every plane boundary
 // (and per block inside parallel sweeps).
+// planeSweep's working planes come from the mat arena; the returned final
+// plane must be released with mat.PutPlane by the caller.
 func planeSweep(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, workers, blockSize int) (*mat.Plane, error) {
 	m, p := len(cb), len(cc)
-	prev := mat.NewPlane(m+1, p+1)
-	cur := mat.NewPlane(m+1, p+1)
+	prev := mat.GetPlane(m+1, p+1)
+	cur := mat.GetPlane(m+1, p+1)
+	prof := newPairProfile(cc, sch)
+	defer prof.release()
 	sj := wavefront.Partition(m+1, blockSize)
 	sk := wavefront.Partition(p+1, blockSize)
 	sweep := func(dst, src *mat.Plane, ai int8) error {
 		if workers <= 1 {
-			fillPlaneRange(dst, src, ai, cb, cc, sch, wavefront.Span{Lo: 0, Hi: m + 1}, wavefront.Span{Lo: 0, Hi: p + 1})
+			fillPlaneRange(dst, src, ai, cb, sch, prof, wavefront.Span{Lo: 0, Hi: m + 1}, wavefront.Span{Lo: 0, Hi: p + 1})
 			return nil
 		}
 		return wavefront.Run2DContext(ctx, len(sj), len(sk), workers, func(bj, bk int) {
-			fillPlaneRange(dst, src, ai, cb, cc, sch, sj[bj], sk[bk])
+			fillPlaneRange(dst, src, ai, cb, sch, prof, sj[bj], sk[bk])
 		})
 	}
-	if err := checkCtx(ctx); err != nil {
+	fail := func(err error) (*mat.Plane, error) {
+		mat.PutPlane(prev)
+		mat.PutPlane(cur)
 		return nil, err
 	}
+	if err := checkCtx(ctx); err != nil {
+		return fail(err)
+	}
 	if err := sweep(prev, nil, 0); err != nil { // the i == 0 plane
-		return nil, err
+		return fail(err)
 	}
 	for i := 1; i <= len(ca); i++ {
 		if err := checkCtx(ctx); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if err := sweep(cur, prev, ca[i-1]); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		prev, cur = cur, prev
 	}
+	mat.PutPlane(cur)
 	return prev, nil
 }
 
@@ -169,10 +213,15 @@ type hctx struct {
 	spawn atomic.Int32
 }
 
-// fullMoves solves a sub-box exactly with the full-matrix DP.
+// fullMoves solves a sub-box exactly with the full-matrix DP, drawing its
+// lattice and score tables from the arena — in the Hirschberg recursion
+// every leaf box reuses the buffers of earlier leaves.
 func fullMoves(ca, cb, cc []int8, sch *scoring.Scheme) ([]alignment.Move, error) {
-	t := mat.NewTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
-	fillRange(t, ca, cb, cc, sch,
+	st := newScoreTables(ca, cb, cc, sch)
+	defer st.release()
+	t := mat.GetTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
+	defer mat.PutTensor3(t)
+	fillRange(t, st, 2*sch.GapExtend(),
 		wavefront.Span{Lo: 0, Hi: len(ca) + 1},
 		wavefront.Span{Lo: 0, Hi: len(cb) + 1},
 		wavefront.Span{Lo: 0, Hi: len(cc) + 1})
@@ -216,9 +265,13 @@ func (h *hctx) rec(ctx context.Context, ca, cb, cc []int8) ([]alignment.Move, er
 		}
 	}
 	if errF != nil {
+		mat.PutPlane(fwd)
+		mat.PutPlane(bwdRev)
 		return nil, errF
 	}
 	if errB != nil {
+		mat.PutPlane(fwd)
+		mat.PutPlane(bwdRev)
 		return nil, errB
 	}
 
@@ -226,12 +279,16 @@ func (h *hctx) rec(ctx context.Context, ca, cb, cc []int8) ([]alignment.Move, er
 	bestJ, bestK := 0, 0
 	bestV := fwd.At(0, 0) + bwdRev.At(m, p)
 	for j := 0; j <= m; j++ {
+		fRow := fwd.Row(j)
+		bRow := bwdRev.Row(m - j)
 		for k := 0; k <= p; k++ {
-			if v := fwd.At(j, k) + bwdRev.At(m-j, p-k); v > bestV {
+			if v := fRow[k] + bRow[p-k]; v > bestV {
 				bestV, bestJ, bestK = v, j, k
 			}
 		}
 	}
+	mat.PutPlane(fwd)
+	mat.PutPlane(bwdRev)
 
 	var left, right []alignment.Move
 	var errL, errR error

@@ -107,8 +107,13 @@ func AlignPruned(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Op
 	}
 
 	pc := newPruneCtx(ca, cb, cc, sch, bound)
+	defer pc.release()
 	n, m, p := len(ca), len(cb), len(cc)
-	t := mat.NewTensor3(n+1, m+1, p+1)
+	st := newScoreTables(ca, cb, cc, sch)
+	defer st.release()
+	t := mat.GetTensor3(n+1, m+1, p+1)
+	defer mat.PutTensor3(t)
+	ge2 := 2 * sch.GapExtend()
 	stats := PruneStats{TotalCells: int64(n+1) * int64(m+1) * int64(p+1), LowerBound: bound}
 	sj := wavefront.Span{Lo: 0, Hi: m + 1}
 	sk := wavefront.Span{Lo: 0, Hi: p + 1}
@@ -116,7 +121,7 @@ func AlignPruned(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Op
 		if err := checkCtx(ctx); err != nil {
 			return nil, stats, err
 		}
-		stats.EvaluatedCells += fillRangePruned(t, ca, cb, cc, sch, pc,
+		stats.EvaluatedCells += fillRangePruned(t, st, pc, ge2,
 			wavefront.Span{Lo: i, Hi: i + 1}, sj, sk)
 	}
 

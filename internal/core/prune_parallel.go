@@ -33,6 +33,18 @@ func newPruneCtx(ca, cb, cc []int8, sch *scoring.Scheme, bound mat.Score) *prune
 	}
 }
 
+// release returns the six projection planes to the arena.
+func (pc *pruneCtx) release() {
+	mat.PutPlane(pc.fAB)
+	mat.PutPlane(pc.fAC)
+	mat.PutPlane(pc.fBC)
+	mat.PutPlane(pc.bAB)
+	mat.PutPlane(pc.bAC)
+	mat.PutPlane(pc.bBC)
+	pc.fAB, pc.fAC, pc.fBC = nil, nil, nil
+	pc.bAB, pc.bAC, pc.bBC = nil, nil, nil
+}
+
 // admissible reports whether any alignment through (i, j, k) can reach the
 // lower bound, by the pairwise projection upper bound.
 func (pc *pruneCtx) admissible(i, j, k int) bool {
@@ -44,88 +56,161 @@ func (pc *pruneCtx) admissible(i, j, k int) bool {
 
 // fillRangePruned is fillRange with per-cell admissibility: pruned cells
 // are stored as NegInf without evaluating the recurrence. It returns the
-// number of evaluated cells in the box.
-func fillRangePruned(t *mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme, pc *pruneCtx, si, sj, sk wavefront.Span) int64 {
-	ge2 := 2 * sch.GapExtend()
+// number of evaluated cells in the box. Like fillRange it peels boundary
+// passes off a table-driven interior loop; unlike fillRange every max chain
+// keeps the NegInf seed, because pruned predecessors hold NegInf and the
+// original kernel clamped the best value there.
+func fillRangePruned(t *mat.Tensor3, st *scoreTables, pc *pruneCtx, ge2 mat.Score, si, sj, sk wavefront.Span) int64 {
 	var evaluated int64
-	for i := si.Lo; i < si.Hi; i++ {
-		var ai int8
-		if i > 0 {
-			ai = ca[i-1]
+	if si.Lo == 0 {
+		evaluated += prunedBoundaryI0(t, st, pc, ge2, sj, sk)
+	}
+	for i := max(si.Lo, 1); i < si.Hi; i++ {
+		abRow := st.ab.Row(i)
+		acRow := st.ac.Row(i)
+		facRow := pc.fAC.Row(i)
+		bacRow := pc.bAC.Row(i)
+		abF := pc.fAB.Row(i)
+		abB := pc.bAB.Row(i)
+		if sj.Lo == 0 {
+			evaluated += prunedBoundaryJ0(t, pc, ge2, i, acRow, abF[0]+abB[0], facRow, bacRow, sk)
 		}
-		for j := sj.Lo; j < sj.Hi; j++ {
-			var bj int8
-			var sAB mat.Score
-			if j > 0 {
-				bj = cb[j-1]
-				if i > 0 {
-					sAB = sch.Sub(ai, bj)
-				}
-			}
-			abPart := pc.fAB.At(i, j) + pc.bAB.At(i, j)
-			cur := t.Lane(i, j)
-			var lane11, lane10, lane01 []mat.Score
-			if i > 0 && j > 0 {
-				lane11 = t.Lane(i-1, j-1)
-			}
-			if i > 0 {
-				lane10 = t.Lane(i-1, j)
-			}
-			if j > 0 {
-				lane01 = t.Lane(i, j-1)
-			}
-			for k := sk.Lo; k < sk.Hi; k++ {
-				if i == 0 && j == 0 && k == 0 {
-					cur[0] = 0
+		for j := max(sj.Lo, 1); j < sj.Hi; j++ {
+			abPart := abF[j] + abB[j]
+			hi := sk.Hi
+			sAB := abRow[j]
+			ac := acRow[:hi]
+			bcRow := st.bc.Row(j)[:hi]
+			fac := facRow[:hi]
+			bac := bacRow[:hi]
+			fbc := pc.fBC.Row(j)[:hi]
+			bbc := pc.bBC.Row(j)[:hi]
+			cur := t.Lane(i, j)[:hi:hi]
+			lane11 := t.Lane(i-1, j-1)[:hi]
+			lane10 := t.Lane(i-1, j)[:hi]
+			lane01 := t.Lane(i, j-1)[:hi]
+			lo := sk.Lo
+			if lo < 1 {
+				if abPart+fac[0]+bac[0]+fbc[0]+bbc[0] < pc.bound {
+					cur[0] = mat.NegInf
+				} else {
 					evaluated++
-					continue
+					cur[0] = max(mat.NegInf, lane11[0]+sAB+ge2, lane10[0]+ge2, lane01[0]+ge2)
 				}
-				ub := abPart + pc.fAC.At(i, k) + pc.bAC.At(i, k) + pc.fBC.At(j, k) + pc.bBC.At(j, k)
-				if ub < pc.bound {
+				lo = 1
+			}
+			// The dominating no-op reslice proves lo ≥ 0 to the compiler,
+			// which frees the admissibility test — the path taken for every
+			// k — of bounds checks. Evaluated cells keep one check on the
+			// first k-1 lane read; the rest piggyback on it.
+			_ = fac[:lo]
+			for k := lo; k < hi; k++ {
+				if abPart+fac[k]+bac[k]+fbc[k]+bbc[k] < pc.bound {
 					cur[k] = mat.NegInf
 					continue
 				}
 				evaluated++
-				best := mat.NegInf
-				if k > 0 {
-					ck := cc[k-1]
-					if lane11 != nil {
-						if v := lane11[k-1] + sAB + sch.Sub(ai, ck) + sch.Sub(bj, ck); v > best {
-							best = v
-						}
-					}
-					if lane10 != nil {
-						if v := lane10[k-1] + sch.Sub(ai, ck) + ge2; v > best {
-							best = v
-						}
-					}
-					if lane01 != nil {
-						if v := lane01[k-1] + sch.Sub(bj, ck) + ge2; v > best {
-							best = v
-						}
-					}
-					if v := cur[k-1] + ge2; v > best {
-						best = v
-					}
-				}
-				if lane11 != nil {
-					if v := lane11[k] + sAB + ge2; v > best {
-						best = v
-					}
-				}
-				if lane10 != nil {
-					if v := lane10[k] + ge2; v > best {
-						best = v
-					}
-				}
-				if lane01 != nil {
-					if v := lane01[k] + ge2; v > best {
-						best = v
-					}
-				}
-				cur[k] = best
+				sac, sbc := ac[k], bcRow[k]
+				cur[k] = max(
+					mat.NegInf,
+					lane11[k-1]+sAB+sac+sbc, // XXX
+					lane10[k-1]+sac+ge2,     // XGX
+					lane01[k-1]+sbc+ge2,     // GXX
+					cur[k-1]+ge2,            // GGX
+					lane11[k]+sAB+ge2,       // XXG
+					lane10[k]+ge2,           // XGG
+					lane01[k]+ge2,           // GXG
+				)
 			}
 		}
+	}
+	return evaluated
+}
+
+// prunedBoundaryI0 fills the admissible cells of the i == 0 plane portion.
+func prunedBoundaryI0(t *mat.Tensor3, st *scoreTables, pc *pruneCtx, ge2 mat.Score, sj, sk wavefront.Span) int64 {
+	var evaluated int64
+	facRow := pc.fAC.Row(0)
+	bacRow := pc.bAC.Row(0)
+	abF := pc.fAB.Row(0)
+	abB := pc.bAB.Row(0)
+	for j := sj.Lo; j < sj.Hi; j++ {
+		cur := t.Lane(0, j)
+		abPart := abF[j] + abB[j]
+		fbc := pc.fBC.Row(j)
+		bbc := pc.bBC.Row(j)
+		admissible := func(k int) bool {
+			return abPart+facRow[k]+bacRow[k]+fbc[k]+bbc[k] >= pc.bound
+		}
+		if j == 0 {
+			k := sk.Lo
+			if k == 0 {
+				cur[0] = 0
+				evaluated++
+				k = 1
+			}
+			for ; k < sk.Hi; k++ {
+				if !admissible(k) {
+					cur[k] = mat.NegInf
+					continue
+				}
+				evaluated++
+				cur[k] = max(mat.NegInf, cur[k-1]+ge2) // GGX
+			}
+			continue
+		}
+		prev := t.Lane(0, j-1)
+		bcRow := st.bc.Row(j)
+		k := sk.Lo
+		if k == 0 {
+			if !admissible(0) {
+				cur[0] = mat.NegInf
+			} else {
+				evaluated++
+				cur[0] = max(mat.NegInf, prev[0]+ge2) // GXG
+			}
+			k = 1
+		}
+		for ; k < sk.Hi; k++ {
+			if !admissible(k) {
+				cur[k] = mat.NegInf
+				continue
+			}
+			evaluated++
+			cur[k] = max(mat.NegInf, prev[k-1]+bcRow[k]+ge2, cur[k-1]+ge2, prev[k]+ge2)
+		}
+	}
+	return evaluated
+}
+
+// prunedBoundaryJ0 fills the admissible cells of the j == 0 row of plane
+// i ≥ 1.
+func prunedBoundaryJ0(t *mat.Tensor3, pc *pruneCtx, ge2 mat.Score, i int, acRow []mat.Score, abPart mat.Score, facRow, bacRow []mat.Score, sk wavefront.Span) int64 {
+	var evaluated int64
+	cur := t.Lane(i, 0)
+	prev := t.Lane(i-1, 0)
+	fbc := pc.fBC.Row(0)
+	bbc := pc.bBC.Row(0)
+	admissible := func(k int) bool {
+		return abPart+facRow[k]+bacRow[k]+fbc[k]+bbc[k] >= pc.bound
+	}
+	k := sk.Lo
+	if k == 0 {
+		if !admissible(0) {
+			cur[0] = mat.NegInf
+		} else {
+			evaluated++
+			cur[0] = max(mat.NegInf, prev[0]+ge2) // XGG
+		}
+		k = 1
+	}
+	for ; k < sk.Hi; k++ {
+		if !admissible(k) {
+			cur[k] = mat.NegInf
+			continue
+		}
+		evaluated++
+		cur[k] = max(mat.NegInf, prev[k-1]+acRow[k]+ge2, prev[k]+ge2, cur[k-1]+ge2)
 	}
 	return evaluated
 }
@@ -156,9 +241,14 @@ func AlignPrunedParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme
 		}
 	}
 	pc := newPruneCtx(ca, cb, cc, sch, bound)
+	defer pc.release()
 
 	n, m, p := len(ca), len(cb), len(cc)
-	t := mat.NewTensor3(n+1, m+1, p+1)
+	st := newScoreTables(ca, cb, cc, sch)
+	defer st.release()
+	t := mat.GetTensor3(n+1, m+1, p+1)
+	defer mat.PutTensor3(t)
+	ge2 := 2 * sch.GapExtend()
 	bs := opt.blockSize()
 	si := wavefront.Partition(n+1, bs)
 	sj := wavefront.Partition(m+1, bs)
@@ -169,7 +259,7 @@ func AlignPrunedParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme
 		LowerBound: bound,
 	}
 	if err := wavefront.Run3DContext(ctx, len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
-		evaluated.Add(fillRangePruned(t, ca, cb, cc, sch, pc, si[bi], sj[bj], sk[bk]))
+		evaluated.Add(fillRangePruned(t, st, pc, ge2, si[bi], sj[bj], sk[bk]))
 	}); err != nil {
 		stats.EvaluatedCells = evaluated.Load()
 		return nil, stats, err

@@ -30,5 +30,7 @@ func Score(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options)
 	if err != nil {
 		return 0, err
 	}
-	return final.At(len(cb), len(cc)), nil
+	s := final.At(len(cb), len(cc))
+	mat.PutPlane(final)
+	return s, nil
 }

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/alignment"
+	"repro/internal/mat"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/wavefront"
+)
+
+// Differential suite: the table-driven, boundary-peeled kernels must
+// produce bit-identical lattices — and therefore identical scores and
+// tracebacks — to the pre-optimization kernels preserved verbatim in
+// reference_test.go, on every scheme, shape, and span decomposition.
+
+// diffShapes covers degenerate boxes (all-empty, one empty axis, single
+// residues) alongside uneven and cubic interiors.
+var diffShapes = [][3]int{
+	{0, 0, 0}, {1, 0, 0}, {0, 0, 4}, {0, 5, 3},
+	{1, 1, 1}, {1, 7, 4}, {6, 5, 4}, {9, 3, 7}, {8, 8, 8},
+}
+
+// diffTriple builds a reproducible triple with the given lengths over the
+// scheme's alphabet.
+func diffTriple(sch *scoring.Scheme, seed int64, na, nb, nc int) seq.Triple {
+	g := seq.NewGenerator(sch.Alphabet(), seed)
+	return seq.Triple{
+		A: g.Random("A", na),
+		B: g.Random("B", nb),
+		C: g.Random("C", nc),
+	}
+}
+
+func linearDiffSchemes(t *testing.T) map[string]*scoring.Scheme {
+	t.Helper()
+	prot, err := scoring.BLOSUM62().WithGaps(0, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*scoring.Scheme{
+		"dna":      scoring.DNADefault(),
+		"neutralN": scoring.DNANeutralN(),
+		"blosum62": prot,
+	}
+}
+
+func affineDiffSchemes(t *testing.T) map[string]*scoring.Scheme {
+	t.Helper()
+	dna, err := scoring.DNADefault().WithGaps(-4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*scoring.Scheme{
+		"dna":      dna,
+		"blosum62": scoring.BLOSUM62(),
+	}
+}
+
+func wantTensorsEqual(t *testing.T, got, want *mat.Tensor3) {
+	t.Helper()
+	ni, nj, nk := want.Dims()
+	for i := 0; i < ni; i++ {
+		for j := 0; j < nj; j++ {
+			for k := 0; k < nk; k++ {
+				if g, w := got.At(i, j, k), want.At(i, j, k); g != w {
+					t.Fatalf("cell (%d,%d,%d): got %d, want %d", i, j, k, g, w)
+				}
+			}
+		}
+	}
+}
+
+func wantPlanesEqual(t *testing.T, layer int, got, want *mat.Plane) {
+	t.Helper()
+	for j := 0; j < want.Rows(); j++ {
+		for k := 0; k < want.Cols(); k++ {
+			if g, w := got.At(j, k), want.At(j, k); g != w {
+				t.Fatalf("layer %d cell (%d,%d): got %d, want %d", layer, j, k, g, w)
+			}
+		}
+	}
+}
+
+// runBlocked3D invokes fill for every block of the box in lexicographic
+// order, which respects all DP dependencies (each predecessor cell lives in
+// a block with component-wise smaller-or-equal indices).
+func runBlocked3D(n, m, p, bs int, fill func(si, sj, sk wavefront.Span)) {
+	si := wavefront.Partition(n+1, bs)
+	sj := wavefront.Partition(m+1, bs)
+	sk := wavefront.Partition(p+1, bs)
+	for _, bi := range si {
+		for _, bj := range sj {
+			for _, bk := range sk {
+				fill(bi, bj, bk)
+			}
+		}
+	}
+}
+
+func TestFillRangeMatchesReference(t *testing.T) {
+	for name, sch := range linearDiffSchemes(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, shape := range diffShapes {
+				tr := diffTriple(sch, 1000+int64(shape[0]), shape[0], shape[1], shape[2])
+				ca, cb, cc, err := prepare(tr, sch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, m, p := len(ca), len(cb), len(cc)
+				full := func() (si, sj, sk wavefront.Span) {
+					return wavefront.Span{Lo: 0, Hi: n + 1}, wavefront.Span{Lo: 0, Hi: m + 1}, wavefront.Span{Lo: 0, Hi: p + 1}
+				}
+				want := mat.NewTensor3(n+1, m+1, p+1)
+				si, sj, sk := full()
+				refFillRange(want, ca, cb, cc, sch, si, sj, sk)
+
+				st := newScoreTables(ca, cb, cc, sch)
+				ge2 := 2 * sch.GapExtend()
+				got := mat.NewTensor3(n+1, m+1, p+1)
+				fillRange(got, st, ge2, si, sj, sk)
+				wantTensorsEqual(t, got, want)
+
+				// The same kernel applied block-wise must land on the same
+				// lattice: sub-span entry points (Lo > 0) take the non-peeled
+				// paths.
+				blocked := mat.NewTensor3(n+1, m+1, p+1)
+				runBlocked3D(n, m, p, 3, func(si, sj, sk wavefront.Span) {
+					fillRange(blocked, st, ge2, si, sj, sk)
+				})
+				wantTensorsEqual(t, blocked, want)
+				st.release()
+			}
+		})
+	}
+}
+
+func TestFillPlaneRangeMatchesReference(t *testing.T) {
+	for name, sch := range linearDiffSchemes(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, shape := range diffShapes {
+				tr := diffTriple(sch, 2000+int64(shape[1]), shape[0], shape[1], shape[2])
+				ca, cb, cc, err := prepare(tr, sch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, p := len(cb), len(cc)
+				sj := wavefront.Span{Lo: 0, Hi: m + 1}
+				sk := wavefront.Span{Lo: 0, Hi: p + 1}
+				prof := newPairProfile(cc, sch)
+
+				wantPrev, wantCur := mat.NewPlane(m+1, p+1), mat.NewPlane(m+1, p+1)
+				gotPrev, gotCur := mat.NewPlane(m+1, p+1), mat.NewPlane(m+1, p+1)
+				blkPrev, blkCur := mat.NewPlane(m+1, p+1), mat.NewPlane(m+1, p+1)
+
+				layer := func(dstW, srcW, dstG, srcG, dstB, srcB *mat.Plane, i int) {
+					var ai int8
+					if i > 0 {
+						ai = ca[i-1]
+					}
+					refFillPlaneRange(dstW, srcW, ai, cb, cc, sch, sj, sk)
+					fillPlaneRange(dstG, srcG, ai, cb, sch, prof, sj, sk)
+					runBlocked3D(0, m, p, 3, func(_, bj, bk wavefront.Span) {
+						fillPlaneRange(dstB, srcB, ai, cb, sch, prof, bj, bk)
+					})
+					wantPlanesEqual(t, i, dstG, dstW)
+					wantPlanesEqual(t, i, dstB, dstW)
+				}
+				layer(wantPrev, nil, gotPrev, nil, blkPrev, nil, 0)
+				for i := 1; i <= len(ca); i++ {
+					layer(wantCur, wantPrev, gotCur, gotPrev, blkCur, blkPrev, i)
+					wantPrev, wantCur = wantCur, wantPrev
+					gotPrev, gotCur = gotCur, gotPrev
+					blkPrev, blkCur = blkCur, blkPrev
+				}
+				prof.release()
+			}
+		})
+	}
+}
+
+func TestFillRangePrunedMatchesReference(t *testing.T) {
+	sch := scoring.DNADefault()
+	for _, shape := range diffShapes {
+		tr := diffTriple(sch, 3000+int64(shape[2]), shape[0], shape[1], shape[2])
+		ca, cb, cc, err := prepare(tr, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trivial, err := TrivialAlignment(tr, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Score(context.Background(), tr, sch, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A loose bound admits everything, the trivial bound is the default,
+		// and the exact optimum prunes hardest while staying valid.
+		for _, bound := range []mat.Score{mat.NegInf / 4, trivial.Score, opt} {
+			n, m, p := len(ca), len(cb), len(cc)
+			pc := newPruneCtx(ca, cb, cc, sch, bound)
+			si := wavefront.Span{Lo: 0, Hi: n + 1}
+			sj := wavefront.Span{Lo: 0, Hi: m + 1}
+			sk := wavefront.Span{Lo: 0, Hi: p + 1}
+			want := mat.NewTensor3(n+1, m+1, p+1)
+			wantEval := refFillRangePruned(want, ca, cb, cc, sch, pc, si, sj, sk)
+
+			st := newScoreTables(ca, cb, cc, sch)
+			ge2 := 2 * sch.GapExtend()
+			got := mat.NewTensor3(n+1, m+1, p+1)
+			gotEval := fillRangePruned(got, st, pc, ge2, si, sj, sk)
+			if gotEval != wantEval {
+				t.Fatalf("bound %d: evaluated %d cells, want %d", bound, gotEval, wantEval)
+			}
+			wantTensorsEqual(t, got, want)
+
+			blocked := mat.NewTensor3(n+1, m+1, p+1)
+			var blockedEval int64
+			runBlocked3D(n, m, p, 3, func(si, sj, sk wavefront.Span) {
+				blockedEval += fillRangePruned(blocked, st, pc, ge2, si, sj, sk)
+			})
+			if blockedEval != wantEval {
+				t.Fatalf("bound %d: blocked evaluated %d cells, want %d", bound, blockedEval, wantEval)
+			}
+			wantTensorsEqual(t, blocked, want)
+			st.release()
+			pc.release()
+		}
+	}
+}
+
+func TestAffineFillMatchesReference(t *testing.T) {
+	for name, sch := range affineDiffSchemes(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, shape := range diffShapes {
+				if shape[0]+shape[1]+shape[2] > 18 {
+					continue // the reference fill is O(49·nmp); keep it quick
+				}
+				tr := diffTriple(sch, 4000+int64(shape[0]+shape[1]), shape[0], shape[1], shape[2])
+				ca, cb, cc, err := prepare(tr, sch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, m, p := len(ca), len(cb), len(cc)
+				for _, q0 := range []alignment.Move{alignment.MoveXXX, alignment.MoveGGX} {
+					want := refAffineFill(ca, cb, cc, sch, q0)
+
+					st := newScoreTables(ca, cb, cc, sch)
+					open := newAffineOpenTable(sch)
+					var got [7]*mat.Tensor3
+					for s := 0; s < 7; s++ {
+						got[s] = mat.NewTensor3(n+1, m+1, p+1)
+						got[s].Fill(mat.NegInf)
+					}
+					got[q0-1].Set(0, 0, 0, 0)
+					fillRangeAffine(&got, st, ca, cb, cc, sch, &open,
+						wavefront.Span{Lo: 0, Hi: n + 1},
+						wavefront.Span{Lo: 0, Hi: m + 1},
+						wavefront.Span{Lo: 0, Hi: p + 1})
+					for s := 0; s < 7; s++ {
+						wantTensorsEqual(t, got[s], want[s])
+					}
+
+					var blocked [7]*mat.Tensor3
+					for s := 0; s < 7; s++ {
+						blocked[s] = mat.NewTensor3(n+1, m+1, p+1)
+						blocked[s].Fill(mat.NegInf)
+					}
+					blocked[q0-1].Set(0, 0, 0, 0)
+					runBlocked3D(n, m, p, 3, func(si, sj, sk wavefront.Span) {
+						fillRangeAffine(&blocked, st, ca, cb, cc, sch, &open, si, sj, sk)
+					})
+					for s := 0; s < 7; s++ {
+						wantTensorsEqual(t, blocked[s], want[s])
+					}
+					st.release()
+				}
+			}
+		})
+	}
+}
+
+// TestAlignersAgreeOnRandomTriples pins the public aligners to each other
+// and (on tiny shapes) to the exponential brute-force scorer: every kernel
+// sees the same tables, so every kernel must report the same optimum, and
+// the deterministic tracebacks of the full-matrix aligners must coincide.
+func TestAlignersAgreeOnRandomTriples(t *testing.T) {
+	ctx := context.Background()
+	sch := scoring.DNADefault()
+	affSch, err := scoring.DNADefault().WithGaps(-4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range diffShapes {
+		tr := diffTriple(sch, 5000+int64(shape[0]+2*shape[1]), shape[0], shape[1], shape[2])
+		full, err := AlignFull(ctx, tr, sch, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAlignment(t, full, sch)
+
+		par, err := AlignParallel(ctx, tr, sch, Options{Workers: 3, BlockSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Score != full.Score {
+			t.Fatalf("AlignParallel score %d, AlignFull %d", par.Score, full.Score)
+		}
+		if len(par.Moves) != len(full.Moves) {
+			t.Fatalf("AlignParallel moves differ from AlignFull")
+		}
+		for i := range par.Moves {
+			if par.Moves[i] != full.Moves[i] {
+				t.Fatalf("AlignParallel move %d = %v, AlignFull %v", i, par.Moves[i], full.Moves[i])
+			}
+		}
+
+		scoreOnly, err := Score(ctx, tr, sch, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scoreOnly != full.Score {
+			t.Fatalf("Score %d, AlignFull %d", scoreOnly, full.Score)
+		}
+
+		pruned, _, err := AlignPruned(ctx, tr, sch, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pruned.Score != full.Score {
+			t.Fatalf("AlignPruned score %d, AlignFull %d", pruned.Score, full.Score)
+		}
+
+		lin, err := AlignLinear(ctx, tr, sch, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAlignment(t, lin, sch)
+		if lin.Score != full.Score {
+			t.Fatalf("AlignLinear score %d, AlignFull %d", lin.Score, full.Score)
+		}
+
+		diag, err := AlignDiagonal(ctx, tr, sch, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diag.Score != full.Score {
+			t.Fatalf("AlignDiagonal score %d, AlignFull %d", diag.Score, full.Score)
+		}
+
+		width := tr.A.Len() + tr.B.Len() + tr.C.Len() + 1
+		banded, err := AlignBanded(ctx, tr, sch, Options{}, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if banded.Score != full.Score {
+			t.Fatalf("AlignBanded(width=%d) score %d, AlignFull %d", width, banded.Score, full.Score)
+		}
+
+		if tr.A.Len()+tr.B.Len()+tr.C.Len() <= 12 {
+			brute, err := BruteForceScore(tr, sch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if brute != full.Score {
+				t.Fatalf("BruteForceScore %d, AlignFull %d", brute, full.Score)
+			}
+		}
+
+		// Affine: sequential vs wavefront must share both score and moves.
+		aff, err := AlignAffine(ctx, tr, affSch, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := aff.Validate(); err != nil {
+			t.Fatalf("affine alignment invalid: %v", err)
+		}
+		if got := QuasiNaturalScore(aff, affSch); got != aff.Score {
+			t.Fatalf("QuasiNaturalScore = %d, reported Score = %d", got, aff.Score)
+		}
+		affPar, err := AlignAffineParallel(ctx, tr, affSch, Options{Workers: 3, BlockSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if affPar.Score != aff.Score {
+			t.Fatalf("AlignAffineParallel score %d, AlignAffine %d", affPar.Score, aff.Score)
+		}
+		affLin, err := AlignAffineLinear(ctx, tr, affSch, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if affLin.Score != aff.Score {
+			t.Fatalf("AlignAffineLinear score %d, AlignAffine %d", affLin.Score, aff.Score)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package mat
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Buffer arena: size-classed sync.Pools of Score slices that back the
+// planes, lattices, and score tables the aligners allocate per call or per
+// Hirschberg sub-problem. Reusing backing arrays removes the dominant
+// allocation cost of repeated alignments (batch screening, the Hirschberg
+// recursion, benchmark loops) without a global free-list: sync.Pool keeps
+// reuse per-P and lets the GC reclaim buffers under memory pressure.
+//
+// Pooled buffers have unspecified contents. Every DP kernel in this
+// repository writes each cell of its working region before reading it (or
+// Fills a sentinel first), so dirty reuse is safe there; new callers that
+// need zeroed memory must Fill(0) explicitly or use the New* constructors.
+
+// numClasses bounds the pooled size classes: class c holds slices whose
+// capacity is in [2^c, 2^(c+1)). 2^30 Scores = 4 GiB, the default lattice
+// cap, so effectively every feasible buffer is poolable.
+const numClasses = 31
+
+var scorePools [numClasses]sync.Pool
+
+// sizeClass is floor(log2(n)): the pool whose slices have at least n/2 and
+// at most 2n-1 elements of capacity. Classing by the slice's own capacity
+// (not a rounded-up allocation size) avoids up-to-2x memory waste on large
+// lattices; the price is an occasional pool miss when a smaller same-class
+// buffer is returned, which Get handles by allocating fresh.
+func sizeClass(n int) int {
+	return bits.Len(uint(n)) - 1
+}
+
+// GetScores returns a Score slice of length n with unspecified contents,
+// reusing a pooled backing array when one is large enough. Put it back with
+// PutScores when no longer referenced.
+func GetScores(n int) []Score {
+	if n <= 0 {
+		return nil
+	}
+	if c := sizeClass(n); c < numClasses {
+		if v, _ := scorePools[c].Get().(*[]Score); v != nil && cap(*v) >= n {
+			return (*v)[:n]
+		}
+	}
+	return make([]Score, n)
+}
+
+// PutScores returns a slice obtained from GetScores (or any other Score
+// slice) to the arena. The caller must not use s, or any alias of it, after
+// the call — the buffer will be handed to a future GetScores.
+func PutScores(s []Score) {
+	n := cap(s)
+	if n == 0 {
+		return
+	}
+	if c := sizeClass(n); c < numClasses {
+		s = s[:n]
+		scorePools[c].Put(&s)
+	}
+}
+
+var planePool = sync.Pool{New: func() any { return new(Plane) }}
+
+// GetPlane returns a rows×cols plane with unspecified contents, drawing its
+// backing array from the arena. It panics on negative dimensions, matching
+// NewPlane.
+func GetPlane(rows, cols int) *Plane {
+	p := planePool.Get().(*Plane)
+	p.rows, p.cols = checkPlaneDims(rows, cols)
+	p.data = GetScores(rows * cols)
+	return p
+}
+
+// PutPlane returns a plane and its backing array to the arena. The caller
+// must not use p — or any Row slice obtained from it — after the call.
+// A nil plane is a no-op.
+func PutPlane(p *Plane) {
+	if p == nil {
+		return
+	}
+	PutScores(p.data)
+	p.data = nil
+	p.rows, p.cols = 0, 0
+	planePool.Put(p)
+}
+
+var tensorPool = sync.Pool{New: func() any { return new(Tensor3) }}
+
+// GetTensor3 returns an ni×nj×nk tensor with unspecified contents, drawing
+// its backing array from the arena. It panics on negative dimensions or int
+// overflow, matching NewTensor3.
+func GetTensor3(ni, nj, nk int) *Tensor3 {
+	n := checkTensorDims(ni, nj, nk)
+	t := tensorPool.Get().(*Tensor3)
+	t.ni, t.nj, t.nk = ni, nj, nk
+	t.strideI = nj * nk
+	t.data = GetScores(n)
+	return t
+}
+
+// PutTensor3 returns a tensor and its backing array to the arena. The
+// caller must not use t — or any Lane slice obtained from it — after the
+// call. A nil tensor is a no-op.
+func PutTensor3(t *Tensor3) {
+	if t == nil {
+		return
+	}
+	PutScores(t.data)
+	t.data = nil
+	t.ni, t.nj, t.nk, t.strideI = 0, 0, 0, 0
+	tensorPool.Put(t)
+}

@@ -19,36 +19,13 @@ func GlobalAffine(a, b []int8, sch *scoring.Scheme) Result {
 	// State lattices: mm ends in a residue-residue column, xx ends in a
 	// column consuming a only (gap in b), yy ends in a column consuming b
 	// only (gap in a).
-	mm := mat.NewPlane(n+1, m+1)
-	xx := mat.NewPlane(n+1, m+1)
-	yy := mat.NewPlane(n+1, m+1)
-	mm.Fill(mat.NegInf)
-	xx.Fill(mat.NegInf)
-	yy.Fill(mat.NegInf)
-	mm.Set(0, 0, 0)
-	for i := 1; i <= n; i++ {
-		xx.Set(i, 0, sch.GapOpen()+mat.Score(i)*ge)
-	}
-	for j := 1; j <= m; j++ {
-		yy.Set(0, j, sch.GapOpen()+mat.Score(j)*ge)
-	}
-	for i := 1; i <= n; i++ {
-		ai := a[i-1]
-		for j := 1; j <= m; j++ {
-			diag := mat.Max3(mm.At(i-1, j-1), xx.At(i-1, j-1), yy.At(i-1, j-1))
-			mm.Set(i, j, diag+sch.Sub(ai, b[j-1]))
-			xx.Set(i, j, mat.Max3(
-				mm.At(i-1, j)+gog,
-				xx.At(i-1, j)+ge,
-				yy.At(i-1, j)+gog,
-			))
-			yy.Set(i, j, mat.Max3(
-				mm.At(i, j-1)+gog,
-				yy.At(i, j-1)+ge,
-				xx.At(i, j-1)+gog,
-			))
-		}
-	}
+	mm := mat.GetPlane(n+1, m+1)
+	xx := mat.GetPlane(n+1, m+1)
+	yy := mat.GetPlane(n+1, m+1)
+	defer mat.PutPlane(mm)
+	defer mat.PutPlane(xx)
+	defer mat.PutPlane(yy)
+	gotohFill(mm, xx, yy, a, b, sch)
 
 	// Traceback through the three-state lattice.
 	const (
@@ -115,6 +92,39 @@ func GlobalAffine(a, b []int8, sch *scoring.Scheme) Result {
 	}
 	reverseOps(ops)
 	return Result{Score: best, Ops: ops}
+}
+
+// gotohFill fills the three Gotoh state lattices over a×b. Interior rows
+// run with hoisted row slices and a substitution row per a-residue; the
+// planes may come from the arena (every cell is written).
+func gotohFill(mm, xx, yy *mat.Plane, a, b []int8, sch *scoring.Scheme) {
+	n, m := len(a), len(b)
+	ge := sch.GapExtend()
+	gog := sch.GapOpen() + ge
+	mm.Fill(mat.NegInf)
+	xx.Fill(mat.NegInf)
+	yy.Fill(mat.NegInf)
+	mm.Set(0, 0, 0)
+	for i := 1; i <= n; i++ {
+		xx.Set(i, 0, sch.GapOpen()+mat.Score(i)*ge)
+	}
+	for j := 1; j <= m; j++ {
+		yy.Set(0, j, sch.GapOpen()+mat.Score(j)*ge)
+	}
+	for i := 1; i <= n; i++ {
+		sub := sch.SubRow(a[i-1])
+		mmP := mm.Row(i - 1)[: m+1 : m+1]
+		xxP := xx.Row(i - 1)[: m+1 : m+1]
+		yyP := yy.Row(i - 1)[: m+1 : m+1]
+		mmC := mm.Row(i)[: m+1 : m+1]
+		xxC := xx.Row(i)[: m+1 : m+1]
+		yyC := yy.Row(i)[: m+1 : m+1]
+		for j := 1; j <= m; j++ {
+			mmC[j] = max(mmP[j-1], xxP[j-1], yyP[j-1]) + sub[b[j-1]]
+			xxC[j] = max(mmP[j]+gog, xxP[j]+ge, yyP[j]+gog)
+			yyC[j] = max(mmC[j-1]+gog, yyC[j-1]+ge, xxC[j-1]+gog)
+		}
+	}
 }
 
 // RescoreAffine recomputes the affine-gap score of ops: every maximal run

@@ -1,6 +1,9 @@
 package pairwise
 
-import "repro/internal/scoring"
+import (
+	"repro/internal/mat"
+	"repro/internal/scoring"
+)
 
 // Hirschberg computes an optimal global alignment under the linear gap
 // model in linear space: O(len(a)·len(b)) time but only O(len(b)) working
@@ -46,6 +49,8 @@ func hirschRec(a, b []int8, sch *scoring.Scheme, out *[]Op) {
 			bestJ, bestV = j, v
 		}
 	}
+	mat.PutScores(fwd)
+	mat.PutScores(bwd)
 	hirschRec(a[:mid], b[:bestJ], sch, out)
 	hirschRec(a[mid:], b[bestJ:], sch, out)
 }

@@ -61,6 +61,10 @@ func mmRec(a, b []int8, sch *scoring.Scheme, tb, te mat.Score, out *[]Op) {
 			bestV, bestJ, bestType2 = v, j, true
 		}
 	}
+	mat.PutScores(cc)
+	mat.PutScores(dd)
+	mat.PutScores(rrRev)
+	mat.PutScores(ssRev)
 	if !bestType2 {
 		mmRec(a[:mid], b[:bestJ], sch, tb, gog, out)
 		mmRec(a[mid:], b[bestJ:], sch, gog, te, out)
@@ -77,13 +81,14 @@ func mmRec(a, b []int8, sch *scoring.Scheme, tb, te mat.Score, out *[]Op) {
 // mmForward runs Gotoh's recurrence over all of a and returns the final
 // row: cc[j] is the best score of aligning a with b[:j]; dd[j] the best
 // ending in the deletion state. Deletions hanging off the left edge open
-// with tb instead of the scheme's penalty.
+// with tb instead of the scheme's penalty. Both rows come from the mat
+// arena; the caller must release them with mat.PutScores.
 func mmForward(a, b []int8, sch *scoring.Scheme, tb mat.Score) (cc, dd []mat.Score) {
 	n := len(b)
 	ge := sch.GapExtend()
 	gog := sch.GapOpen()
-	cc = make([]mat.Score, n+1)
-	dd = make([]mat.Score, n+1)
+	cc = mat.GetScores(n + 1)
+	dd = mat.GetScores(n + 1)
 	// Row 0: insertions only; the deletion state is unreachable.
 	cc[0] = 0
 	for j := 1; j <= n; j++ {
@@ -97,13 +102,17 @@ func mmForward(a, b []int8, sch *scoring.Scheme, tb mat.Score) (cc, dd []mat.Sco
 		cc[0] = tb + mat.Score(i)*ge
 		dd[0] = cc[0] // the left-edge run is itself a deletion
 		ins := mat.NegInf
-		ai := a[i-1]
+		sub := sch.SubRow(a[i-1])
+		left := cc[0]
 		for j := 1; j <= n; j++ {
-			ins = mat.Max(ins+ge, cc[j-1]+gog+ge)
-			dd[j] = mat.Max(dd[j]+ge, cc[j]+gog+ge)
-			c := mat.Max3(dd[j], ins, diag+sch.Sub(ai, b[j-1]))
-			diag = cc[j]
+			ins = max(ins+ge, left+gog+ge)
+			up := cc[j]
+			d := max(dd[j]+ge, up+gog+ge)
+			dd[j] = d
+			c := max(d, ins, diag+sub[b[j-1]])
+			diag = up
 			cc[j] = c
+			left = c
 		}
 	}
 	return cc, dd

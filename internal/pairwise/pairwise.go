@@ -103,29 +103,29 @@ func Rescore(ops []Op, a, b []int8, sch *scoring.Scheme) (mat.Score, error) {
 // Forward fills the (len(a)+1)×(len(b)+1) global-alignment score lattice
 // under the linear gap model: F[i][j] is the optimal score of aligning
 // a[:i] with b[:j]. The full plane is returned because the Carrillo–Lipman
-// bounds need every cell.
+// bounds need every cell. The plane is drawn from the mat arena; callers
+// that are done with it may hand it back with mat.PutPlane.
 func Forward(a, b []int8, sch *scoring.Scheme) *mat.Plane {
 	n, m := len(a), len(b)
 	ge := sch.GapExtend()
-	f := mat.NewPlane(n+1, m+1)
+	f := mat.GetPlane(n+1, m+1)
 	row0 := f.Row(0)
+	row0[0] = 0
 	for j := 1; j <= m; j++ {
 		row0[j] = row0[j-1] + ge
 	}
 	for i := 1; i <= n; i++ {
-		prev := f.Row(i - 1)
-		cur := f.Row(i)
-		cur[0] = prev[0] + ge
-		ai := a[i-1]
+		prev := f.Row(i - 1)[: m+1 : m+1]
+		cur := f.Row(i)[: m+1 : m+1]
+		sub := sch.SubRow(a[i-1])
+		diag := prev[0]
+		left := prev[0] + ge
+		cur[0] = left
 		for j := 1; j <= m; j++ {
-			best := prev[j-1] + sch.Sub(ai, b[j-1])
-			if v := prev[j] + ge; v > best {
-				best = v
-			}
-			if v := cur[j-1] + ge; v > best {
-				best = v
-			}
+			up := prev[j]
+			best := max(diag+sub[b[j-1]], up+ge, left+ge)
 			cur[j] = best
+			diag, left = up, best
 		}
 	}
 	return f
@@ -133,18 +133,22 @@ func Forward(a, b []int8, sch *scoring.Scheme) *mat.Plane {
 
 // Backward returns the suffix lattice: B[i][j] is the optimal score of
 // aligning a[i:] with b[j:]. It is the Forward lattice of the reversed
-// sequences with both indices flipped.
+// sequences with both indices flipped. Like Forward, the plane may be
+// returned to the arena with mat.PutPlane.
 func Backward(a, b []int8, sch *scoring.Scheme) *mat.Plane {
 	n, m := len(a), len(b)
 	ar := reverseCodes(a)
 	br := reverseCodes(b)
 	fr := Forward(ar, br, sch)
-	out := mat.NewPlane(n+1, m+1)
+	out := mat.GetPlane(n+1, m+1)
 	for i := 0; i <= n; i++ {
+		row := out.Row(i)
+		frRow := fr.Row(n - i)
 		for j := 0; j <= m; j++ {
-			out.Set(i, j, fr.At(n-i, m-j))
+			row[j] = frRow[m-j]
 		}
 	}
+	mat.PutPlane(fr)
 	return out
 }
 
@@ -161,6 +165,7 @@ func reverseCodes(s []int8) []int8 {
 func Global(a, b []int8, sch *scoring.Scheme) Result {
 	n, m := len(a), len(b)
 	f := Forward(a, b, sch)
+	defer mat.PutPlane(f)
 	ge := sch.GapExtend()
 	ops := make([]Op, 0, n+m)
 	i, j := n, m
@@ -193,33 +198,36 @@ func reverseOps(ops []Op) {
 // GlobalScore computes only the optimal global score in O(min-row) space.
 func GlobalScore(a, b []int8, sch *scoring.Scheme) mat.Score {
 	row := lastRow(a, b, sch)
-	return row[len(b)]
+	s := row[len(b)]
+	mat.PutScores(row)
+	return s
 }
 
 // lastRow returns the final row of the Forward lattice using two rows of
-// memory; it is the workhorse of the Hirschberg recursion.
+// memory; it is the workhorse of the Hirschberg recursion. The row comes
+// from the mat arena; the caller must release it with mat.PutScores.
 func lastRow(a, b []int8, sch *scoring.Scheme) []mat.Score {
 	m := len(b)
 	ge := sch.GapExtend()
-	prev := make([]mat.Score, m+1)
-	cur := make([]mat.Score, m+1)
+	prev := mat.GetScores(m + 1)
+	cur := mat.GetScores(m + 1)
+	prev[0] = 0
 	for j := 1; j <= m; j++ {
 		prev[j] = prev[j-1] + ge
 	}
 	for i := 1; i <= len(a); i++ {
-		cur[0] = prev[0] + ge
-		ai := a[i-1]
+		sub := sch.SubRow(a[i-1])
+		diag := prev[0]
+		left := prev[0] + ge
+		cur[0] = left
 		for j := 1; j <= m; j++ {
-			best := prev[j-1] + sch.Sub(ai, b[j-1])
-			if v := prev[j] + ge; v > best {
-				best = v
-			}
-			if v := cur[j-1] + ge; v > best {
-				best = v
-			}
+			up := prev[j]
+			best := max(diag+sub[b[j-1]], up+ge, left+ge)
 			cur[j] = best
+			diag, left = up, best
 		}
 		prev, cur = cur, prev
 	}
+	mat.PutScores(cur)
 	return prev
 }

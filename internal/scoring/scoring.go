@@ -171,6 +171,14 @@ func (s *Scheme) Affine() bool { return s.gapOpen != 0 }
 // Sub returns the substitution score for residue codes a and b.
 func (s *Scheme) Sub(a, b int8) mat.Score { return s.sub[int(a)*s.size+int(b)] }
 
+// SubRow returns the substitution-score row for residue code a: SubRow(a)[b]
+// == Sub(a, b). The hot DP kernels hoist it out of their inner loops and use
+// it to build per-call pair-score tables; the returned slice aliases the
+// scheme's table and must not be modified.
+func (s *Scheme) SubRow(a int8) []mat.Score {
+	return s.sub[int(a)*s.size : (int(a)+1)*s.size : (int(a)+1)*s.size]
+}
+
 // Pair returns the linear-model contribution of one pair inside a column:
 // substitution score, gapExtend for residue-vs-gap, 0 for gap-vs-gap.
 func (s *Scheme) Pair(a, b int8) mat.Score {
