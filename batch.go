@@ -41,20 +41,27 @@ func AlignBatch(triples []Triple, opt Options) []BatchResult {
 }
 
 // AlignBatchContext aligns many triples concurrently under a context.
-// Triples are distributed over a pool of opt.Workers goroutines by an
-// atomic claim counter and each alignment runs single-threaded, which
-// beats intra-alignment parallelism when there are at least as many
-// triples as workers. Results are returned in input order; per-triple
-// failures — including a panic inside one alignment, which is recovered
-// with its stack — are reported in BatchResult.Err without aborting the
-// batch. Cancelling ctx stops the batch after the in-flight alignments
-// notice it; triples not yet started are marked with the context error.
+// Inter- and intra-triple parallelism share the process-wide worker pool:
+// min(opt.Workers, len(triples)) claimers — the caller plus helpers
+// recruited from the pool — walk an atomic claim counter over the triples.
+// When the batch is wide (at least as many triples as workers) each
+// alignment runs single-threaded, the throughput-optimal split. When the
+// batch is narrow (fewer triples than workers) the spare capacity flows
+// into the alignments themselves: each inner Align keeps opt.Workers and
+// its wavefront blocks recruit the idle pool workers, so a batch of two
+// long triples on an eight-way pool no longer serializes each triple onto
+// one core. Results are returned in input order; per-triple failures —
+// including a panic inside one alignment, which is recovered with its
+// stack — are reported in BatchResult.Err without aborting the batch.
+// Cancelling ctx stops the batch after the in-flight alignments notice it;
+// triples not yet started are marked with the context error.
 //
-// AlgorithmAuto resolves per triple against the effective scoring scheme:
-// affine schemes get AlgorithmAffine (or AlgorithmAffineLinear over
-// MaxBytes), linear ones AlgorithmFull (or AlgorithmLinear) — so a batch
-// under BLOSUM62 optimizes the same affine objective a single Align call
-// would, just without intra-alignment parallelism.
+// AlgorithmAuto resolves per triple against the effective scoring scheme
+// and the chosen split: affine schemes get AlgorithmAffine (or
+// AlgorithmAffineParallel on a narrow batch, or AlgorithmAffineLinear over
+// MaxBytes), linear ones AlgorithmFull / AlgorithmParallel (or
+// AlgorithmLinear) — so a batch under BLOSUM62 optimizes the same affine
+// objective a single Align call would.
 func AlignBatchContext(ctx context.Context, triples []Triple, opt Options) []BatchResult {
 	out := make([]BatchResult, len(triples))
 	for i := range out {
@@ -63,43 +70,57 @@ func AlignBatchContext(ctx context.Context, triples []Triple, opt Options) []Bat
 	if len(triples) == 0 {
 		return out
 	}
-	// Inner alignments run sequentially; the batch supplies parallelism.
-	inner := opt
-	inner.Workers = 1
 	workers := wavefront.Workers(opt.Workers)
-	if workers > len(triples) {
-		workers = len(triples)
+	claimers := workers
+	if claimers > len(triples) {
+		claimers = len(triples)
+	}
+	// A narrow batch leaves workers idle under a triple-per-worker split;
+	// route the spare capacity into each alignment instead.
+	intraParallel := claimers < workers
+	inner := opt
+	if !intraParallel {
+		inner.Workers = 1
 	}
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for g := 0; g < workers; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(triples) {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					out[i].Err = fmt.Errorf("repro: batch cancelled: %w", err)
-					continue // claim and mark the remaining triples too
-				}
-				it := inner
-				it.Algorithm = batchAlgorithm(triples[i], it)
-				res, err := alignRecover(ctx, triples[i], it)
-				out[i] = BatchResult{Index: i, Result: res, Err: err}
+	claim := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(triples) {
+				return
 			}
-		}()
+			if err := ctx.Err(); err != nil {
+				out[i].Err = fmt.Errorf("repro: batch cancelled: %w", err)
+				continue // claim and mark the remaining triples too
+			}
+			it := inner
+			it.Algorithm = batchAlgorithm(triples[i], it, intraParallel)
+			res, err := alignRecover(ctx, triples[i], it)
+			out[i] = BatchResult{Index: i, Result: res, Err: err}
+		}
 	}
+	// The caller is always a claimer; the rest come from the shared pool.
+	// A saturated pool is not an error — the batch proceeds with fewer
+	// claimers (down to the caller alone) and the same results.
+	wavefront.GrowPool(workers)
+	var wg sync.WaitGroup
+	for g := 1; g < claimers; g++ {
+		wg.Add(1)
+		if !wavefront.TryGo(func() { defer wg.Done(); claim() }) {
+			wg.Done()
+			break
+		}
+	}
+	claim()
 	wg.Wait()
 	return out
 }
 
-// batchAlgorithm resolves AlgorithmAuto for one batch triple: the
-// sequential variant matching the effective scheme's gap model. An
-// unresolvable scheme is left to Align to diagnose.
-func batchAlgorithm(tr Triple, opt Options) Algorithm {
+// batchAlgorithm resolves AlgorithmAuto for one batch triple: the variant
+// matching the effective scheme's gap model, parallel when the batch split
+// left spare worker capacity for intra-triple blocks. An unresolvable
+// scheme is left to Align to diagnose.
+func batchAlgorithm(tr Triple, opt Options, parallel bool) Algorithm {
 	if opt.Algorithm != AlgorithmAuto {
 		return opt.Algorithm
 	}
@@ -110,7 +131,7 @@ func batchAlgorithm(tr Triple, opt Options) Algorithm {
 	if err != nil {
 		return AlgorithmFull
 	}
-	return resolveAlgorithm(tr, sch, opt, false)
+	return resolveAlgorithm(tr, sch, opt, parallel)
 }
 
 // alignRecover is AlignContext with panic containment: a panic inside one

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/wavefront"
 )
 
 func TestAlignBatchOrderAndScores(t *testing.T) {
@@ -170,5 +172,63 @@ func TestAlignRecoverContainsPanic(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "kernel bug") || !strings.Contains(err.Error(), "goroutine") {
 		t.Fatalf("panic error lacks value or stack: %v", err)
+	}
+}
+
+// TestAlignBatchNarrowUsesIntraParallelism checks the pool-sharing split:
+// a batch with fewer triples than workers must route the spare capacity
+// into the alignments themselves (parallel kernels on multiple workers)
+// instead of serializing each triple onto one goroutine.
+func TestAlignBatchNarrowUsesIntraParallelism(t *testing.T) {
+	g := NewGenerator(DNA, 57)
+	triples := []Triple{
+		g.RelatedTriple(60, MutationModel{SubstitutionRate: 0.1}),
+		g.RelatedTriple(60, MutationModel{SubstitutionRate: 0.1}),
+	}
+	before := wavefront.Stats()
+	results := AlignBatch(triples, Options{Workers: 4})
+	d := wavefront.Stats().Sub(before)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("triple %d: %v", i, r.Err)
+		}
+		ref, err := Align(triples[i], Options{Algorithm: AlgorithmFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Result.Score != ref.Score {
+			t.Fatalf("triple %d: batch score %d != %d", i, r.Result.Score, ref.Score)
+		}
+	}
+	// Each narrow-batch triple must have entered the block scheduler (as a
+	// stealing run or, if the pool was briefly saturated, a solo fallback) —
+	// the old behavior ran zero wavefront runs because inner Workers was
+	// pinned to 1 and Auto resolved to the sequential kernel.
+	if d.Runs+d.SoloRuns < int64(len(triples)) {
+		t.Fatalf("narrow batch entered the wavefront scheduler %d+%d times, want >= %d",
+			d.Runs, d.SoloRuns, len(triples))
+	}
+}
+
+// TestAlignBatchWideStaysSequential checks the other side of the split: a
+// batch at least as wide as the worker count keeps inner alignments
+// single-threaded (throughput mode).
+func TestAlignBatchWideStaysSequential(t *testing.T) {
+	g := NewGenerator(DNA, 58)
+	var triples []Triple
+	for i := 0; i < 6; i++ {
+		triples = append(triples, g.RelatedTriple(20, MutationModel{SubstitutionRate: 0.1}))
+	}
+	before := wavefront.Stats()
+	results := AlignBatch(triples, Options{Workers: 2})
+	d := wavefront.Stats().Sub(before)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("triple %d: %v", i, r.Err)
+		}
+	}
+	if d.Runs+d.SoloRuns != 0 {
+		t.Fatalf("wide batch entered the wavefront block scheduler %d+%d times, want 0",
+			d.Runs, d.SoloRuns)
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"syscall"
 
 	repro "repro"
+	"repro/internal/prof"
 	"repro/internal/seq"
 )
 
@@ -70,10 +71,17 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		bothStr   = fs.Bool("both-strands", false, "also try the third sequence's reverse complement (DNA/RNA) and keep the better alignment")
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget per alignment (0 = none); exceeded deadlines fail unless -fallback is set")
 		fallback  = fs.Bool("fallback", false, "degrade to center-star-refined when the exact algorithm exceeds -timeout or the memory cap")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("align3: %w", err)
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return fmt.Errorf("align3: %w", err)
+	}
+	defer stopProf()
 
 	alpha, err := alphabetByName(*alphabet)
 	if err != nil {

@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"runtime"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/pairwise"
 	"repro/internal/scoring"
 	"repro/internal/seq"
+	"repro/internal/wavefront"
 )
 
 // Machine-readable kernel metrics: BENCH_<rev>.json is the perf-regression
@@ -21,7 +24,10 @@ import (
 // of one alignment kernel on a fixed seeded workload, so two revisions can
 // be diffed without re-parsing text tables.
 
-// kernelMetric is one kernel's measurement.
+// kernelMetric is one kernel's measurement. The scheduler fields are only
+// populated for kernels that go through the wavefront block scheduler:
+// Steals/Keeps are per-operation work-stealing counts and TileDims the
+// adaptive tile shape the kernel resolved for its lattice.
 type kernelMetric struct {
 	Kernel           string  `json:"kernel"`
 	N                int     `json:"n"`
@@ -31,6 +37,9 @@ type kernelMetric struct {
 	AllocsPerOp      uint64  `json:"allocs_per_op"`
 	BytesPerOp       uint64  `json:"bytes_per_op"`
 	PeakLatticeBytes int64   `json:"peak_lattice_bytes"`
+	Steals           int64   `json:"steals,omitempty"`
+	Keeps            int64   `json:"keeps,omitempty"`
+	TileDims         string  `json:"tile_dims,omitempty"`
 }
 
 // benchReport is the top-level BENCH_<rev>.json document.
@@ -119,38 +128,39 @@ func writeBenchJSON(path string, cfg config) error {
 		peak  int64
 		run   func()
 		cells int64
+		sched bool // goes through the wavefront block scheduler
 	}{
 		{"full", n, lattice(tr), func() {
 			mustAlign(core.AlignFull(ctx, tr, sch, core.Options{}))
-		}, cells(tr)},
+		}, cells(tr), false},
 		{"parallel", n, lattice(tr), func() {
 			mustAlign(core.AlignParallel(ctx, tr, sch, core.Options{}))
-		}, cells(tr)},
+		}, cells(tr), true},
 		{"score", n, 2 * int64(tr.B.Len()+1) * int64(tr.C.Len()+1) * 4, func() {
 			if _, err := core.Score(ctx, tr, sch, core.Options{}); err != nil {
 				panic(err)
 			}
-		}, cells(tr)},
+		}, cells(tr), false},
 		{"linear", n, core.LinearBytes(tr), func() {
 			mustAlign(core.AlignLinear(ctx, tr, sch, core.Options{}))
-		}, cells(tr)},
+		}, cells(tr), false},
 		{"pruned", n, lattice(tr), func() {
 			if _, _, err := core.AlignPruned(ctx, tr, sch, core.Options{}); err != nil {
 				panic(err)
 			}
-		}, cells(tr)},
+		}, cells(tr), false},
 		{"diagonal", n, lattice(tr), func() {
 			mustAlign(core.AlignDiagonal(ctx, tr, sch, core.Options{}))
-		}, cells(tr)},
+		}, cells(tr), false},
 		{"affine7", nAff, 7 * lattice(trAff), func() {
 			mustAlign(core.AlignAffine(ctx, trAff, affSch, core.Options{}))
-		}, cells(trAff)},
+		}, cells(trAff), false},
 		{"pairwise-global", nPair, pairCells * 4, func() {
 			pairwise.Global(pa, pb, sch)
-		}, pairCells},
+		}, pairCells, false},
 		{"pairwise-gotoh", nPair, 3 * pairCells * 4, func() {
 			pairwise.GlobalAffine(pa, pb, affSch)
-		}, pairCells},
+		}, pairCells, false},
 	}
 
 	rep := benchReport{
@@ -161,6 +171,7 @@ func writeBenchJSON(path string, cfg config) error {
 		Reps:       cfg.reps,
 	}
 	for _, k := range kernels {
+		before := wavefront.Stats()
 		mean, bytesPerOp, allocsPerOp := measureKernel(cfg.reps, k.run)
 		m := kernelMetric{
 			Kernel:           k.name,
@@ -174,6 +185,16 @@ func writeBenchJSON(path string, cfg config) error {
 		if mean > 0 {
 			m.McellsPerS = float64(k.cells) / mean.Seconds() / 1e6
 		}
+		if k.sched {
+			// Per-operation scheduler work (measureKernel runs reps+1 ops
+			// including the warm-up) and the tile shape the kernel resolved.
+			d := wavefront.Stats().Sub(before)
+			ops := int64(cfg.reps) + 1
+			m.Steals = d.Steals / ops
+			m.Keeps = d.Keeps / ops
+			ti, tj, tk := core.AdaptiveTileDims(k.n+1, k.n+1, k.n+1, runtime.GOMAXPROCS(0), 4)
+			m.TileDims = fmt.Sprintf("%dx%dx%d", ti, tj, tk)
+		}
 		rep.Kernels = append(rep.Kernels, m)
 	}
 
@@ -181,5 +202,59 @@ func writeBenchJSON(path string, cfg config) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if cfg.baseline != "" {
+		if err := diffBaseline(cfg.out, cfg.baseline, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// regressionThreshold is the Mcells/s drop (relative to the committed
+// baseline) past which diffBaseline warns.
+const regressionThreshold = 0.10
+
+// diffBaseline compares the just-measured kernel rates against a committed
+// BENCH_<rev>.json and prints a per-kernel delta table. Regressions beyond
+// regressionThreshold are flagged with "REGRESSION" but never fail the run:
+// CI hosts are noisy, so the signal is a loud warning in the job log, not a
+// red build.
+func diffBaseline(out io.Writer, path string, cur benchReport) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]kernelMetric, len(base.Kernels))
+	for _, k := range base.Kernels {
+		baseline[k.Kernel] = k
+	}
+	fmt.Fprintf(out, "\nbaseline diff vs %s (rev %s):\n", path, base.Rev)
+	regressions := 0
+	for _, k := range cur.Kernels {
+		b, ok := baseline[k.Kernel]
+		if !ok || b.McellsPerS <= 0 || k.McellsPerS <= 0 {
+			fmt.Fprintf(out, "  %-16s %8.2f Mcells/s  (no baseline)\n", k.Kernel, k.McellsPerS)
+			continue
+		}
+		delta := k.McellsPerS/b.McellsPerS - 1
+		mark := ""
+		if delta < -regressionThreshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(out, "  %-16s %8.2f Mcells/s  baseline %8.2f  %+6.1f%%%s\n",
+			k.Kernel, k.McellsPerS, b.McellsPerS, 100*delta, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(out, "warning: %d kernel(s) regressed more than %.0f%% vs %s\n",
+			regressions, 100*regressionThreshold, path)
+	}
+	return nil
 }

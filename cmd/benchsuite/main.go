@@ -37,16 +37,18 @@ import (
 	"repro/internal/commsim"
 	"repro/internal/core"
 	"repro/internal/msa"
+	"repro/internal/prof"
 	"repro/internal/scoring"
 	"repro/internal/seq"
 	"repro/internal/wavefront"
 )
 
 type config struct {
-	quick bool
-	reps  int
-	csv   bool
-	out   io.Writer
+	quick    bool
+	reps     int
+	csv      bool
+	out      io.Writer
+	baseline string
 }
 
 // render writes a finished table in the selected output format.
@@ -76,6 +78,7 @@ var experiments = []experiment{
 	{"t5", "T5: affine vs linear gap model", runT5},
 	{"f6", "F6: blocked vs plane-synchronized schedule", runF6},
 	{"f7", "F7: simulated cluster speedup under alpha-beta communication", runF7},
+	{"f8", "F8: work-stealing scheduler behaviour vs workers", runF8},
 }
 
 func main() {
@@ -89,17 +92,25 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		expFlag   = fs.String("exp", "all", "comma-separated experiment ids (t1,t2,f1,f2,f3,t3,f4,t4,f5,t5,f6,f7) or 'all'")
+		expFlag   = fs.String("exp", "all", "comma-separated experiment ids (t1,t2,f1,f2,f3,t3,f4,t4,f5,t5,f6,f7,f8) or 'all'")
 		quick     = fs.Bool("quick", false, "reduced sizes and repetitions")
 		reps      = fs.Int("reps", 3, "repetitions per configuration")
 		csvOut    = fs.Bool("csv", false, "emit CSV instead of text tables")
 		benchjson = fs.String("benchjson", "auto", "kernel metrics JSON: 'auto' (BENCH_<rev>.json when running all), 'off', or an explicit path")
+		baseline  = fs.String("baseline", "", "committed BENCH_<rev>.json to diff kernel Mcells/s against (warns on >10% regressions, never fails)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("benchsuite: %w", err)
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return fmt.Errorf("benchsuite: %w", err)
+	}
+	defer stopProf()
 
-	cfg := config{quick: *quick, reps: *reps, csv: *csvOut, out: stdout}
+	cfg := config{quick: *quick, reps: *reps, csv: *csvOut, out: stdout, baseline: *baseline}
 	if cfg.quick && *reps == 3 {
 		cfg.reps = 1
 	}
@@ -121,7 +132,13 @@ func run(args []string, stdout io.Writer) error {
 	if ran == 0 {
 		return fmt.Errorf("benchsuite: no experiment matches -exp %q", *expFlag)
 	}
-	if path := resolveBenchJSON(*benchjson, want["all"]); path != "" {
+	path := resolveBenchJSON(*benchjson, want["all"])
+	if path == "" && cfg.baseline != "" {
+		// A baseline diff needs fresh kernel metrics; measure them even when
+		// the -benchjson policy would not have.
+		path = "BENCH_" + gitRev() + ".json"
+	}
+	if path != "" {
 		if err := writeBenchJSON(path, cfg); err != nil {
 			return fmt.Errorf("benchsuite: benchjson: %w", err)
 		}
@@ -191,20 +208,30 @@ func workerSweep() []int { return []int{1, 2, 4, 8, 16} }
 func runF1(cfg config) error {
 	n := pick(cfg.quick, 96, 160)
 	tr := triple(3000, n, 0.3)
-	si := wavefront.Partition(tr.A.Len()+1, core.DefaultBlockSize)
-	sj := wavefront.Partition(tr.B.Len()+1, core.DefaultBlockSize)
-	sk := wavefront.Partition(tr.C.Len()+1, core.DefaultBlockSize)
-	cost := wavefront.SpanCost(si, sj, sk, 1)
-	sim1 := wavefront.Simulate(len(si), len(sj), len(sk), 1, cost)
+	// The measured aligner resolves an adaptive tile shape per worker count;
+	// the simulated schedule must use the same per-w shape or the curves
+	// diverge for scheduling rather than hardware reasons.
+	spansFor := func(w int) (si, sj, sk []wavefront.Span) {
+		ti, tj, tk := core.AdaptiveTileDims(tr.A.Len()+1, tr.B.Len()+1, tr.C.Len()+1, w, 4)
+		return wavefront.Partition(tr.A.Len()+1, ti),
+			wavefront.Partition(tr.B.Len()+1, tj),
+			wavefront.Partition(tr.C.Len()+1, tk)
+	}
+	s1i, s1j, s1k := spansFor(1)
+	cost1 := wavefront.SpanCost(s1i, s1j, s1k, 1)
+	sim1 := wavefront.Simulate(len(s1i), len(s1j), len(s1k), 1, cost1)
 	procs := runtime.NumCPU()
-	tab := bench.NewTable(fmt.Sprintf("F1: speedup vs workers (n=%d, block=%d)", n, core.DefaultBlockSize),
-		"workers", "time", "meas-speedup", "sim-speedup")
+	tab := bench.NewTable(fmt.Sprintf("F1: speedup vs workers (n=%d, adaptive tiles)", n),
+		"workers", "tile", "time", "meas-speedup", "sim-speedup")
 	tab.Caption = fmt.Sprintf("expected: near-linear sim-speedup until the wavefront width saturates;\n"+
 		"measured speedup tracks it only when the host has that many cores\n"+
 		"* = workers exceed the host's %d core(s); meas-speedup is invalid there,\n"+
 		"read sim-speedup for the scaling curve", procs)
 	var t1 time.Duration
 	for _, w := range workerSweep() {
+		ti, tj, tk := core.AdaptiveTileDims(tr.A.Len()+1, tr.B.Len()+1, tr.C.Len()+1, w, 4)
+		si, sj, sk := spansFor(w)
+		cost := wavefront.SpanCost(si, sj, sk, 1)
 		t := bench.Measure(cfg.reps, func() {
 			mustAlign(core.AlignParallel(context.Background(), tr, dnaSch(), core.Options{Workers: w}))
 		})
@@ -220,7 +247,7 @@ func runF1(cfg config) error {
 		} else {
 			meas += " "
 		}
-		tab.AddRowf(w, t.Mean, meas, sim)
+		tab.AddRowf(w, fmt.Sprintf("%dx%dx%d", ti, tj, tk), t.Mean, meas, sim)
 	}
 	return cfg.render(tab)
 }
@@ -457,6 +484,33 @@ func runF7(cfg config) error {
 			res.Speedup(), res.Messages, float64(res.BytesSent)/1e6)
 	}
 	return cfg.render(tab2)
+}
+
+func runF8(cfg config) error {
+	n := pick(cfg.quick, 96, 160)
+	tr := triple(13000, n, 0.3)
+	tab := bench.NewTable(fmt.Sprintf("F8: work-stealing scheduler behaviour vs workers (n=%d, adaptive tiles)", n),
+		"workers", "tile", "time", "blocks", "keeps", "steals", "steal-rate")
+	tab.Caption = "expected: keeps dominate (the cache-hot handoff); the steal-rate stays\n" +
+		"in the low percents — stealing is the load-balancing escape hatch, not\n" +
+		"the common path. Counters are per alignment; on a host with fewer\n" +
+		"cores than workers the pool may fall back to solo runs (all zeros)."
+	for _, w := range workerSweep() {
+		ti, tj, tk := core.AdaptiveTileDims(tr.A.Len()+1, tr.B.Len()+1, tr.C.Len()+1, w, 4)
+		var d wavefront.SchedStats
+		t := bench.Measure(cfg.reps, func() {
+			before := wavefront.Stats()
+			mustAlign(core.AlignParallel(context.Background(), tr, dnaSch(), core.Options{Workers: w}))
+			d = wavefront.Stats().Sub(before)
+		})
+		stealRate := 0.0
+		if d.Blocks > 0 {
+			stealRate = float64(d.Steals) / float64(d.Blocks)
+		}
+		tab.AddRowf(w, fmt.Sprintf("%dx%dx%d", ti, tj, tk), t.Mean,
+			d.Blocks, d.Keeps, d.Steals, fmt.Sprintf("%.1f%%", 100*stealRate))
+	}
+	return cfg.render(tab)
 }
 
 func mustAlign[T any](aln T, err error) T {

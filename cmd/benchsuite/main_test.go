@@ -58,8 +58,8 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.id)
 		}
 	}
-	if len(experiments) != 12 {
-		t.Errorf("expected 12 experiments, found %d", len(experiments))
+	if len(experiments) != 13 {
+		t.Errorf("expected 13 experiments, found %d", len(experiments))
 	}
 }
 
@@ -136,5 +136,52 @@ func TestRunCSVMode(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "# T2:") || !strings.Contains(out.String(), "n,full bytes,linear bytes,ratio") {
 		t.Fatalf("CSV output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunF8(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-reps", "1", "-exp", "f8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"F8:", "steal-rate", "tile"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestBaselineDiff drives -baseline end to end: against a fabricated
+// baseline with absurdly high rates every kernel is a >10% regression, and
+// the diff warns without failing the run.
+func TestBaselineDiff(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_base.json")
+	base := benchReport{Rev: "testbase", Kernels: []kernelMetric{
+		{Kernel: "full", McellsPerS: 1e9},
+		{Kernel: "parallel", McellsPerS: 1e9},
+	}}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "BENCH_cur.json")
+	var out strings.Builder
+	if err := run([]string{"-quick", "-reps", "1", "-exp", "t2",
+		"-benchjson", outPath, "-baseline", basePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "baseline diff vs") || !strings.Contains(s, "testbase") {
+		t.Fatalf("no baseline diff emitted:\n%s", s)
+	}
+	if !strings.Contains(s, "REGRESSION") || !strings.Contains(s, "warning:") {
+		t.Fatalf("fabricated 1e9 Mcells/s baseline did not flag regressions:\n%s", s)
+	}
+	if !strings.Contains(s, "(no baseline)") {
+		t.Fatalf("kernels absent from the baseline should be marked:\n%s", s)
 	}
 }

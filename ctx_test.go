@@ -41,6 +41,12 @@ func TestAlignContextMidFlightDeadline(t *testing.T) {
 	}
 	g := NewGenerator(DNA, 302)
 	tr := g.RelatedTriple(200, MutationModel{SubstitutionRate: 0.15})
+	// Warm the shared worker pool before capturing the goroutine baseline:
+	// pool workers persist across runs by design and must not read as leaks.
+	warm := g.RelatedTriple(24, MutationModel{SubstitutionRate: 0.1})
+	if _, err := Align(warm, Options{Algorithm: AlgorithmParallel, Workers: 4}); err != nil {
+		t.Fatalf("pool warm-up failed: %v", err)
+	}
 	before := runtime.NumGoroutine()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)

@@ -168,10 +168,11 @@ func AlignAffineParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme
 	}
 	d[6].Set(0, 0, 0, 0) // origin in state 7: the first column pays its opens
 
-	bs := opt.blockSize()
-	si := wavefront.Partition(n+1, bs)
-	sj := wavefront.Partition(m+1, bs)
-	sk := wavefront.Partition(p+1, bs)
+	// 28 bytes per cell: seven 4-byte lattices, one per affine gap state.
+	ti, tj, tk := opt.tileDims(n+1, m+1, p+1, 28)
+	si := wavefront.Partition(n+1, ti)
+	sj := wavefront.Partition(m+1, tj)
+	sk := wavefront.Partition(p+1, tk)
 	if err := wavefront.Run3DContext(ctx, len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
 		fillRangeAffine(&d, st, ca, cb, cc, sch, &open, si[bi], sj[bj], sk[bk])
 	}); err != nil {

@@ -75,13 +75,6 @@ func checkCtx(ctx context.Context) error {
 
 func (o Options) workers() int { return wavefront.Workers(o.Workers) }
 
-func (o Options) blockSize() int {
-	if o.BlockSize <= 0 {
-		return DefaultBlockSize
-	}
-	return o.BlockSize
-}
-
 func (o Options) maxBytes() int64 {
 	if o.MaxBytes <= 0 {
 		return DefaultMaxBytes
@@ -331,10 +324,10 @@ func AlignParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt 
 	t := mat.GetTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
 	defer mat.PutTensor3(t)
 	ge2 := 2 * sch.GapExtend()
-	bs := opt.blockSize()
-	si := wavefront.Partition(len(ca)+1, bs)
-	sj := wavefront.Partition(len(cb)+1, bs)
-	sk := wavefront.Partition(len(cc)+1, bs)
+	ti, tj, tk := opt.tileDims(len(ca)+1, len(cb)+1, len(cc)+1, 4)
+	si := wavefront.Partition(len(ca)+1, ti)
+	sj := wavefront.Partition(len(cb)+1, tj)
+	sk := wavefront.Partition(len(cc)+1, tk)
 	if err := wavefront.Run3DContext(ctx, len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
 		fillRange(t, st, ge2, si[bi], sj[bj], sk[bk])
 	}); err != nil {

@@ -128,7 +128,7 @@ func BenchmarkKernelPlaneSweep(b *testing.B) {
 	sch := scoring.DNADefault()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		final, err := planeSweep(context.Background(), ca, cb, cc, sch, 1, DefaultBlockSize)
+		final, err := planeSweep(context.Background(), ca, cb, cc, sch, 1, DefaultBlockSize, DefaultBlockSize)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -160,14 +160,14 @@ func fillPlaneRangeI0(cur *mat.Plane, prof *pairProfile, ge2 mat.Score, cb []int
 // (and per block inside parallel sweeps).
 // planeSweep's working planes come from the mat arena; the returned final
 // plane must be released with mat.PutPlane by the caller.
-func planeSweep(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, workers, blockSize int) (*mat.Plane, error) {
+func planeSweep(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, workers, tj, tk int) (*mat.Plane, error) {
 	m, p := len(cb), len(cc)
 	prev := mat.GetPlane(m+1, p+1)
 	cur := mat.GetPlane(m+1, p+1)
 	prof := newPairProfile(cc, sch)
 	defer prof.release()
-	sj := wavefront.Partition(m+1, blockSize)
-	sk := wavefront.Partition(p+1, blockSize)
+	sj := wavefront.Partition(m+1, tj)
+	sk := wavefront.Partition(p+1, tk)
 	sweep := func(dst, src *mat.Plane, ai int8) error {
 		if workers <= 1 {
 			fillPlaneRange(dst, src, ai, cb, sch, prof, wavefront.Span{Lo: 0, Hi: m + 1}, wavefront.Span{Lo: 0, Hi: p + 1})
@@ -206,7 +206,7 @@ type hctx struct {
 	sch      *scoring.Scheme
 	derived  *scoring.Scheme
 	workers  int
-	block    int
+	tj, tk   int // plane-sweep tile edges
 	parallel bool
 	// spawn is the remaining budget of concurrent recursive branches; it
 	// bounds goroutine fan-out without a global queue.
@@ -254,14 +254,14 @@ func (h *hctx) rec(ctx context.Context, ca, cb, cc []int8) ([]alignment.Move, er
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fwd, errF = planeSweep(ctx, ca[:mid], cb, cc, h.sch, h.workers, h.block)
+			fwd, errF = planeSweep(ctx, ca[:mid], cb, cc, h.sch, h.workers, h.tj, h.tk)
 		}()
-		bwdRev, errB = planeSweep(ctx, reverseCodes(ca[mid:]), reverseCodes(cb), reverseCodes(cc), h.sch, h.workers, h.block)
+		bwdRev, errB = planeSweep(ctx, reverseCodes(ca[mid:]), reverseCodes(cb), reverseCodes(cc), h.sch, h.workers, h.tj, h.tk)
 		wg.Wait()
 	} else {
-		fwd, errF = planeSweep(ctx, ca[:mid], cb, cc, h.sch, 1, h.block)
+		fwd, errF = planeSweep(ctx, ca[:mid], cb, cc, h.sch, 1, h.tj, h.tk)
 		if errF == nil {
-			bwdRev, errB = planeSweep(ctx, reverseCodes(ca[mid:]), reverseCodes(cb), reverseCodes(cc), h.sch, 1, h.block)
+			bwdRev, errB = planeSweep(ctx, reverseCodes(ca[mid:]), reverseCodes(cb), reverseCodes(cc), h.sch, 1, h.tj, h.tk)
 		}
 	}
 	if errF != nil {
@@ -336,9 +336,11 @@ func alignHirschberg(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, op
 		sch:      sch,
 		derived:  derivePairScheme(sch),
 		workers:  opt.workers(),
-		block:    opt.blockSize(),
 		parallel: parallel,
 	}
+	// 8 bytes per cell: the sweep reads the previous plane and writes the
+	// current one, two 4-byte lattice slabs per tile.
+	h.tj, h.tk = opt.tile2D(len(cb)+1, len(cc)+1, 8)
 	h.spawn.Store(int32(h.workers))
 	moves, err := h.rec(ctx, ca, cb, cc)
 	if err != nil {

@@ -249,10 +249,10 @@ func AlignPrunedParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme
 	t := mat.GetTensor3(n+1, m+1, p+1)
 	defer mat.PutTensor3(t)
 	ge2 := 2 * sch.GapExtend()
-	bs := opt.blockSize()
-	si := wavefront.Partition(n+1, bs)
-	sj := wavefront.Partition(m+1, bs)
-	sk := wavefront.Partition(p+1, bs)
+	ti, tj, tk := opt.tileDims(n+1, m+1, p+1, 4)
+	si := wavefront.Partition(n+1, ti)
+	sj := wavefront.Partition(m+1, tj)
+	sk := wavefront.Partition(p+1, tk)
 	var evaluated atomic.Int64
 	stats := PruneStats{
 		TotalCells: int64(n+1) * int64(m+1) * int64(p+1),

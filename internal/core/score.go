@@ -26,7 +26,8 @@ func Score(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options)
 	if opt.Workers != 0 {
 		workers = opt.workers()
 	}
-	final, err := planeSweep(ctx, ca, cb, cc, sch, workers, opt.blockSize())
+	tj, tk := opt.tile2D(len(cb)+1, len(cc)+1, 8)
+	final, err := planeSweep(ctx, ca, cb, cc, sch, workers, tj, tk)
 	if err != nil {
 		return 0, err
 	}

@@ -397,3 +397,81 @@ func TestAlignersAgreeOnRandomTriples(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelKernelsBitIdenticalAcrossSchedules pins every parallel kernel
+// to its sequential reference under the work-stealing scheduler with
+// adaptive (non-cubic) tiles and across several worker counts: the schedule
+// is non-deterministic, the outputs must not be. Moves are compared where
+// the kernel's traceback is deterministic (the full-matrix aligners).
+func TestParallelKernelsBitIdenticalAcrossSchedules(t *testing.T) {
+	ctx := context.Background()
+	sch := scoring.DNADefault()
+	affSch, err := scoring.DNADefault().WithGaps(-4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger shapes than diffShapes so adaptive tiles produce real grids.
+	shapes := [][3]int{{14, 11, 9}, {25, 20, 30}, {40, 8, 33}}
+	for _, shape := range shapes {
+		tr := diffTriple(sch, 7000+int64(shape[0]+2*shape[1]), shape[0], shape[1], shape[2])
+		full, err := AlignFull(ctx, tr, sch, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aff, err := AlignAffine(ctx, tr, affSch, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 4, 7} {
+			// BlockSize 0 selects the adaptive non-cubic tiling.
+			opt := Options{Workers: w}
+			par, err := AlignParallel(ctx, tr, sch, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Score != full.Score {
+				t.Fatalf("shape %v w=%d: AlignParallel score %d, AlignFull %d", shape, w, par.Score, full.Score)
+			}
+			for i := range par.Moves {
+				if par.Moves[i] != full.Moves[i] {
+					t.Fatalf("shape %v w=%d: AlignParallel move %d = %v, AlignFull %v",
+						shape, w, i, par.Moves[i], full.Moves[i])
+				}
+			}
+			affPar, err := AlignAffineParallel(ctx, tr, affSch, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if affPar.Score != aff.Score {
+				t.Fatalf("shape %v w=%d: AlignAffineParallel score %d, AlignAffine %d", shape, w, affPar.Score, aff.Score)
+			}
+			for i := range affPar.Moves {
+				if affPar.Moves[i] != aff.Moves[i] {
+					t.Fatalf("shape %v w=%d: AlignAffineParallel move %d = %v, AlignAffine %v",
+						shape, w, i, affPar.Moves[i], aff.Moves[i])
+				}
+			}
+			prunedPar, _, err := AlignPrunedParallel(ctx, tr, sch, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prunedPar.Score != full.Score {
+				t.Fatalf("shape %v w=%d: AlignPrunedParallel score %d, AlignFull %d", shape, w, prunedPar.Score, full.Score)
+			}
+			linPar, err := AlignParallelLinear(ctx, tr, sch, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if linPar.Score != full.Score {
+				t.Fatalf("shape %v w=%d: AlignParallelLinear score %d, AlignFull %d", shape, w, linPar.Score, full.Score)
+			}
+			s, err := Score(ctx, tr, sch, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s != full.Score {
+				t.Fatalf("shape %v w=%d: Score %d, AlignFull %d", shape, w, s, full.Score)
+			}
+		}
+	}
+}

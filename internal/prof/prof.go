@@ -1,0 +1,53 @@
+// Package prof wires the runtime/pprof CPU and heap profilers to
+// command-line flags. It exists so every binary in cmd/ exposes the same
+// -cpuprofile/-memprofile contract without duplicating the plumbing.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the two (possibly empty) file paths and
+// returns a stop function that finalizes whatever was started: the CPU
+// profile is stopped and flushed, and the heap profile is written after a
+// GC so it reflects live objects. Errors inside stop are reported on
+// stderr — by then the command's real output is already produced and a
+// profile failure should not change its exit status.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: close cpu profile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: create heap profile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: write heap profile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: close heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

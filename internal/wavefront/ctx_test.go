@@ -45,6 +45,7 @@ func TestRun3DContextMidFlightCancel(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		ctx, cancel := context.WithCancel(context.Background())
 		var count atomic.Int64
+		warmPool(t, workers)
 		before := runtime.NumGoroutine()
 		err := Run3DContext(ctx, 16, 16, 16, workers, func(bi, bj, bk int) {
 			if count.Add(1) == 10 {
@@ -66,6 +67,7 @@ func TestRun3DContextMidFlightCancel(t *testing.T) {
 
 func TestRun3DContextPanicContained(t *testing.T) {
 	for _, workers := range []int{1, 4} {
+		warmPool(t, workers)
 		before := runtime.NumGoroutine()
 		var count atomic.Int64
 		err := Run3DContext(context.Background(), 8, 8, 8, workers, func(bi, bj, bk int) {
@@ -117,6 +119,17 @@ func TestRun2DContextCancel(t *testing.T) {
 	err := Run2DContext(ctx, 8, 8, 4, func(bi, bj int) {})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// warmPool runs a trivial grid at the given worker count so the shared
+// pool's persistent workers are spawned before a test captures its
+// goroutine baseline: pool workers park between runs by design, so a
+// baseline taken against a cold pool would count them as leaks.
+func warmPool(t *testing.T, workers int) {
+	t.Helper()
+	if err := Run3DContext(context.Background(), workers, 1, 1, workers, func(_, _, _ int) {}); err != nil {
+		t.Fatalf("pool warm-up failed: %v", err)
 	}
 }
 

@@ -1,0 +1,55 @@
+package wavefront
+
+import "sync"
+
+// wdeque is one worker's double-ended block queue. The owner pushes and
+// pops at the tail (LIFO — the most recently unlocked block is the one
+// whose predecessor faces are still cache-hot); thieves take from the head
+// (FIFO — the oldest block is the one farthest from anything the owner is
+// about to touch, so stealing it disturbs the least locality).
+//
+// A mutex-guarded slice is deliberate: blocks are coarse (a 16³ tile is
+// ~4096 cells, tens of microseconds of fill), so the lock is contended for
+// nanoseconds per block and the simplicity buys straightforward memory
+// ordering — every handoff through the deque is a happens-before edge, the
+// property the scheduler's correctness argument rests on.
+type wdeque struct {
+	mu   sync.Mutex
+	head int   // index of the oldest element; buf[:head] is consumed
+	buf  []int // block ids; owner end is the tail (append/pop)
+}
+
+// push adds a block at the owner end.
+func (d *wdeque) push(id int) {
+	d.mu.Lock()
+	d.buf = append(d.buf, id)
+	d.mu.Unlock()
+}
+
+// pop removes the most recently pushed block; ok is false when empty.
+func (d *wdeque) pop() (id int, ok bool) {
+	d.mu.Lock()
+	if d.head >= len(d.buf) {
+		d.head, d.buf = 0, d.buf[:0]
+		d.mu.Unlock()
+		return 0, false
+	}
+	id = d.buf[len(d.buf)-1]
+	d.buf = d.buf[:len(d.buf)-1]
+	d.mu.Unlock()
+	return id, true
+}
+
+// steal removes the oldest block; ok is false when empty.
+func (d *wdeque) steal() (id int, ok bool) {
+	d.mu.Lock()
+	if d.head >= len(d.buf) {
+		d.head, d.buf = 0, d.buf[:0]
+		d.mu.Unlock()
+		return 0, false
+	}
+	id = d.buf[d.head]
+	d.head++
+	d.mu.Unlock()
+	return id, true
+}

@@ -1,0 +1,84 @@
+package wavefront
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The shared worker pool. All wavefront runs in the process — and any other
+// subsystem that calls TryGo, such as the batch aligner's claim loops —
+// draw helpers from this one pool, so repeated runs stop paying goroutine
+// startup per fill and inter- and intra-alignment parallelism are
+// arbitrated by a single capacity instead of stacking on top of each other.
+//
+// Workers are spawned lazily, one per granted TryGo that finds no idle
+// worker, and then persist for the life of the process parked on the task
+// channel. Capacity only grows (GrowPool); a process that once asked for N
+// workers keeps at most N goroutines around, each costing a few KiB of
+// stack while parked.
+type workerPool struct {
+	mu       sync.Mutex
+	capacity int // max concurrently-busy workers; grows, never shrinks
+	spawned  int // persistent goroutines created so far
+	idle     int // spawned workers parked on the task channel
+	tasks    chan func()
+}
+
+var pool = &workerPool{tasks: make(chan func())}
+
+// GrowPool raises the shared pool's capacity to at least n busy workers.
+// Runs and batches call it with their requested worker count before
+// recruiting; it never shrinks the pool.
+func GrowPool(n int) {
+	pool.mu.Lock()
+	if n > pool.capacity {
+		pool.capacity = n
+	}
+	pool.mu.Unlock()
+}
+
+// TryGo runs f on a pool worker if a slot is free, spawning a persistent
+// worker lazily when none is idle and the pool is under capacity. It
+// reports false — without blocking — when every slot is busy, which is how
+// a saturated pool degrades gracefully: the caller simply proceeds with
+// less parallelism. TryGo never queues: a granted task starts immediately.
+func TryGo(f func()) bool {
+	p := pool
+	p.mu.Lock()
+	if p.capacity == 0 {
+		p.capacity = runtime.GOMAXPROCS(0)
+	}
+	if p.spawned-p.idle >= p.capacity {
+		p.mu.Unlock()
+		return false
+	}
+	if p.idle > 0 {
+		p.idle--
+	} else {
+		p.spawned++
+		go p.work()
+	}
+	p.mu.Unlock()
+	p.tasks <- f
+	return true
+}
+
+// work is the persistent worker loop: run a task, park, repeat. A panic
+// that escapes a task crashes the process like any unrecovered goroutine
+// panic; tasks that need containment (wavefront blocks, batch alignments)
+// wrap their bodies in their own recover.
+func (p *workerPool) work() {
+	for f := range p.tasks {
+		f()
+		p.mu.Lock()
+		p.idle++
+		p.mu.Unlock()
+	}
+}
+
+// poolSizes reports the pool's current spawned count and capacity.
+func poolSizes() (spawned, capacity int) {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	return pool.spawned, pool.capacity
+}

@@ -1,0 +1,282 @@
+package wavefront
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// The locality-aware work-stealing scheduler.
+//
+// Each participant owns a deque of ready blocks. A worker that completes
+// block (bi, bj, bk) decrements the remaining-predecessor count of its up
+// to three axis successors; successors that reach zero are dispatched —
+// and the worker *keeps* the first one for itself instead of queueing it,
+// preferring the k-successor because the lanes it just wrote are that
+// block's predecessor face and are still resident in cache. Remaining
+// ready successors go onto the worker's own deque (LIFO for the owner,
+// FIFO for thieves). A worker whose deque runs dry steals from its peers
+// and only parks when every deque is empty.
+//
+// Scheduler memory is O(workers + frontier): predecessor counts live in a
+// sharded map that only holds blocks with at least one (but not all)
+// predecessors completed, and the deques only ever hold ready blocks of
+// the current frontier — unlike the previous central queue, which buffered
+// a channel slot and an atomic counter for every block of the grid.
+
+// predShards is the shard count of the remaining-predecessor map; a small
+// power of two keeps adjacent successors on different locks.
+const predShards = 32
+
+type predShard struct {
+	mu sync.Mutex
+	m  map[int]int8 // block id -> predecessors completed so far
+}
+
+const (
+	noBlock = -1 // participant has no block in hand
+	stopRun = -2 // run is over (completed, cancelled, or panicked)
+)
+
+// stealRun is the per-run state shared by all participants.
+type stealRun struct {
+	nbi, nbj, nbk int
+	total         int64
+	fn            func(bi, bj, bk int)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	deques []wdeque
+	shards [predShards]predShard
+
+	done     atomic.Int64  // completed blocks
+	finished chan struct{} // closed when done == total
+	notify   chan struct{} // buffered wake tokens for parked participants
+
+	panicOnce sync.Once
+	panicErr  *PanicError
+	wg        sync.WaitGroup // recruited pool helpers
+}
+
+// Cumulative scheduler counters; see Stats.
+var sched struct {
+	runs, soloRuns, blocks, keeps, steals, helperJoins atomic.Int64
+}
+
+// SchedStats is a snapshot of the cumulative work-stealing scheduler and
+// pool counters since process start. Diff two snapshots with Sub to meter
+// one region of work.
+type SchedStats struct {
+	// Runs counts multi-participant work-stealing runs; SoloRuns counts
+	// parallel requests that fell back to the sequential fill because the
+	// pool had no free helper.
+	Runs, SoloRuns int64
+	// Blocks is the number of blocks executed by work-stealing runs.
+	Blocks int64
+	// Keeps counts blocks a worker kept directly after unlocking them (the
+	// cache-hot handoff); Steals counts blocks taken from another worker's
+	// deque. Blocks - Keeps - Steals were popped from the worker's own
+	// deque or were run seeds.
+	Keeps, Steals int64
+	// HelperJoins is the total number of pool helpers recruited by runs.
+	HelperJoins int64
+	// PoolWorkers and PoolCapacity describe the shared worker pool.
+	PoolWorkers, PoolCapacity int
+}
+
+// Stats returns the cumulative scheduler counters.
+func Stats() SchedStats {
+	s := SchedStats{
+		Runs:        sched.runs.Load(),
+		SoloRuns:    sched.soloRuns.Load(),
+		Blocks:      sched.blocks.Load(),
+		Keeps:       sched.keeps.Load(),
+		Steals:      sched.steals.Load(),
+		HelperJoins: sched.helperJoins.Load(),
+	}
+	s.PoolWorkers, s.PoolCapacity = poolSizes()
+	return s
+}
+
+// Sub returns the counter deltas s - prev; the pool gauges are carried
+// over from s unchanged.
+func (s SchedStats) Sub(prev SchedStats) SchedStats {
+	return SchedStats{
+		Runs:         s.Runs - prev.Runs,
+		SoloRuns:     s.SoloRuns - prev.SoloRuns,
+		Blocks:       s.Blocks - prev.Blocks,
+		Keeps:        s.Keeps - prev.Keeps,
+		Steals:       s.Steals - prev.Steals,
+		HelperJoins:  s.HelperJoins - prev.HelperJoins,
+		PoolWorkers:  s.PoolWorkers,
+		PoolCapacity: s.PoolCapacity,
+	}
+}
+
+func newStealRun(ctx context.Context, nbi, nbj, nbk, workers int, fn func(bi, bj, bk int)) *stealRun {
+	runCtx, cancel := context.WithCancel(ctx)
+	return &stealRun{
+		nbi: nbi, nbj: nbj, nbk: nbk,
+		total:    int64(nbi) * int64(nbj) * int64(nbk),
+		fn:       fn,
+		ctx:      runCtx,
+		cancel:   cancel,
+		deques:   make([]wdeque, workers),
+		finished: make(chan struct{}),
+		notify:   make(chan struct{}, workers),
+	}
+}
+
+// participate is one worker's scheduling loop. seed is the block the
+// participant starts with (the origin for worker 0, noBlock for helpers).
+// It returns when the run completes, the context is cancelled, or a panic
+// is contained — in-flight blocks always finish (the drain guarantee).
+func (r *stealRun) participate(slot, seed int) {
+	next := seed
+	for {
+		if next == noBlock {
+			var ok bool
+			if next, ok = r.deques[slot].pop(); !ok {
+				next = r.trySteal(slot)
+			}
+		}
+		if next == noBlock {
+			select {
+			case <-r.notify:
+				continue
+			case <-r.finished:
+				return
+			case <-r.ctx.Done():
+				return
+			}
+		}
+		if r.ctx.Err() != nil {
+			return
+		}
+		if next = r.runBlock(slot, next); next == stopRun {
+			return
+		}
+	}
+}
+
+// trySteal scans the other participants' deques FIFO-end first.
+func (r *stealRun) trySteal(slot int) int {
+	n := len(r.deques)
+	for i := 1; i < n; i++ {
+		if id, ok := r.deques[(slot+i)%n].steal(); ok {
+			sched.steals.Add(1)
+			return id
+		}
+	}
+	return noBlock
+}
+
+// runBlock executes one block, dispatches its newly-ready successors, and
+// returns the block the worker keeps (or noBlock / stopRun).
+func (r *stealRun) runBlock(slot, id int) int {
+	nbjk := r.nbj * r.nbk
+	bi := id / nbjk
+	bj := (id / r.nbk) % r.nbj
+	bk := id % r.nbk
+	if pe := safeRun(r.fn, bi, bj, bk); pe != nil {
+		r.panicOnce.Do(func() { r.panicErr = pe })
+		r.cancel()
+		return stopRun
+	}
+	sched.blocks.Add(1)
+	keep := noBlock
+	// Dispatch order is the keep preference: the k-successor reads the
+	// lanes this worker just wrote, so keeping it preserves the most
+	// cache-resident state; the j-successor shares the (i-1) plane; the
+	// i-successor shares the least.
+	if bk+1 < r.nbk {
+		r.offer(id+1, bi, bj, bk+1, slot, &keep)
+	}
+	if bj+1 < r.nbj {
+		r.offer(id+r.nbk, bi, bj+1, bk, slot, &keep)
+	}
+	if bi+1 < r.nbi {
+		r.offer(id+nbjk, bi+1, bj, bk, slot, &keep)
+	}
+	if r.done.Add(1) == r.total {
+		close(r.finished)
+		return stopRun
+	}
+	return keep
+}
+
+// offer records one completed predecessor of the successor block at
+// (bi, bj, bk); if that was the last outstanding predecessor the block is
+// dispatched — kept directly when the worker has no block yet, pushed onto
+// its deque (with a wake token for parked peers) otherwise.
+func (r *stealRun) offer(id, bi, bj, bk, slot int, keep *int) {
+	need := int8(0)
+	if bi > 0 {
+		need++
+	}
+	if bj > 0 {
+		need++
+	}
+	if bk > 0 {
+		need++
+	}
+	if need > 1 { // blocks with one predecessor are ready immediately
+		s := &r.shards[id&(predShards-1)]
+		s.mu.Lock()
+		if s.m == nil {
+			s.m = make(map[int]int8)
+		}
+		c := s.m[id] + 1
+		if c < need {
+			s.m[id] = c
+			s.mu.Unlock()
+			return
+		}
+		delete(s.m, id)
+		s.mu.Unlock()
+	}
+	if *keep == noBlock {
+		*keep = id
+		sched.keeps.Add(1)
+		return
+	}
+	r.deques[slot].push(id)
+	select {
+	case r.notify <- struct{}{}:
+	default: // a full token buffer already guarantees a wakeup
+	}
+}
+
+// runSteal drives a multi-worker run: it recruits up to workers-1 helpers
+// from the shared pool, participates itself as worker 0 seeded with the
+// origin block, and reports whether any helper joined (when none did the
+// caller should use the sequential fill instead). All helpers have exited
+// the run state by the time runSteal returns.
+func runSteal(ctx context.Context, nbi, nbj, nbk, workers int, fn func(bi, bj, bk int)) (bool, error) {
+	GrowPool(workers)
+	r := newStealRun(ctx, nbi, nbj, nbk, workers, fn)
+	defer r.cancel()
+	joined := 0
+	for slot := 1; slot < workers; slot++ {
+		s := slot
+		r.wg.Add(1)
+		if !TryGo(func() { defer r.wg.Done(); r.participate(s, noBlock) }) {
+			r.wg.Done()
+			break
+		}
+		joined++
+	}
+	if joined == 0 {
+		sched.soloRuns.Add(1)
+		return false, nil
+	}
+	sched.runs.Add(1)
+	sched.helperJoins.Add(int64(joined))
+	r.participate(0, 0)
+	r.wg.Wait()
+	if r.panicErr != nil {
+		return true, r.panicErr
+	}
+	return true, nil
+}

@@ -1,5 +1,6 @@
 // Package wavefront schedules blocked wavefront computations over 2D and 3D
-// grids using a fixed pool of goroutines.
+// grids using a locality-aware work-stealing scheduler backed by a shared,
+// process-wide worker pool.
 //
 // A dynamic program whose cell (i, j, k) depends on its lexicographic
 // predecessors can be tiled into rectangular blocks; block (bi, bj, bk) may
@@ -12,18 +13,29 @@
 // plane bi+bj+bk = d are mutually independent, which is exactly the
 // parallelism the paper exploits.
 //
-// The scheduler is a dependency-counting topological traversal: an atomic
-// remaining-predecessor counter per block, a buffered ready queue, and a
-// fixed worker pool. The schedule is non-deterministic but the computed
-// values are not, because every read a block performs is of cells written
-// by blocks that happened-before it (atomic counters plus channel sends
-// establish the ordering).
+// Scheduling is work-stealing with a locality bias rather than a central
+// queue: every participant owns a deque of ready blocks (LIFO for the
+// owner, FIFO for thieves), and a worker that completes a block keeps the
+// first successor it unlocks — preferring the k-successor, whose
+// predecessor face the worker just wrote — so the tensor slab it touched
+// stays cache-hot. Workers steal only when their own deque runs dry.
+// Helpers come from one persistent, lazily-grown, process-wide pool
+// (GrowPool/TryGo), so repeated runs pay no goroutine startup and outer
+// parallelism (for example, a batch of alignments) and inner block
+// parallelism share a single capacity. Per-run scheduler memory is
+// O(workers + frontier): ready blocks live in the deques and pending
+// predecessor counts in a sharded map that only tracks the frontier.
+//
+// The schedule is non-deterministic but the computed values are not,
+// because every read a block performs is of cells written by blocks that
+// happened-before it (the deque and shard mutexes establish the ordering).
 //
 // Run2DContext and Run3DContext add two robustness guarantees on top of
 // the plain runners: cooperative cancellation (workers stop claiming
-// blocks once the context is done and the pool drains without leaking
-// goroutines) and panic containment (a panic inside fn cancels the run
-// and is returned as a *PanicError instead of crashing the process).
+// blocks once the context is done and the run drains without leaking
+// goroutines — pool helpers return to the pool) and panic containment (a
+// panic inside fn cancels the run and is returned as a *PanicError instead
+// of crashing the process).
 package wavefront
 
 import (
@@ -32,8 +44,6 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sync"
-	"sync/atomic"
 )
 
 // Span is a half-open index interval [Lo, Hi) covering one block edge.
@@ -104,11 +114,14 @@ func Run2D(nbi, nbj, workers int, fn func(bi, bj int)) {
 }
 
 // Run3DContext is Run3D with cooperative cancellation and panic
-// containment. Workers check the context before claiming each block; when
-// it is cancelled the pool drains (in-flight blocks finish, queued ones are
+// containment. The calling goroutine participates as a worker; up to
+// workers-1 helpers are recruited from the shared pool (when the pool is
+// saturated the run proceeds with fewer, down to the sequential fill).
+// Workers check the context before claiming each block; when it is
+// cancelled the run drains (in-flight blocks finish, ready ones are
 // abandoned) and the wrapped context error is returned. A panic inside fn
 // cancels the remaining schedule and is returned as a *PanicError. All
-// worker goroutines have exited by the time Run3DContext returns.
+// helpers have detached from the run by the time Run3DContext returns.
 func Run3DContext(ctx context.Context, nbi, nbj, nbk, workers int, fn func(bi, bj, bk int)) error {
 	total := nbi * nbj * nbk
 	if total <= 0 {
@@ -118,104 +131,38 @@ func Run3DContext(ctx context.Context, nbi, nbj, nbk, workers int, fn func(bi, b
 	if workers > total {
 		workers = total
 	}
-	if workers == 1 {
-		// Sequential fast path: plain lexicographic order satisfies all
-		// dependencies with no synchronization. The context is polled per
-		// block, the same granularity the pooled path offers.
-		var pe *PanicError
-		for bi := 0; bi < nbi; bi++ {
-			for bj := 0; bj < nbj; bj++ {
-				for bk := 0; bk < nbk; bk++ {
-					if err := ctx.Err(); err != nil {
-						return fmt.Errorf("wavefront: run cancelled: %w", err)
-					}
-					if pe = safeRun(fn, bi, bj, bk); pe != nil {
-						return pe
-					}
-				}
-			}
+	if workers > 1 {
+		ran, err := runSteal(ctx, nbi, nbj, nbk, workers, fn)
+		if err != nil {
+			return err
 		}
-		return nil
+		if ran {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("wavefront: run cancelled: %w", err)
+			}
+			return nil
+		}
+		// No helper was free: fall through to the sequential fill, which
+		// offers the same per-block cancellation granularity.
 	}
+	return runSequential(ctx, nbi, nbj, nbk, fn)
+}
 
-	// An internal cancel lets a panicking worker stop its peers even when
-	// the caller's context never fires.
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	idx := func(bi, bj, bk int) int { return (bi*nbj+bj)*nbk + bk }
-	remaining := make([]atomic.Int32, total)
+// runSequential fills the grid in plain lexicographic order, which
+// satisfies all dependencies with no synchronization. The context is
+// polled per block, the same granularity the pooled path offers.
+func runSequential(ctx context.Context, nbi, nbj, nbk int, fn func(bi, bj, bk int)) error {
 	for bi := 0; bi < nbi; bi++ {
 		for bj := 0; bj < nbj; bj++ {
 			for bk := 0; bk < nbk; bk++ {
-				var deps int32
-				if bi > 0 {
-					deps++
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("wavefront: run cancelled: %w", err)
 				}
-				if bj > 0 {
-					deps++
+				if pe := safeRun(fn, bi, bj, bk); pe != nil {
+					return pe
 				}
-				if bk > 0 {
-					deps++
-				}
-				remaining[idx(bi, bj, bk)].Store(deps)
 			}
 		}
-	}
-
-	// ready is buffered for every block, so successor sends never block and
-	// a cancelled run can abandon queued entries without a drain protocol.
-	ready := make(chan int, total)
-	ready <- 0 // block (0,0,0) has no predecessors
-	var done atomic.Int32
-	var panicOnce sync.Once
-	var panicErr *PanicError
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-runCtx.Done():
-					return
-				case id, ok := <-ready:
-					if !ok {
-						return
-					}
-					if runCtx.Err() != nil {
-						return
-					}
-					bi := id / (nbj * nbk)
-					bj := (id / nbk) % nbj
-					bk := id % nbk
-					if pe := safeRun(fn, bi, bj, bk); pe != nil {
-						panicOnce.Do(func() { panicErr = pe })
-						cancel()
-						return
-					}
-					if bi+1 < nbi && remaining[idx(bi+1, bj, bk)].Add(-1) == 0 {
-						ready <- idx(bi+1, bj, bk)
-					}
-					if bj+1 < nbj && remaining[idx(bi, bj+1, bk)].Add(-1) == 0 {
-						ready <- idx(bi, bj+1, bk)
-					}
-					if bk+1 < nbk && remaining[idx(bi, bj, bk+1)].Add(-1) == 0 {
-						ready <- idx(bi, bj, bk+1)
-					}
-					if int(done.Add(1)) == total {
-						close(ready)
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if panicErr != nil {
-		return panicErr
-	}
-	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("wavefront: run cancelled: %w", err)
 	}
 	return nil
 }
