@@ -33,6 +33,15 @@ type BatchResult struct {
 	Err    error
 }
 
+// BatchItem pairs one triple with the Options that should align it. It is
+// the unit of AlignBatchItemsContext, the heterogeneous batch entry point
+// that serving layers use to coalesce concurrent requests — each carrying
+// its own scheme, algorithm, and deadline — into one pool submission.
+type BatchItem struct {
+	Triple Triple
+	Opt    Options
+}
+
 // AlignBatch aligns many triples concurrently — the throughput mode for
 // screening workloads (e.g. ranking candidate third sequences against a
 // reference pair). It is AlignBatchContext under context.Background().
@@ -63,39 +72,57 @@ func AlignBatch(triples []Triple, opt Options) []BatchResult {
 // AlgorithmLinear) — so a batch under BLOSUM62 optimizes the same affine
 // objective a single Align call would.
 func AlignBatchContext(ctx context.Context, triples []Triple, opt Options) []BatchResult {
-	out := make([]BatchResult, len(triples))
+	items := make([]BatchItem, len(triples))
+	for i, tr := range triples {
+		items[i] = BatchItem{Triple: tr, Opt: opt}
+	}
+	return AlignBatchItemsContext(ctx, items)
+}
+
+// AlignBatchItemsContext is AlignBatchContext for heterogeneous batches:
+// every item carries its own Options, so triples with different schemes,
+// algorithms, deadlines, or fallback policies can share one batch
+// submission. The worker budget of the batch is the largest per-item
+// request (each non-positive Workers counts as GOMAXPROCS); the
+// wide/narrow split and the pool arbitration are as in AlignBatchContext.
+func AlignBatchItemsContext(ctx context.Context, items []BatchItem) []BatchResult {
+	out := make([]BatchResult, len(items))
 	for i := range out {
 		out[i].Index = i
 	}
-	if len(triples) == 0 {
+	if len(items) == 0 {
 		return out
 	}
-	workers := wavefront.Workers(opt.Workers)
+	workers := 1
+	for _, it := range items {
+		if w := wavefront.Workers(it.Opt.Workers); w > workers {
+			workers = w
+		}
+	}
 	claimers := workers
-	if claimers > len(triples) {
-		claimers = len(triples)
+	if claimers > len(items) {
+		claimers = len(items)
 	}
 	// A narrow batch leaves workers idle under a triple-per-worker split;
 	// route the spare capacity into each alignment instead.
 	intraParallel := claimers < workers
-	inner := opt
-	if !intraParallel {
-		inner.Workers = 1
-	}
 	var next atomic.Int64
 	claim := func() {
 		for {
 			i := int(next.Add(1)) - 1
-			if i >= len(triples) {
+			if i >= len(items) {
 				return
 			}
 			if err := ctx.Err(); err != nil {
 				out[i].Err = fmt.Errorf("repro: batch cancelled: %w", err)
 				continue // claim and mark the remaining triples too
 			}
-			it := inner
-			it.Algorithm = batchAlgorithm(triples[i], it, intraParallel)
-			res, err := alignRecover(ctx, triples[i], it)
+			it := items[i].Opt
+			if !intraParallel {
+				it.Workers = 1
+			}
+			it.Algorithm = batchAlgorithm(items[i].Triple, it, intraParallel)
+			res, err := alignRecover(ctx, items[i].Triple, it)
 			out[i] = BatchResult{Index: i, Result: res, Err: err}
 		}
 	}

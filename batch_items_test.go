@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"context"
+	"testing"
+)
+
+// TestAlignBatchItemsHeterogeneous pins the per-item Options contract:
+// triples carrying different schemes and algorithms in one batch each get
+// exactly the result a direct Align call with the same Options produces.
+func TestAlignBatchItemsHeterogeneous(t *testing.T) {
+	g := NewGenerator(DNA, 91)
+	mm := MutationModel{SubstitutionRate: 0.2, InsertionRate: 0.02, DeletionRate: 0.02}
+	tr1 := g.RelatedTriple(24, mm)
+	tr2 := g.RelatedTriple(30, mm)
+	affine, err := DefaultScheme(DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	affine, err = affine.WithGaps(-4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []BatchItem{
+		{Triple: tr1, Opt: Options{Algorithm: AlgorithmFull, Workers: 1}},
+		{Triple: tr2, Opt: Options{Scheme: affine, Workers: 1}}, // Auto resolves to the affine kernel
+		{Triple: tr1, Opt: Options{Algorithm: AlgorithmCenterStar, Workers: 1}},
+	}
+	out := AlignBatchItemsContext(context.Background(), items)
+	if len(out) != len(items) {
+		t.Fatalf("got %d results for %d items", len(out), len(items))
+	}
+	for i, it := range items {
+		if out[i].Err != nil {
+			t.Fatalf("item %d: %v", i, out[i].Err)
+		}
+		want, err := Align(it.Triple, it.Opt)
+		if err != nil {
+			t.Fatalf("direct align %d: %v", i, err)
+		}
+		if out[i].Result.Score != want.Score {
+			t.Errorf("item %d: score %d, want %d", i, out[i].Result.Score, want.Score)
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	if a, err := ParseAlgorithm(""); err != nil || a != AlgorithmAuto {
+		t.Errorf(`ParseAlgorithm("") = %q, %v`, a, err)
+	}
+	for _, known := range Algorithms() {
+		if a, err := ParseAlgorithm(string(known)); err != nil || a != known {
+			t.Errorf("ParseAlgorithm(%q) = %q, %v", known, a, err)
+		}
+	}
+	if _, err := ParseAlgorithm("quantum"); err == nil {
+		t.Error("ParseAlgorithm accepted an unknown name")
+	}
+}
+
+func TestAlphabetByName(t *testing.T) {
+	for name, want := range map[string]*Alphabet{"dna": DNA, "rna": RNA, "protein": Protein} {
+		if got, ok := AlphabetByName(name); !ok || got != want {
+			t.Errorf("AlphabetByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := AlphabetByName("klingon"); ok {
+		t.Error("AlphabetByName accepted an unknown name")
+	}
+}

@@ -1,7 +1,7 @@
 package repro
 
 // One benchmark per table (T*) and figure (F*) of the reconstructed
-// evaluation; see DESIGN.md §4 for the experiment index and
+// evaluation; see DESIGN.md §6 for the experiment index and
 // cmd/benchsuite for the paper-style tabular driver over the same
 // workloads. Workloads are seeded, so every run measures identical inputs.
 

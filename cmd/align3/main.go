@@ -238,14 +238,8 @@ func printStats(w io.Writer, res *repro.Result) {
 }
 
 func alphabetByName(name string) (*seq.Alphabet, error) {
-	switch name {
-	case "dna":
-		return seq.DNA, nil
-	case "rna":
-		return seq.RNA, nil
-	case "protein":
-		return seq.Protein, nil
-	default:
-		return nil, fmt.Errorf("align3: unknown alphabet %q (want dna, rna, or protein)", name)
+	if alpha, ok := repro.AlphabetByName(name); ok {
+		return alpha, nil
 	}
+	return nil, fmt.Errorf("align3: unknown alphabet %q (want dna, rna, or protein)", name)
 }

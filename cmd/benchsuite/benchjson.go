@@ -7,7 +7,9 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -63,6 +65,73 @@ func gitRev() string {
 		return rev
 	}
 	return "dev"
+}
+
+// resolveBaseline maps -baseline auto to the newest committed
+// BENCH_<rev>.json: candidates come from git's tracked files (so a
+// freshly-written BENCH_ci.json never shadows the committed baseline),
+// ranked by last-commit time. When commit times are unavailable — a
+// shallow CI checkout whose truncated history predates the baseline
+// commit, or no git at all — it falls back to the newest tracked (or, off
+// git entirely, globbed) file by mtime, excluding outPath. An empty
+// result with nil error means "no baseline exists; skip the diff".
+func resolveBaseline(outPath string) (string, error) {
+	candidates := gitTrackedBaselines()
+	if candidates == nil {
+		var err error
+		candidates, err = filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return "", err
+		}
+	}
+	best, bestTime := "", int64(-1)
+	for _, c := range candidates {
+		if sameFile(c, outPath) {
+			continue
+		}
+		t := gitCommitUnix(c)
+		if t < 0 {
+			if fi, err := os.Stat(c); err == nil {
+				t = fi.ModTime().Unix()
+			} else {
+				continue
+			}
+		}
+		if t > bestTime {
+			best, bestTime = c, t
+		}
+	}
+	return best, nil
+}
+
+// gitTrackedBaselines lists committed BENCH_*.json files, or nil when git
+// is unavailable.
+func gitTrackedBaselines() []string {
+	out, err := exec.Command("git", "ls-files", "--", "BENCH_*.json").Output()
+	if err != nil {
+		return nil
+	}
+	return strings.Fields(string(out))
+}
+
+// gitCommitUnix returns the unix time of path's last commit, or -1.
+func gitCommitUnix(path string) int64 {
+	out, err := exec.Command("git", "log", "-1", "--format=%ct", "--", path).Output()
+	if err != nil {
+		return -1
+	}
+	t, err := strconv.ParseInt(strings.TrimSpace(string(out)), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return t
+}
+
+// sameFile reports whether two paths name the same file lexically (after
+// cleaning); baseline resolution only needs to exclude the file it is
+// about to write.
+func sameFile(a, b string) bool {
+	return b != "" && filepath.Clean(a) == filepath.Clean(b)
 }
 
 // resolveBenchJSON maps the -benchjson flag to an output path: "off"

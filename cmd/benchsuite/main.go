@@ -11,6 +11,7 @@
 //	benchsuite -reps 5         # more repetitions per configuration
 //	benchsuite -benchjson p    # force machine-readable kernel metrics to p
 //	benchsuite -benchjson off  # never write kernel metrics
+//	benchsuite -baseline auto  # diff kernel rates vs the newest committed BENCH_*.json
 //
 // BENCH_<rev>.json records per-kernel Mcells/s, allocs/op, bytes/op, and
 // predicted peak lattice bytes on seeded workloads — the machine-readable
@@ -97,7 +98,7 @@ func run(args []string, stdout io.Writer) error {
 		reps      = fs.Int("reps", 3, "repetitions per configuration")
 		csvOut    = fs.Bool("csv", false, "emit CSV instead of text tables")
 		benchjson = fs.String("benchjson", "auto", "kernel metrics JSON: 'auto' (BENCH_<rev>.json when running all), 'off', or an explicit path")
-		baseline  = fs.String("baseline", "", "committed BENCH_<rev>.json to diff kernel Mcells/s against (warns on >10% regressions, never fails)")
+		baseline  = fs.String("baseline", "", "committed BENCH_<rev>.json to diff kernel Mcells/s against (warns on >10% regressions, never fails); 'auto' picks the newest committed baseline")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -137,6 +138,16 @@ func run(args []string, stdout io.Writer) error {
 		// A baseline diff needs fresh kernel metrics; measure them even when
 		// the -benchjson policy would not have.
 		path = "BENCH_" + gitRev() + ".json"
+	}
+	if cfg.baseline == "auto" {
+		resolved, err := resolveBaseline(path)
+		if err != nil {
+			return fmt.Errorf("benchsuite: -baseline auto: %w", err)
+		}
+		if resolved == "" {
+			fmt.Fprintln(cfg.out, "\n-baseline auto: no committed BENCH_*.json found; skipping the diff")
+		}
+		cfg.baseline = resolved
 	}
 	if path != "" {
 		if err := writeBenchJSON(path, cfg); err != nil {

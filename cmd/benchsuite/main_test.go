@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // The smoke tests run the cheapest experiments at quick sizes; they verify
@@ -183,5 +184,82 @@ func TestBaselineDiff(t *testing.T) {
 	}
 	if !strings.Contains(s, "(no baseline)") {
 		t.Fatalf("kernels absent from the baseline should be marked:\n%s", s)
+	}
+}
+
+// TestResolveBaselineAuto pins the -baseline auto selection rules: inside
+// this repository the committed baseline wins over untracked BENCH files,
+// and outside git the newest file by mtime wins with the output path
+// excluded.
+func TestResolveBaselineAuto(t *testing.T) {
+	// In the repo: must resolve to a committed BENCH_*.json (never the
+	// outPath we are about to write).
+	got, err := resolveBaseline("BENCH_ci.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracked := gitTrackedBaselines(); len(tracked) > 0 {
+		found := false
+		for _, c := range tracked {
+			if c == got {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("resolveBaseline = %q, not among committed baselines %v", got, tracked)
+		}
+	}
+
+	// Outside git: mtime ordering with the output path excluded.
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd) //nolint:errcheck
+	old := time.Now().Add(-time.Hour)
+	for name, mtime := range map[string]time.Time{
+		"BENCH_aaa.json": old,
+		"BENCH_new.json": time.Now(),
+		"BENCH_out.json": time.Now().Add(time.Hour), // the file being written
+	} {
+		if err := os.WriteFile(name, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(name, mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err = resolveBaseline("BENCH_out.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "BENCH_new.json" {
+		t.Errorf("resolveBaseline outside git = %q, want BENCH_new.json", got)
+	}
+}
+
+// TestRunBaselineAutoWithoutBaselines checks that -baseline auto degrades
+// to a notice, not an error, when no baseline exists.
+func TestRunBaselineAutoWithoutBaselines(t *testing.T) {
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd) //nolint:errcheck
+	var out strings.Builder
+	if err := run([]string{"-quick", "-reps", "1", "-exp", "t2",
+		"-benchjson", "BENCH_out.json", "-baseline", "auto"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no committed BENCH_*.json found") {
+		t.Fatalf("missing skip notice:\n%s", out.String())
 	}
 }

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	repro "repro"
+)
+
+// The coalescer merges concurrent small /v1/align requests into one
+// AlignBatchItemsContext submission. Each arriving request is buffered;
+// the first arrival arms a CoalesceTick timer, and when it fires (or the
+// buffer reaches CoalesceMax) the whole buffer is flushed as a single
+// batch holding one run slot. The win is PR 3's narrow-batch arbitration:
+// a flush of k small triples on a w-way pool gets intra-triple
+// parallelism when k < w, whereas k independent submissions would fight
+// over run slots and schedule k separate wavefronts. The cost is up to
+// one tick of added latency on the coalesced path — which is why only
+// requests below CoalesceCells lattice cells are eligible; large
+// alignments go straight to a dedicated run slot where the tick would be
+// noise but a shared flush could convoy them behind each other.
+
+// ErrServerClosed is reported to coalesced requests caught by Close
+// before their flush was submitted.
+var ErrServerClosed = errors.New("server: draining, request abandoned")
+
+// coalescePending is one buffered request awaiting its flush.
+type coalescePending struct {
+	item repro.BatchItem
+	done chan coalesceDone // buffered: the flusher never blocks delivering
+}
+
+// coalesceDone is the flush outcome delivered back to the waiting handler.
+type coalesceDone struct {
+	res *repro.Result
+	err error
+}
+
+type coalescer struct {
+	srv *Server
+
+	mu     sync.Mutex
+	buf    []*coalescePending
+	timer  *time.Timer
+	closed bool
+	wg     sync.WaitGroup // outstanding flush goroutines
+}
+
+func newCoalescer(s *Server) *coalescer { return &coalescer{srv: s} }
+
+// enabled reports whether the configuration turns coalescing on and the
+// request is small enough to be eligible.
+func (c *coalescer) eligible(item repro.BatchItem) bool {
+	if c.srv.cfg.CoalesceTick <= 0 {
+		return false
+	}
+	tr := item.Triple
+	cells := int64(tr.A.Len()+1) * int64(tr.B.Len()+1) * int64(tr.C.Len()+1)
+	return cells <= c.srv.cfg.CoalesceCells
+}
+
+// submit buffers the item and returns its pending handle; the caller
+// waits on done. A nil return means the coalescer is closed and the
+// caller should run directly.
+func (c *coalescer) submit(item repro.BatchItem) *coalescePending {
+	p := &coalescePending{item: item, done: make(chan coalesceDone, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.buf = append(c.buf, p)
+	full := len(c.buf) >= c.srv.cfg.CoalesceMax
+	if full {
+		batch := c.take()
+		c.mu.Unlock()
+		c.flush(batch)
+		return p
+	}
+	if c.timer == nil {
+		c.timer = time.AfterFunc(c.srv.cfg.CoalesceTick, c.tick)
+	}
+	c.mu.Unlock()
+	return p
+}
+
+// take detaches the buffer and disarms the timer; callers hold mu.
+func (c *coalescer) take() []*coalescePending {
+	batch := c.buf
+	c.buf = nil
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	return batch
+}
+
+// tick is the timer callback: flush whatever the window accumulated.
+func (c *coalescer) tick() {
+	c.mu.Lock()
+	batch := c.take()
+	c.mu.Unlock()
+	c.flush(batch)
+}
+
+// flush submits one batch on a run slot from a fresh goroutine and
+// delivers each item's outcome. The batch runs under the server's base
+// context so one client's disconnect cannot cancel its batch-mates;
+// per-item deadlines ride in each item's Options.
+func (c *coalescer) flush(batch []*coalescePending) {
+	if len(batch) == 0 {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		s := c.srv
+		if err := s.gate.acquireRun(s.base); err != nil {
+			for _, p := range batch {
+				p.done <- coalesceDone{err: ErrServerClosed}
+			}
+			return
+		}
+		defer s.gate.releaseRun()
+		items := make([]repro.BatchItem, len(batch))
+		for i, p := range batch {
+			items[i] = p.item
+		}
+		s.stats.coalescedBatches.Add(1)
+		s.stats.coalescedRequests.Add(int64(len(batch)))
+		for _, r := range repro.AlignBatchItemsContext(s.base, items) {
+			batch[r.Index].done <- coalesceDone{res: r.Result, err: r.Err}
+		}
+	}()
+}
+
+// close flushes the remaining buffer and waits for outstanding flushes,
+// so every handler still parked on a done channel is answered.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	c.closed = true
+	batch := c.take()
+	c.mu.Unlock()
+	c.flush(batch)
+	c.wg.Wait()
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// gate is the two-stage admission control: a non-blocking bounded
+// admission semaphore (the "queue" — waiting plus running requests) in
+// front of a blocking run-slot semaphore (executing submissions). The
+// split is what gives the server its load-shedding shape: admission fails
+// fast with 429 when the queue is full, while admitted requests wait a
+// bounded time — at most QueueDepth requests can be ahead of them — for
+// one of MaxInFlight run slots.
+type gate struct {
+	admitCh chan struct{}
+	runCh   chan struct{}
+
+	admitted atomic.Int64 // slots currently held in admitCh
+	inFlight atomic.Int64 // slots currently held in runCh
+}
+
+func newGate(queueDepth, maxInFlight int) *gate {
+	return &gate{
+		admitCh: make(chan struct{}, queueDepth),
+		runCh:   make(chan struct{}, maxInFlight),
+	}
+}
+
+// tryAdmit takes an admission slot without blocking; false means shed.
+func (g *gate) tryAdmit() bool {
+	select {
+	case g.admitCh <- struct{}{}:
+		g.admitted.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// releaseAdmit returns an admission slot.
+func (g *gate) releaseAdmit() {
+	<-g.admitCh
+	g.admitted.Add(-1)
+}
+
+// acquireRun blocks for a run slot or until ctx is done.
+func (g *gate) acquireRun(ctx context.Context) error {
+	select {
+	case g.runCh <- struct{}{}:
+		g.inFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// releaseRun returns a run slot.
+func (g *gate) releaseRun() {
+	<-g.runCh
+	g.inFlight.Add(-1)
+}
+
+// loads reports the current admitted and in-flight gauges.
+func (g *gate) loads() (admitted, inFlight int64) {
+	return g.admitted.Load(), g.inFlight.Load()
+}
+
+// stats holds the cumulative request counters and the latency ring.
+type stats struct {
+	completed atomic.Int64 // requests answered 200 (batch items count individually)
+	shed      atomic.Int64 // requests rejected 429
+	failed    atomic.Int64 // requests (or batch items) that errored
+	degraded  atomic.Int64 // results served from the heuristic fallback
+
+	coalescedBatches  atomic.Int64 // coalesced flushes submitted
+	coalescedRequests atomic.Int64 // requests served through a coalesced flush
+
+	latency latencyRing
+}
+
+func newStats() *stats { return &stats{latency: latencyRing{buf: make([]time.Duration, 1024)}} }
+
+// latencyRing records the most recent request latencies in a fixed ring;
+// quantiles sorts a snapshot. 1024 samples keep the p99 meaningful while
+// the lock stays uncontended next to O(n³) alignment work.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int   // next write position
+	n    int64 // total samples recorded
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	r.n++
+	r.mu.Unlock()
+}
+
+// quantiles returns the p50/p90/p99 of the retained window (zeros before
+// the first sample).
+func (r *latencyRing) quantiles() (p50, p90, p99 time.Duration) {
+	r.mu.Lock()
+	filled := len(r.buf)
+	if r.n < int64(filled) {
+		filled = int(r.n)
+	}
+	snap := make([]time.Duration, filled)
+	copy(snap, r.buf[:filled])
+	r.mu.Unlock()
+	if filled == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(filled-1))
+		return snap[i]
+	}
+	return q(0.50), q(0.90), q(0.99)
+}

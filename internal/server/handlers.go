@@ -1,0 +1,192 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	repro "repro"
+)
+
+// errDraining is the 503 body for alignment requests arriving mid-drain.
+var errDraining = errors.New("server draining; not accepting new alignments")
+
+// decode reads one JSON request body under the configured size cap.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return &badRequestError{"malformed JSON: " + err.Error()}
+	}
+	return nil
+}
+
+// shed writes the 429 response with the Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.stats.shed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	writeError(w, http.StatusTooManyRequests, errors.New("queue full; retry later"))
+}
+
+// handleAlign serves POST /v1/align: parse, admit or shed, then execute —
+// through the coalescer for small requests, on a dedicated run slot
+// otherwise.
+func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	var req AlignRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.stats.failed.Add(1)
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	item, err := s.item(&req)
+	if err != nil {
+		s.stats.failed.Add(1)
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	if !s.gate.tryAdmit() {
+		s.shed(w)
+		return
+	}
+	defer s.gate.releaseAdmit()
+
+	start := time.Now()
+	res, coalesced, err := s.execute(r, item)
+	s.stats.latency.record(time.Since(start))
+	if err != nil {
+		s.stats.failed.Add(1)
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	s.stats.completed.Add(1)
+	if res.Degraded {
+		s.stats.degraded.Add(1)
+	}
+	writeJSON(w, http.StatusOK, response(res, coalesced))
+}
+
+// execute runs one admitted item: coalesced when eligible, else directly
+// on a run slot under the request's context.
+func (s *Server) execute(r *http.Request, item repro.BatchItem) (res *repro.Result, coalesced bool, err error) {
+	if s.coal.eligible(item) {
+		if p := s.coal.submit(item); p != nil {
+			select {
+			case d := <-p.done:
+				return d.res, true, d.err
+			case <-r.Context().Done():
+				// The client is gone; the flush still runs (under the
+				// server's base context) and its result is discarded.
+				return nil, true, r.Context().Err()
+			}
+		}
+		// Coalescer closed mid-drain: fall through to the direct path.
+	}
+	if err := s.gate.acquireRun(r.Context()); err != nil {
+		return nil, false, err
+	}
+	defer s.gate.releaseRun()
+	res, err = repro.AlignContext(r.Context(), item.Triple, item.Opt)
+	return res, false, err
+}
+
+// handleBatch serves POST /v1/align/batch: one admission slot and one run
+// slot cover the whole batch, which executes as a single
+// AlignBatchItemsContext submission.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	var req BatchRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.stats.failed.Add(1)
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	if len(req.Items) == 0 {
+		s.stats.failed.Add(1)
+		writeError(w, http.StatusBadRequest, errors.New("empty batch: give items"))
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		s.stats.failed.Add(1)
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch has %d items; the server caps batches at %d", len(req.Items), s.cfg.MaxBatchItems))
+		return
+	}
+	// Resolve every item before admitting: a batch with a malformed item
+	// is rejected whole, which keeps "results" aligned with "items".
+	items := make([]repro.BatchItem, len(req.Items))
+	for i := range req.Items {
+		merged := merge(req.Defaults, req.Items[i])
+		item, err := s.item(&merged)
+		if err != nil {
+			s.stats.failed.Add(1)
+			writeError(w, errorStatus(err), fmt.Errorf("item %d: %w", i, err))
+			return
+		}
+		items[i] = item
+	}
+	if !s.gate.tryAdmit() {
+		s.shed(w)
+		return
+	}
+	defer s.gate.releaseAdmit()
+	start := time.Now()
+	if err := s.gate.acquireRun(r.Context()); err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	results := repro.AlignBatchItemsContext(r.Context(), items)
+	s.gate.releaseRun()
+	s.stats.latency.record(time.Since(start))
+
+	out := BatchResponse{Results: make([]BatchItemResponse, len(results))}
+	for i, res := range results {
+		out.Results[i].Index = res.Index
+		if res.Err != nil {
+			s.stats.failed.Add(1)
+			out.Results[i].Error = res.Err.Error()
+			continue
+		}
+		s.stats.completed.Add(1)
+		if res.Result.Degraded {
+			s.stats.degraded.Add(1)
+		}
+		out.Results[i].Result = response(res.Result, false)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports readiness: 503 once draining so load balancers
+// stop routing here before the listener goes away.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshot())
+}

@@ -1,0 +1,278 @@
+// Package server implements the alignd serving layer: an HTTP JSON API
+// over the three-sequence aligner with bounded admission, request
+// coalescing, per-request deadlines, and graceful drain.
+//
+// The server is the thin front of the substrate the library already
+// provides — context-aware cancellation (AlignContext), graceful
+// degradation (Options.Fallback surfacing Result.Degraded), and the
+// persistent process-wide worker pool shared by AlignBatchItemsContext —
+// so its own job reduces to admission control and observability:
+//
+//   - Admission is a bounded queue. A request either takes a slot
+//     immediately or is shed with 429 and a Retry-After hint; nothing
+//     queues unboundedly, so the queue depth reported by /statsz is a hard
+//     bound, not a high-water mark. Admitted requests then wait (bounded
+//     by the queue size) for one of a fixed number of run slots.
+//
+//   - Concurrent small /v1/align requests are coalesced: instead of each
+//     taking a run slot, they are buffered for one short tick and
+//     submitted together as a single AlignBatchItemsContext call. A narrow
+//     coalesced batch gets intra-triple parallelism from the pool, so
+//     coalescing trades a tick of latency for much better pool utilization
+//     under many-small-request load.
+//
+//   - Drain is cooperative: BeginDrain flips /readyz to 503 and sheds new
+//     alignment work while in-flight requests — including a pending
+//     coalesced flush — run to completion; Close then stops the coalescer.
+//     The process exit path (signal handling, listener shutdown) belongs
+//     to cmd/alignd.
+//
+// Endpoints: POST /v1/align, POST /v1/align/batch, GET /healthz,
+// GET /readyz, GET /statsz, and /debug/pprof/*.
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	repro "repro"
+	"repro/internal/wavefront"
+)
+
+// Config tunes the serving layer. The zero value serves with the defaults
+// noted on each field (applied by New).
+type Config struct {
+	// Workers is the alignment worker-pool size shared by all requests;
+	// non-positive means GOMAXPROCS. New prewarms the process-wide pool to
+	// this size.
+	Workers int
+	// QueueDepth bounds admitted requests (waiting plus running). A request
+	// arriving at a full queue is shed with 429. Default 64.
+	QueueDepth int
+	// MaxInFlight bounds concurrently executing alignment submissions (a
+	// coalesced flush counts as one). Default: Workers.
+	MaxInFlight int
+	// CoalesceTick is the buffering window for coalescing small /v1/align
+	// requests into one batch submission; non-positive disables coalescing
+	// (cmd/alignd defaults the flag to 2ms).
+	CoalesceTick time.Duration
+	// CoalesceMax flushes a coalesced batch early once this many requests
+	// are buffered. Default 16.
+	CoalesceMax int
+	// CoalesceCells is the per-request lattice-cell ceiling for coalescing;
+	// requests larger than this run directly on their own run slot.
+	// Default 2^24 (~256³).
+	CoalesceCells int64
+	// DefaultDeadline is applied to requests that set no deadline_ms;
+	// 0 means no default. MaxDeadline caps any requested deadline;
+	// default 30s.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes caps request bodies (default 8 MiB); MaxSequenceLen caps
+	// each sequence's residue count (default 4096); MaxBatchItems caps
+	// items per /v1/align/batch (default 256).
+	MaxBodyBytes   int64
+	MaxSequenceLen int
+	MaxBatchItems  int
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (c Config) withDefaults() Config {
+	c.Workers = wavefront.Workers(c.Workers)
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = c.Workers
+	}
+	if c.CoalesceMax <= 0 {
+		c.CoalesceMax = 16
+	}
+	if c.CoalesceCells <= 0 {
+		c.CoalesceCells = 1 << 24
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxSequenceLen <= 0 {
+		c.MaxSequenceLen = 4096
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
+	return c
+}
+
+// Server is the alignd HTTP serving layer. Create with New, mount
+// Handler() on an http.Server, and call BeginDrain/Close on shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	gate  *gate
+	coal  *coalescer
+	stats *stats
+
+	draining atomic.Bool
+	// base outlives individual requests: coalesced batches run under it so
+	// one impatient client cannot cancel its batch-mates, and it stays open
+	// through drain so in-flight work completes. Close cancels it.
+	base     context.Context
+	stopBase context.CancelFunc
+	started  time.Time
+}
+
+// New builds a Server, prewarming the shared worker pool to cfg.Workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	wavefront.Prewarm(cfg.Workers)
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		gate:     newGate(cfg.QueueDepth, cfg.MaxInFlight),
+		stats:    newStats(),
+		base:     base,
+		stopBase: stop,
+		started:  time.Now(),
+	}
+	s.coal = newCoalescer(s)
+	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
+	s.mux.HandleFunc("POST /v1/align/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the root handler for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips /readyz to 503 and sheds new alignment requests with
+// 503 while in-flight ones complete. It does not wait: callers drain the
+// HTTP layer (http.Server.Shutdown) and then Close the server.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close flushes the coalescer, waits for its outstanding batches, and
+// cancels the server's base context. Call after the HTTP layer has
+// drained; in-flight handlers still waiting on coalesced results receive
+// them before Close returns.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.coal.close()
+	s.stopBase()
+}
+
+// Statsz is the /statsz document: queue and pool gauges plus cumulative
+// request counters and ring-buffer latency quantiles.
+type Statsz struct {
+	UptimeS  float64 `json:"uptime_s"`
+	Draining bool    `json:"draining"`
+
+	// QueueDepth is admitted-but-not-running requests; InFlight is running
+	// submissions. QueueDepth+InFlight never exceeds the configured
+	// QueueDepth bound.
+	QueueDepth int64 `json:"queue_depth"`
+	InFlight   int64 `json:"in_flight"`
+
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Failed    int64 `json:"failed"`
+	Degraded  int64 `json:"degraded"`
+
+	CoalescedBatches  int64 `json:"coalesced_batches"`
+	CoalescedRequests int64 `json:"coalesced_requests"`
+
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+	} `json:"latency_ms"`
+
+	Pool struct {
+		Workers  int `json:"workers"`
+		Capacity int `json:"capacity"`
+	} `json:"pool"`
+}
+
+// snapshot assembles the current Statsz document.
+func (s *Server) snapshot() Statsz {
+	var st Statsz
+	st.UptimeS = time.Since(s.started).Seconds()
+	st.Draining = s.draining.Load()
+	admitted, inFlight := s.gate.loads()
+	st.QueueDepth = admitted - inFlight
+	st.InFlight = inFlight
+	st.Completed = s.stats.completed.Load()
+	st.Shed = s.stats.shed.Load()
+	st.Failed = s.stats.failed.Load()
+	st.Degraded = s.stats.degraded.Load()
+	st.CoalescedBatches = s.stats.coalescedBatches.Load()
+	st.CoalescedRequests = s.stats.coalescedRequests.Load()
+	p50, p90, p99 := s.stats.latency.quantiles()
+	st.LatencyMS.P50 = durMS(p50)
+	st.LatencyMS.P90 = durMS(p90)
+	st.LatencyMS.P99 = durMS(p99)
+	ws := wavefront.Stats()
+	st.Pool.Workers = ws.PoolWorkers
+	st.Pool.Capacity = ws.PoolCapacity
+	return st
+}
+
+// durMS converts a duration to fractional milliseconds.
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// resolveOptions maps wire-level knobs onto repro.Options under the
+// server's caps: workers are clamped to the shared pool size, the deadline
+// is defaulted and capped, and fallback defaults to on — a serving layer
+// prefers a degraded answer over a timeout error unless the client opts
+// out.
+func (s *Server) resolveOptions(req *AlignRequest) (repro.Options, error) {
+	algo, err := repro.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		return repro.Options{}, &badRequestError{err.Error()}
+	}
+	opt := repro.Options{Algorithm: algo, Workers: s.cfg.Workers, Fallback: true}
+	if req.Workers > 0 && req.Workers < s.cfg.Workers {
+		opt.Workers = req.Workers
+	}
+	if req.Scheme != "" {
+		sch, ok := repro.SchemeByName(req.Scheme)
+		if !ok {
+			return repro.Options{}, badRequestf("unknown scheme %q", req.Scheme)
+		}
+		opt.Scheme = sch
+	}
+	if req.MaxBytes > 0 {
+		opt.MaxBytes = req.MaxBytes
+	}
+	opt.Deadline = s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		opt.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if opt.Deadline > s.cfg.MaxDeadline {
+		opt.Deadline = s.cfg.MaxDeadline
+	}
+	if req.Fallback != nil {
+		opt.Fallback = *req.Fallback
+	}
+	return opt, nil
+}

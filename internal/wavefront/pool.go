@@ -37,6 +37,27 @@ func GrowPool(n int) {
 	pool.mu.Unlock()
 }
 
+// Prewarm raises the shared pool's capacity to at least n and eagerly
+// spawns workers up to that capacity, parked and ready. Long-lived callers
+// with a latency target — the alignd serving layer most of all — call it
+// once at startup so the first requests after boot do not pay goroutine
+// spawn on top of cold caches. Prewarming is purely an accounting shift:
+// the spawned workers are marked idle and are claimed by TryGo exactly
+// like workers parked after a task.
+func Prewarm(n int) {
+	p := pool
+	p.mu.Lock()
+	if n > p.capacity {
+		p.capacity = n
+	}
+	for p.spawned < p.capacity {
+		p.spawned++
+		p.idle++
+		go p.work()
+	}
+	p.mu.Unlock()
+}
+
 // TryGo runs f on a pool worker if a slot is free, spawning a persistent
 // worker lazily when none is idle and the pool is under capacity. It
 // reports false — without blocking — when every slot is busy, which is how

@@ -213,3 +213,36 @@ func TestTryGoCapacity(t *testing.T) {
 		t.Fatalf("pool spawned %d new workers for a reusable slot", spawnedAfter-spawnedBefore)
 	}
 }
+
+// TestPoolPrewarm checks the serving-layer startup hook: Prewarm raises
+// capacity, eagerly parks workers, and TryGo then reuses them without
+// spawning.
+func TestPoolPrewarm(t *testing.T) {
+	spawnedBefore, capBefore := poolSizes()
+	want := spawnedBefore + 2
+	if capBefore > want {
+		want = capBefore // capacity never shrinks; just exercise the spawn path
+	}
+	Prewarm(want)
+	spawned, capacity := poolSizes()
+	if capacity < want {
+		t.Fatalf("capacity = %d after Prewarm(%d)", capacity, want)
+	}
+	if spawned < capacity {
+		t.Fatalf("spawned = %d, want %d parked workers (capacity)", spawned, capacity)
+	}
+	// Prewarmed workers must be claimable without new spawns.
+	ran := make(chan struct{})
+	if !TryGo(func() { close(ran) }) {
+		t.Fatal("TryGo rejected on a prewarmed pool")
+	}
+	<-ran
+	if after, _ := poolSizes(); after != spawned {
+		t.Fatalf("TryGo spawned %d new workers on a prewarmed pool", after-spawned)
+	}
+	// Idempotent: a second Prewarm with the same target changes nothing.
+	Prewarm(want)
+	if again, _ := poolSizes(); again != spawned {
+		t.Fatalf("repeated Prewarm spawned %d extra workers", again-spawned)
+	}
+}

@@ -104,6 +104,38 @@ func Algorithms() []Algorithm {
 	}
 }
 
+// ParseAlgorithm validates a user-supplied algorithm name. The empty string
+// is AlgorithmAuto; anything else must be one of Algorithms(). It is the
+// boundary check for servers and CLIs that accept the name over the wire —
+// Align itself reports an unknown algorithm only after resolving schemes
+// and options.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	a := Algorithm(name)
+	if a == AlgorithmAuto {
+		return a, nil
+	}
+	for _, known := range Algorithms() {
+		if a == known {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("repro: unknown algorithm %q", name)
+}
+
+// AlphabetByName resolves a standard alphabet by its lower-case name:
+// "dna", "rna", or "protein".
+func AlphabetByName(name string) (*Alphabet, bool) {
+	switch name {
+	case "dna":
+		return seq.DNA, true
+	case "rna":
+		return seq.RNA, true
+	case "protein":
+		return seq.Protein, true
+	}
+	return nil, false
+}
+
 // Options configures Align. The zero value aligns with the parallel exact
 // algorithm under a default scheme for the triple's alphabet.
 type Options struct {
