@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/alignment"
+	"repro/internal/plan"
 	"repro/internal/wavefront"
 )
 
@@ -85,6 +87,9 @@ func AlignBatchContext(ctx context.Context, triples []Triple, opt Options) []Bat
 // submission. The worker budget of the batch is the largest per-item
 // request (each non-positive Workers counts as GOMAXPROCS); the
 // wide/narrow split and the pool arbitration are as in AlignBatchContext.
+// Claimers pick items in planned-work order (largest estimated lattice
+// first, per the execution planner) rather than submission order, which
+// shortens the batch makespan; results are still returned in input order.
 func AlignBatchItemsContext(ctx context.Context, items []BatchItem) []BatchResult {
 	out := make([]BatchResult, len(items))
 	for i := range out {
@@ -106,13 +111,18 @@ func AlignBatchItemsContext(ctx context.Context, items []BatchItem) []BatchResul
 	// A narrow batch leaves workers idle under a triple-per-worker split;
 	// route the spare capacity into each alignment instead.
 	intraParallel := claimers < workers
+	// Claim in planned-work order, largest first: the biggest lattices
+	// start while every claimer is alive, so the batch's makespan is not
+	// hostage to a huge triple that submission order left for last.
+	order := planOrder(items, intraParallel)
 	var next atomic.Int64
 	claim := func() {
 		for {
-			i := int(next.Add(1)) - 1
-			if i >= len(items) {
+			oi := int(next.Add(1)) - 1
+			if oi >= len(order) {
 				return
 			}
+			i := order[oi]
 			if err := ctx.Err(); err != nil {
 				out[i].Err = fmt.Errorf("repro: batch cancelled: %w", err)
 				continue // claim and mark the remaining triples too
@@ -121,8 +131,7 @@ func AlignBatchItemsContext(ctx context.Context, items []BatchItem) []BatchResul
 			if !intraParallel {
 				it.Workers = 1
 			}
-			it.Algorithm = batchAlgorithm(items[i].Triple, it, intraParallel)
-			res, err := alignRecover(ctx, items[i].Triple, it)
+			res, err := alignRecover(ctx, items[i].Triple, it, intraParallel)
 			out[i] = BatchResult{Index: i, Result: res, Err: err}
 		}
 	}
@@ -143,30 +152,46 @@ func AlignBatchItemsContext(ctx context.Context, items []BatchItem) []BatchResul
 	return out
 }
 
-// batchAlgorithm resolves AlgorithmAuto for one batch triple: the variant
-// matching the effective scheme's gap model, parallel when the batch split
-// left spare worker capacity for intra-triple blocks. An unresolvable
-// scheme is left to Align to diagnose.
-func batchAlgorithm(tr Triple, opt Options, parallel bool) Algorithm {
-	if opt.Algorithm != AlgorithmAuto {
-		return opt.Algorithm
+// planOrder returns the claim order for a batch: item indexes sorted by
+// planned DP cell count, largest first (stable, so equal-work items keep
+// submission order). Unplannable items — invalid triple, unknown scheme or
+// algorithm, budget too small — count as zero work and sort last; their
+// error surfaces when the claimer aligns them.
+func planOrder(items []BatchItem, parallel bool) []int {
+	keys := make([]uint64, len(items))
+	for i := range items {
+		keys[i] = planCells(items[i], parallel)
 	}
-	if tr.Validate() != nil {
-		return AlgorithmFull // Align reports the validation error
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
 	}
-	sch, err := resolveScheme(tr, opt)
-	if err != nil {
-		return AlgorithmFull
-	}
-	return resolveAlgorithm(tr, sch, opt, parallel)
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] > keys[order[b]] })
+	return order
 }
 
-// alignRecover is AlignContext with panic containment: a panic inside one
-// alignment becomes that triple's error (with the worker stack) instead of
-// crashing the whole batch.
-func alignRecover(ctx context.Context, tr Triple, opt Options) (res *Result, err error) {
+// planCells estimates one item's DP work for batch ordering.
+func planCells(it BatchItem, parallel bool) uint64 {
+	if it.Triple.Validate() != nil {
+		return 0
+	}
+	sch, err := resolveScheme(it.Triple, it.Opt)
+	if err != nil {
+		return 0
+	}
+	pl, _, err := plan.Resolve(planRequest(it.Triple, sch, it.Opt, parallel))
+	if err != nil {
+		return 0
+	}
+	return pl.EstCells
+}
+
+// alignRecover is one batch claimer's alignWith call with panic
+// containment: a panic inside one alignment becomes that triple's error
+// (with the worker stack) instead of crashing the whole batch.
+func alignRecover(ctx context.Context, tr Triple, opt Options, parallel bool) (res *Result, err error) {
 	defer recoverAlignPanic(&res, &err)
-	return AlignContext(ctx, tr, opt)
+	return alignWith(ctx, tr, opt, parallel)
 }
 
 // recoverAlignPanic converts an in-flight panic into an error carrying the

@@ -7,6 +7,8 @@
 //	seqgen -n 100 | align3 -format clustal
 //	align3 -in triple.fasta.gz -both-strands -format json
 //	align3 -in triple.fasta -timeout 30s -fallback
+//	align3 -in triple.fasta -explain
+//	align3 -in triple.fasta -max-mem 64000000
 //
 // Exact algorithms: full, parallel, linear, parallel-linear, diagonal,
 // pruned, pruned-parallel, affine, affine-linear, affine-parallel.
@@ -24,6 +26,14 @@
 // stats formats print a "degraded:" line with the cause, and the json
 // format carries "degraded": true — screening pipelines should check that
 // flag before treating the score as optimal.
+//
+// -explain prints the execution plan — the kernel the planner would
+// dispatch, its tile shape and worker count, and the estimated cells,
+// bytes, and duration — without aligning anything. -max-mem sets a soft
+// memory budget (Options.MaxMemoryBytes): the planner downgrades to a
+// smaller-memory kernel (full lattice → linear space → heuristic last
+// resort) instead of rejecting, and each step shows up in the plan's
+// downgrades (and in the json format's "plan" object).
 package main
 
 import (
@@ -71,6 +81,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		bothStr   = fs.Bool("both-strands", false, "also try the third sequence's reverse complement (DNA/RNA) and keep the better alignment")
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget per alignment (0 = none); exceeded deadlines fail unless -fallback is set")
 		fallback  = fs.Bool("fallback", false, "degrade to center-star-refined when the exact algorithm exceeds -timeout or the memory cap")
+		maxMem    = fs.Int64("max-mem", 0, "soft memory budget in bytes: plan a smaller-memory kernel instead of rejecting (0 = none)")
+		explain   = fs.Bool("explain", false, "print the execution plan and exit without aligning")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -106,11 +118,12 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	}
 
 	opt := repro.Options{
-		Algorithm: repro.Algorithm(*algorithm),
-		Workers:   *workers,
-		BlockSize: *block,
-		Deadline:  *timeout,
-		Fallback:  *fallback,
+		Algorithm:      repro.Algorithm(*algorithm),
+		Workers:        *workers,
+		BlockSize:      *block,
+		MaxMemoryBytes: *maxMem,
+		Deadline:       *timeout,
+		Fallback:       *fallback,
 	}
 	if *scheme != "" {
 		s, ok := repro.SchemeByName(*scheme)
@@ -138,6 +151,15 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		if err != nil {
 			return err
 		}
+	}
+
+	if *explain {
+		pl, err := repro.PlanAlign(tr, opt)
+		if err != nil {
+			return err
+		}
+		printPlan(stdout, pl)
+		return nil
 	}
 
 	res, err := repro.AlignContext(ctx, tr, opt)
@@ -194,6 +216,7 @@ type jsonReport struct {
 	Conservation  string               `json:"conservation"`
 	Stats         repro.AlignmentStats `json:"stats"`
 	Prune         *repro.PruneStats    `json:"prune,omitempty"`
+	Plan          *repro.Plan          `json:"plan,omitempty"`
 	Degraded      bool                 `json:"degraded,omitempty"`
 	DegradedCause string               `json:"degraded_cause,omitempty"`
 }
@@ -211,6 +234,7 @@ func writeJSON(w io.Writer, res *repro.Result) error {
 		Conservation: res.Conservation(),
 		Stats:        res.ComputeStats(),
 		Prune:        res.Prune,
+		Plan:         res.Plan,
 	}
 	if res.Degraded {
 		rep.Degraded = true
@@ -234,6 +258,23 @@ func printStats(w io.Writer, res *repro.Result) {
 	if res.Degraded {
 		fmt.Fprintf(w, "degraded: exact alignment unavailable (%v); score is heuristic, not optimal\n",
 			res.DegradedCause)
+	}
+}
+
+// printPlan renders one execution plan for -explain.
+func printPlan(w io.Writer, pl *repro.Plan) {
+	fmt.Fprintf(w, "algorithm: %s   workers: %d", pl.Algorithm, pl.Workers)
+	if pl.TileDims != [3]int{} {
+		fmt.Fprintf(w, "   tile: %dx%dx%d", pl.TileDims[0], pl.TileDims[1], pl.TileDims[2])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "estimate: %d cells   %d bytes   %.1f Mcells/s   ~%s\n",
+		pl.EstCells, pl.EstBytes, pl.EstMcellsPerSec, pl.EstDuration.Round(pl.EstDuration/100+1))
+	for _, d := range pl.Downgrades {
+		fmt.Fprintf(w, "downgrade: %s\n", d)
+	}
+	if pl.Degraded {
+		fmt.Fprintln(w, "degraded: no exact kernel fits the budget; the planned score is a heuristic lower bound")
 	}
 }
 

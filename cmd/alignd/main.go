@@ -10,6 +10,7 @@
 //
 //	POST /v1/align        one triple; small requests are coalesced per tick
 //	POST /v1/align/batch  many triples in one submission
+//	POST /v1/plan         dry run: the execution plan for a request, no alignment
 //	GET  /healthz         liveness (always 200 while the process runs)
 //	GET  /readyz          readiness (503 once draining)
 //	GET  /statsz          queue/pool gauges, counters, latency quantiles
@@ -17,7 +18,10 @@
 //
 // Overload is shed, never queued unboundedly: when the admission queue is
 // full /v1/align answers 429 with a Retry-After hint, and /statsz's
-// queue_depth stays within -queue.
+// queue_depth stays within -queue. With -max-lattice-bytes set, requests
+// whose planner-estimated lattice footprint exceeds the cap are shed with
+// 413 before taking a queue slot; /statsz reports est_bytes_in_flight and
+// planned_downgrades so the cap can be sized from observed pressure.
 //
 // On SIGTERM (or SIGINT) alignd drains: /readyz flips to 503 immediately,
 // new alignment requests are refused with 503, the -drain-grace window
@@ -64,6 +68,7 @@ func run(args []string, logw io.Writer) error {
 		maxDeadline  = fs.Duration("max-deadline", 30*time.Second, "cap on per-request deadlines")
 		maxSeq       = fs.Int("max-seq", 4096, "per-sequence residue cap")
 		maxBody      = fs.Int64("max-body", 8<<20, "request body byte cap")
+		maxLattice   = fs.Int64("max-lattice-bytes", 0, "planner-estimated lattice byte cap per alignment; larger requests shed with 413 before queueing (0 = no cap)")
 		drainGrace   = fs.Duration("drain-grace", time.Second, "pause between flipping /readyz and closing the listener")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "bound on waiting for in-flight requests during drain")
 		cpuProf      = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -89,6 +94,7 @@ func run(args []string, logw io.Writer) error {
 		MaxDeadline:     *maxDeadline,
 		MaxSequenceLen:  *maxSeq,
 		MaxBodyBytes:    *maxBody,
+		MaxLatticeBytes: *maxLattice,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/plan"
+)
+
+// runCalibrate is the -calibrate mode: re-derive the planner's Mcells/s
+// calibration table from the newest committed BENCH_*.json and compare it
+// against the constants committed in internal/plan (calib.go). Drift past
+// plan.CalibrationDriftMax on any kernel fails the run — the CI gate that
+// keeps the planner's duration predictions honest as kernels get faster
+// or slower. The re-derived Go table is always printed, so fixing a
+// failure is a copy-paste into calib.go.
+func runCalibrate(out io.Writer) error {
+	path, err := resolveBaseline("")
+	if err != nil {
+		return fmt.Errorf("benchsuite: -calibrate: %w", err)
+	}
+	if path == "" {
+		return fmt.Errorf("benchsuite: -calibrate: no committed BENCH_*.json baseline found (run from the repository root)")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchsuite: -calibrate: %w", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("benchsuite: -calibrate: parse %s: %w", path, err)
+	}
+	measured := make(map[string]float64, len(rep.Kernels))
+	for _, k := range rep.Kernels {
+		measured[k.Kernel] = k.McellsPerS
+	}
+
+	names := make([]string, 0, len(plan.Calibration))
+	for name := range plan.Calibration {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(out, "calibration check vs %s (rev %s); committed table rev %s\n",
+		path, rep.Rev, plan.CalibrationRev)
+	drifted := 0
+	for _, name := range names {
+		committed := plan.Calibration[name]
+		got, ok := measured[name]
+		if !ok || got <= 0 {
+			fmt.Fprintf(out, "  %-16s committed %8.2f Mcells/s  (not in baseline)\n", name, committed)
+			continue
+		}
+		drift := got/committed - 1
+		mark := ""
+		if math.Abs(drift) > plan.CalibrationDriftMax {
+			mark = "  DRIFT"
+			drifted++
+		}
+		fmt.Fprintf(out, "  %-16s committed %8.2f Mcells/s  baseline %8.2f  %+6.1f%%%s\n",
+			name, committed, got, 100*drift, mark)
+	}
+
+	fmt.Fprintf(out, "\nre-derived table (internal/plan/calib.go):\n")
+	fmt.Fprintf(out, "const CalibrationRev = %q\n", rep.Rev)
+	fmt.Fprintln(out, "var Calibration = map[string]float64{")
+	for _, name := range names {
+		if got, ok := measured[name]; ok && got > 0 {
+			fmt.Fprintf(out, "\t%q: %.2f,\n", name, got)
+		}
+	}
+	fmt.Fprintln(out, "}")
+
+	if drifted > 0 {
+		return fmt.Errorf("benchsuite: -calibrate: %d kernel rate(s) drifted more than %.0f%% from the committed table (rev %s); update internal/plan/calib.go from the re-derived table above",
+			drifted, 100*plan.CalibrationDriftMax, plan.CalibrationRev)
+	}
+	fmt.Fprintf(out, "\ncalibration ok: every kernel within %.0f%% of the committed table\n", 100*plan.CalibrationDriftMax)
+	return nil
+}

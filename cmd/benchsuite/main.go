@@ -99,6 +99,7 @@ func run(args []string, stdout io.Writer) error {
 		csvOut    = fs.Bool("csv", false, "emit CSV instead of text tables")
 		benchjson = fs.String("benchjson", "auto", "kernel metrics JSON: 'auto' (BENCH_<rev>.json when running all), 'off', or an explicit path")
 		baseline  = fs.String("baseline", "", "committed BENCH_<rev>.json to diff kernel Mcells/s against (warns on >10% regressions, never fails); 'auto' picks the newest committed baseline")
+		calibrate = fs.Bool("calibrate", false, "check the planner's calibration table against the newest committed BENCH_*.json and exit (fails on >25% drift)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -114,6 +115,9 @@ func run(args []string, stdout io.Writer) error {
 	cfg := config{quick: *quick, reps: *reps, csv: *csvOut, out: stdout, baseline: *baseline}
 	if cfg.quick && *reps == 3 {
 		cfg.reps = 1
+	}
+	if *calibrate {
+		return runCalibrate(cfg.out)
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*expFlag, ",") {

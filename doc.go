@@ -47,6 +47,25 @@
 // Deadline catches inputs that fit in memory but compute too slowly. The
 // typed sentinel ErrTooLarge identifies MaxBytes rejections.
 //
+// # Planning
+//
+// Algorithm selection is an explicit, inspectable step. Every kernel
+// registers a self-describing spec in internal/plan, and the planner maps
+// the triple's shape, the scoring scheme, and Options to an ExecutionPlan
+// — kernel, workers, tile shape, estimated cells, bytes, and duration —
+// before any lattice is allocated. Every successful Result carries the
+// plan that drove it as Result.Plan, and PlanAlign returns the plan
+// without aligning (the CLI's align3 -explain, the server's POST
+// /v1/plan).
+//
+// Options.MaxMemoryBytes is a soft budget the planner satisfies by
+// downgrading — full lattice to linear space to, as a last resort, the
+// center-star-refined heuristic — recording each step in Plan.Downgrades.
+// Linear-space downgrades keep the score optimal; only the heuristic last
+// resort marks the Result Degraded (with an ErrTooLarge cause). MaxBytes
+// stays the hard cap: an explicitly requested kernel over it fails with
+// ErrTooLarge rather than being swapped.
+//
 // # Performance
 //
 // Every kernel precomputes the three pairwise substitution-score planes

@@ -48,6 +48,12 @@ type Options struct {
 	// DefaultMaxBytes. Algorithms return ErrTooLarge instead of attempting
 	// a larger allocation.
 	MaxBytes int64
+	// TileDims, when all three edges are positive, pins the blocked-
+	// wavefront tile shape exactly — the hook the execution planner
+	// (internal/plan) uses to hand a pre-negotiated shape to the kernel.
+	// It outranks BlockSize; the zero value defers to BlockSize or the
+	// adaptive heuristic.
+	TileDims [3]int
 }
 
 // DefaultBlockSize is the tile edge used when Options.BlockSize is unset.

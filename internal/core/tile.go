@@ -129,11 +129,15 @@ func AdaptiveTileDims(ni, nj, nk, workers, bytesPerCell int) (ti, tj, tk int) {
 	return ti, tj, tk
 }
 
-// tileDims resolves the tile shape for an ni×nj×nk lattice: an explicit
-// Options.BlockSize remains a cubic override (preserving the historical
-// contract and the F3 block-size sweep); otherwise the adaptive heuristic
-// picks a non-cubic long-k shape.
+// tileDims resolves the tile shape for an ni×nj×nk lattice: a planner-
+// negotiated Options.TileDims wins outright, an explicit Options.BlockSize
+// remains a cubic override (preserving the historical contract and the F3
+// block-size sweep), and otherwise the adaptive heuristic picks a
+// non-cubic long-k shape.
 func (o Options) tileDims(ni, nj, nk, bytesPerCell int) (ti, tj, tk int) {
+	if o.TileDims[0] > 0 && o.TileDims[1] > 0 && o.TileDims[2] > 0 {
+		return o.TileDims[0], o.TileDims[1], o.TileDims[2]
+	}
 	if o.BlockSize > 0 {
 		return o.BlockSize, o.BlockSize, o.BlockSize
 	}

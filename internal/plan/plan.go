@@ -1,0 +1,359 @@
+// Package plan is the memory-aware execution planner: the single place
+// where the library decides *how* a three-sequence alignment runs.
+//
+// Every kernel self-describes through a KernelSpec in the registry
+// (registry.go): which gap models it optimizes, its space class, whether
+// it runs on the wavefront pool, and how to estimate its lattice
+// footprint for a problem Shape. Resolve maps a Request — shape, gap
+// model, requested algorithm, workers, tile override, and memory budgets
+// — onto an ExecutionPlan: the concrete kernel, its tile dimensions, and
+// the predicted cells, bytes, throughput, and duration of the run.
+//
+// The prediction side is calibrated from the committed BENCH_<rev>.json
+// baseline (calib.go); `benchsuite -calibrate` re-derives the constants
+// and fails when they drift from the committed table.
+//
+// Budgets come in two strengths:
+//
+//   - Request.MaxBytes is the hard admission cap the kernels themselves
+//     enforce (core.Options.MaxBytes, ErrTooLarge). The planner only uses
+//     it to steer automatic selection, exactly as the old resolveAlgorithm
+//     switch did: an auto request whose full lattice exceeds the cap gets
+//     the linear-space sibling.
+//
+//   - Request.MaxMemoryBytes is the soft planning budget. When set, the
+//     planner walks the downgrade ladder — full lattice → linear-space
+//     sweep planes → (for exact requests) the center-star-refined
+//     heuristic as a degraded last resort — until the estimated footprint
+//     fits, recording every step in ExecutionPlan.Downgrades. A plan that
+//     cannot fit even its cheapest kernel fails with an error wrapping
+//     core.ErrTooLarge.
+//
+// All cell and byte arithmetic saturates in uint64, so adversarially long
+// sequences produce a saturated estimate instead of a wrapped-around small
+// one (the overflow class of bug the old int-typed lattice guard had).
+package plan
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wavefront"
+)
+
+// GapModel is the gap-cost family a scoring scheme uses and a kernel
+// optimizes. Specs carry a bitmask; requests carry a single model.
+type GapModel uint8
+
+const (
+	// GapLinear is the linear gap model: cost proportional to gap length.
+	GapLinear GapModel = 1 << iota
+	// GapAffine is the quasi-natural affine model: open + extend costs.
+	GapAffine
+)
+
+func (g GapModel) String() string {
+	switch g {
+	case GapLinear:
+		return "linear"
+	case GapAffine:
+		return "affine"
+	}
+	return fmt.Sprintf("gap-model(%d)", uint8(g))
+}
+
+// SpaceClass orders kernels by the asymptotic growth of their working
+// memory. The downgrade ladder is monotone non-increasing in this order.
+type SpaceClass int
+
+const (
+	// SpacePairwise is O(n²) pairwise matrices — the heuristics.
+	SpacePairwise SpaceClass = iota
+	// SpacePlanes is O(m·p) sweep planes — the linear-space exact kernels.
+	SpacePlanes
+	// SpaceLattice is the O(n·m·p) full lattice.
+	SpaceLattice
+)
+
+func (c SpaceClass) String() string {
+	switch c {
+	case SpacePairwise:
+		return "O(n²)"
+	case SpacePlanes:
+		return "O(m·p)"
+	case SpaceLattice:
+		return "O(n·m·p)"
+	}
+	return fmt.Sprintf("space-class(%d)", int(c))
+}
+
+// Shape is the problem size: residue counts of the three sequences. It is
+// deliberately three ints rather than a Triple so that plans — including
+// tests with adversarially long sequences — need no allocation.
+type Shape struct {
+	NA, NB, NC int
+}
+
+// mulSat is saturating uint64 multiplication.
+func mulSat(a, b uint64) uint64 {
+	if a != 0 && b > math.MaxUint64/a {
+		return math.MaxUint64
+	}
+	return a * b
+}
+
+// addSat is saturating uint64 addition.
+func addSat(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+// Cells is the DP lattice cell count (na+1)(nb+1)(nc+1), saturating at
+// MaxUint64.
+func (s Shape) Cells() uint64 {
+	return mulSat(mulSat(uint64(s.NA)+1, uint64(s.NB)+1), uint64(s.NC)+1)
+}
+
+// PlaneCells is the (nb+1)(nc+1) sweep-plane cell count the linear-space
+// kernels re-fill, saturating.
+func (s Shape) PlaneCells() uint64 {
+	return mulSat(uint64(s.NB)+1, uint64(s.NC)+1)
+}
+
+// PairCells sums the three pairwise DP matrix sizes the heuristics fill,
+// saturating.
+func (s Shape) PairCells() uint64 {
+	ab := mulSat(uint64(s.NA)+1, uint64(s.NB)+1)
+	ac := mulSat(uint64(s.NA)+1, uint64(s.NC)+1)
+	bc := mulSat(uint64(s.NB)+1, uint64(s.NC)+1)
+	return addSat(addSat(ab, ac), bc)
+}
+
+func (s Shape) valid() bool { return s.NA >= 0 && s.NB >= 0 && s.NC >= 0 }
+
+// Request is one planning problem.
+type Request struct {
+	// Shape is the triple's residue counts.
+	Shape Shape
+	// Gap is the scheme's gap model; zero means GapLinear.
+	Gap GapModel
+	// Algorithm is the requested kernel name; empty means automatic
+	// selection by gap model, parallelism, and budget.
+	Algorithm string
+	// Workers is the requested pool size; non-positive means GOMAXPROCS.
+	Workers int
+	// BlockSize is an explicit cubic tile override for blocked kernels;
+	// non-positive means the adaptive heuristic picks the shape.
+	BlockSize int
+	// MaxBytes is the hard lattice admission cap (kernels reject beyond
+	// it); non-positive means core.DefaultMaxBytes. It steers automatic
+	// selection only — explicit algorithms keep their historical
+	// reject-with-ErrTooLarge contract.
+	MaxBytes int64
+	// MaxMemoryBytes, when positive, is the soft planning budget: the
+	// planner downgrades along the space-class ladder until the estimated
+	// footprint fits, instead of rejecting.
+	MaxMemoryBytes int64
+	// Parallel selects the intra-alignment parallel variants on automatic
+	// requests (false when an outer batch supplies the parallelism).
+	Parallel bool
+}
+
+// ExecutionPlan is the planner's answer: the kernel that will run and the
+// predicted footprint of the run. It is attached to every Result and
+// served verbatim by alignd's POST /v1/plan.
+type ExecutionPlan struct {
+	// Algorithm is the kernel the plan selects.
+	Algorithm string `json:"algorithm"`
+	// Workers is the pool size the kernel will use (1 for sequential
+	// kernels regardless of the request).
+	Workers int `json:"workers"`
+	// TileDims is the blocked-wavefront tile shape (ti, tj, tk); all-zero
+	// for kernels that do not run the blocked 3D schedule.
+	TileDims [3]int `json:"tile_dims"`
+	// EstCells is the predicted DP cell count (saturating).
+	EstCells uint64 `json:"est_cells"`
+	// EstBytes is the predicted peak lattice allocation (saturating).
+	EstBytes uint64 `json:"est_bytes"`
+	// EstMcellsPerSec is the calibrated throughput prediction.
+	EstMcellsPerSec float64 `json:"est_mcells_per_s"`
+	// EstDuration is EstCells / EstMcellsPerSec.
+	EstDuration time.Duration `json:"est_duration_ns"`
+	// Downgrades records every budget-driven substitution, in order, as
+	// "from→to: est <bytes> over <budget> budget" entries.
+	Downgrades []string `json:"downgrades,omitempty"`
+	// Degraded reports that an exact request was downgraded to a heuristic
+	// as the last resort: the planned score will be a lower bound, not the
+	// optimum.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// lastResort is the heuristic an exact request degrades to when no exact
+// kernel fits the memory budget.
+const lastResort = "center-star-refined"
+
+// Resolve maps a Request onto an ExecutionPlan and the KernelSpec that
+// will run it. Unknown algorithm names and budgets too small for any
+// kernel (the latter wrapping core.ErrTooLarge) are errors.
+func Resolve(req Request) (*ExecutionPlan, *KernelSpec, error) {
+	if !req.Shape.valid() {
+		return nil, nil, fmt.Errorf("plan: negative sequence length in shape %+v", req.Shape)
+	}
+	gap := req.Gap
+	if gap == 0 {
+		gap = GapLinear
+	}
+	workers := wavefront.Workers(req.Workers)
+
+	var (
+		spec       *KernelSpec
+		downgrades []string
+		degraded   bool
+	)
+	if req.Algorithm != "" {
+		s, ok := Lookup(req.Algorithm)
+		if !ok {
+			return nil, nil, fmt.Errorf("plan: unknown algorithm %q", req.Algorithm)
+		}
+		spec = s
+	} else {
+		spec, downgrades = autoSpec(req.Shape, gap, req.Parallel, autoBudget(req))
+	}
+
+	// The soft budget walks the downgrade ladder until the estimate fits.
+	if req.MaxMemoryBytes > 0 {
+		budget := uint64(req.MaxMemoryBytes)
+		for spec.EstBytes(req.Shape) > budget {
+			next := spec.Downgrade
+			if next == "" {
+				if !spec.Exact {
+					return nil, nil, fmt.Errorf(
+						"plan: no kernel fits the %s memory budget (cheapest %q needs %s): %w",
+						fmtBytes(budget), spec.Name, fmtBytes(spec.EstBytes(req.Shape)), core.ErrTooLarge)
+				}
+				next = lastResort
+				degraded = true
+			}
+			to := kernels[next]
+			downgrades = append(downgrades, downgradeEntry(spec, to, req.Shape, budget))
+			spec = to
+		}
+	}
+
+	pl := &ExecutionPlan{
+		Algorithm:  spec.Name,
+		Workers:    1,
+		EstCells:   spec.estCells(req.Shape),
+		EstBytes:   spec.EstBytes(req.Shape),
+		Downgrades: downgrades,
+		Degraded:   degraded,
+	}
+	if spec.Parallel {
+		pl.Workers = workers
+	}
+	if spec.Blocked3D {
+		if req.BlockSize > 0 {
+			pl.TileDims = [3]int{req.BlockSize, req.BlockSize, req.BlockSize}
+		} else {
+			ti, tj, tk := core.AdaptiveTileDims(
+				req.Shape.NA+1, req.Shape.NB+1, req.Shape.NC+1, workers, spec.BytesPerCell)
+			pl.TileDims = [3]int{ti, tj, tk}
+		}
+	}
+	pl.EstMcellsPerSec = rateFor(spec, pl.Workers)
+	pl.EstDuration = estDuration(pl.EstCells, pl.EstMcellsPerSec)
+	return pl, spec, nil
+}
+
+// autoBudget is the byte limit automatic selection steers against: the
+// hard admission cap, tightened by the soft budget when one is set.
+func autoBudget(req Request) uint64 {
+	b := req.MaxBytes
+	if b <= 0 {
+		b = core.DefaultMaxBytes
+	}
+	budget := uint64(b)
+	if req.MaxMemoryBytes > 0 && uint64(req.MaxMemoryBytes) < budget {
+		budget = uint64(req.MaxMemoryBytes)
+	}
+	return budget
+}
+
+// autoSpec picks the kernel for an automatic request: the gap model's
+// primary (parallel or sequential per the split), downgraded once to its
+// linear-space sibling when the primary's lattice exceeds the budget —
+// the selection rule the old resolveAlgorithm switch hard-coded.
+func autoSpec(s Shape, gap GapModel, parallel bool, budget uint64) (*KernelSpec, []string) {
+	var primary string
+	switch {
+	case gap == GapAffine && parallel:
+		primary = "affine-parallel"
+	case gap == GapAffine:
+		primary = "affine"
+	case parallel:
+		primary = "parallel"
+	default:
+		primary = "full"
+	}
+	spec := kernels[primary]
+	if spec.EstBytes(s) <= budget {
+		return spec, nil
+	}
+	next := kernels[spec.Downgrade]
+	return next, []string{downgradeEntry(spec, next, s, budget)}
+}
+
+// downgradeEntry formats one ladder step for ExecutionPlan.Downgrades.
+func downgradeEntry(from, to *KernelSpec, s Shape, budget uint64) string {
+	return fmt.Sprintf("%s→%s: est %s over %s budget",
+		from.Name, to.Name, fmtBytes(from.EstBytes(s)), fmtBytes(budget))
+}
+
+// ParseDowngrade splits a Downgrades entry back into the kernel names it
+// records; ok is false for strings not produced by downgradeEntry.
+func ParseDowngrade(entry string) (from, to string, ok bool) {
+	for i, r := range entry {
+		if r == '→' {
+			from = entry[:i]
+			rest := entry[i+len("→"):]
+			for j := 0; j < len(rest); j++ {
+				if rest[j] == ':' {
+					return from, rest[:j], from != "" && j > 0
+				}
+			}
+			return "", "", false
+		}
+	}
+	return "", "", false
+}
+
+// estDuration converts a cell count and rate to a wall-clock prediction,
+// saturating at the maximum Duration.
+func estDuration(cells uint64, mcellsPerSec float64) time.Duration {
+	if mcellsPerSec <= 0 {
+		return 0
+	}
+	ns := float64(cells) / (mcellsPerSec * 1e6) * 1e9
+	if ns >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(ns)
+}
+
+// fmtBytes renders a byte count with a binary unit suffix for downgrade
+// entries and errors.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}

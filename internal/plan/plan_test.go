@@ -1,0 +1,303 @@
+package plan
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestRegistryComplete pins the registry to the public algorithm list: 13
+// kernels, each with a working estimator and a run function.
+func TestRegistryComplete(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 13 {
+		t.Fatalf("registry has %d kernels, want 13", len(ks))
+	}
+	s := Shape{NA: 10, NB: 11, NC: 12}
+	for _, k := range ks {
+		if k.Run == nil {
+			t.Errorf("%s: nil Run", k.Name)
+		}
+		if k.EstBytes == nil || k.EstBytes(s) == 0 {
+			t.Errorf("%s: missing or zero EstBytes", k.Name)
+		}
+		if k.estCells(s) == 0 {
+			t.Errorf("%s: zero estCells", k.Name)
+		}
+		if !k.Traceback {
+			t.Errorf("%s: every registered kernel reconstructs rows", k.Name)
+		}
+		if _, ok := Calibration[k.RateKey]; !ok {
+			t.Errorf("%s: rate key %q not in the calibration table", k.Name, k.RateKey)
+		}
+	}
+}
+
+// TestPlannerProperties is the testing/quick invariant suite over random
+// shapes, gap models, and budgets:
+//
+//  1. an automatic request always lands on a kernel that supports the
+//     scheme's gap model;
+//  2. whenever a MaxMemoryBytes budget is set and planning succeeds, the
+//     plan's EstBytes fits the budget;
+//  3. the downgrade chain is monotone non-increasing in space class,
+//     internally consistent (each step starts where the previous ended),
+//     and ends at the planned kernel.
+func TestPlannerProperties(t *testing.T) {
+	prop := func(na, nb, nc uint16, budgetUnits uint32, affine, parallel, explicit bool) bool {
+		shape := Shape{NA: int(na % 512), NB: int(nb % 512), NC: int(nc % 512)}
+		gap := GapLinear
+		if affine {
+			gap = GapAffine
+		}
+		req := Request{Shape: shape, Gap: gap, Parallel: parallel}
+		if explicit {
+			req.Algorithm = "full"
+		}
+		// 0 means "no budget"; otherwise up to 256 MiB, biased small so the
+		// ladder actually gets exercised.
+		req.MaxMemoryBytes = int64(budgetUnits%(1<<22)) * 64
+
+		pl, spec, err := Resolve(req)
+		if err != nil {
+			// Only an over-tight budget may fail, and it must say so in a
+			// way 413 mapping can see.
+			return req.MaxMemoryBytes > 0 && errors.Is(err, core.ErrTooLarge)
+		}
+		if pl.Algorithm != spec.Name {
+			return false
+		}
+		// (1) gap-model support for automatic selection.
+		if !explicit && !spec.Supports(gap) {
+			return false
+		}
+		// (2) budget respected on success.
+		if req.MaxMemoryBytes > 0 && pl.EstBytes > uint64(req.MaxMemoryBytes) {
+			return false
+		}
+		// (3) downgrade chain shape.
+		prevTo := ""
+		for _, entry := range pl.Downgrades {
+			from, to, ok := ParseDowngrade(entry)
+			if !ok {
+				return false
+			}
+			fromSpec, ok1 := Lookup(from)
+			toSpec, ok2 := Lookup(to)
+			if !ok1 || !ok2 || toSpec.Space > fromSpec.Space {
+				return false
+			}
+			if prevTo != "" && from != prevTo {
+				return false
+			}
+			prevTo = to
+		}
+		if prevTo != "" && prevTo != pl.Algorithm {
+			return false
+		}
+		// Degraded implies the plan landed on a heuristic.
+		if pl.Degraded && spec.Exact {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShapeOverflowSaturates is the regression test for the old int-typed
+// lattice guard: adversarially long sequences must saturate the uint64
+// estimates instead of wrapping around to a small number that would admit
+// an impossible allocation. Plan-only — nothing is allocated.
+func TestShapeOverflowSaturates(t *testing.T) {
+	huge := Shape{NA: math.MaxInt32, NB: math.MaxInt32, NC: math.MaxInt32}
+	if got := huge.Cells(); got != math.MaxUint64 {
+		t.Fatalf("Cells() = %d, want saturation at MaxUint64", got)
+	}
+	// Three MaxInt32 pair products sum to ~3·2^62, which still fits uint64;
+	// push one axis to MaxInt64 to force PairCells through its saturation.
+	if got := (Shape{NA: math.MaxInt64, NB: math.MaxInt64, NC: math.MaxInt64}).PairCells(); got != math.MaxUint64 {
+		t.Fatalf("PairCells() = %d, want saturation", got)
+	}
+
+	// Without a budget the plan must carry the saturated estimates.
+	pl, _, err := Resolve(Request{Shape: huge, Parallel: true})
+	if err != nil {
+		t.Fatalf("Resolve(huge): %v", err)
+	}
+	if pl.EstCells != math.MaxUint64 || pl.EstBytes != math.MaxUint64 {
+		t.Fatalf("EstCells=%d EstBytes=%d, want saturated estimates", pl.EstCells, pl.EstBytes)
+	}
+	if pl.EstDuration != time.Duration(math.MaxInt64) {
+		t.Fatalf("EstDuration=%v, want saturation at MaxInt64 ns", pl.EstDuration)
+	}
+
+	// With a budget, no kernel fits a saturated estimate: the planner must
+	// reject with ErrTooLarge — never admit via wraparound.
+	_, _, err = Resolve(Request{Shape: huge, Parallel: true, MaxMemoryBytes: 1 << 30})
+	if !errors.Is(err, core.ErrTooLarge) {
+		t.Fatalf("Resolve(huge, budget) err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestAutoMatchesLegacyHeuristic pins automatic selection to the exact
+// decision table of the old resolveAlgorithm switch in tsa.go.
+func TestAutoMatchesLegacyHeuristic(t *testing.T) {
+	small := Shape{NA: 10, NB: 10, NC: 10}
+	big := Shape{NA: 200, NB: 200, NC: 200} // full lattice ≈ 32 MiB
+	cases := []struct {
+		name     string
+		shape    Shape
+		gap      GapModel
+		parallel bool
+		maxBytes int64
+		want     string
+	}{
+		{"linear-parallel", small, GapLinear, true, 0, "parallel"},
+		{"linear-sequential", small, GapLinear, false, 0, "full"},
+		{"affine-parallel", small, GapAffine, true, 0, "affine-parallel"},
+		{"affine-sequential", small, GapAffine, false, 0, "affine"},
+		{"capped-linear-parallel", big, GapLinear, true, 1 << 20, "parallel-linear"},
+		{"capped-linear-sequential", big, GapLinear, false, 1 << 20, "linear"},
+		{"capped-affine", big, GapAffine, true, 1 << 20, "affine-linear"},
+		{"capped-affine-sequential", big, GapAffine, false, 1 << 20, "affine-linear"},
+	}
+	for _, tc := range cases {
+		pl, _, err := Resolve(Request{Shape: tc.shape, Gap: tc.gap, Parallel: tc.parallel, MaxBytes: tc.maxBytes})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if pl.Algorithm != tc.want {
+			t.Errorf("%s: planned %s, want %s", tc.name, pl.Algorithm, tc.want)
+		}
+	}
+}
+
+// TestBudgetLadder walks the full downgrade ladder on an asymmetric shape
+// where each rung has a distinct footprint: lattice (full) > planes
+// (linear space) > pairwise (heuristic last resort).
+func TestBudgetLadder(t *testing.T) {
+	// A long A against short B and C keeps the three footprint classes far
+	// apart: the sweep planes span only B×C while the pairwise matrices
+	// pick up the long A edge twice.
+	shape := Shape{NA: 4000, NB: 64, NC: 64}
+	lattice := shape.Cells() * 4      // ≈ 67.6 MB
+	planes := shape.PlaneCells() * 16 // ≈ 67.6 KB
+	pairs := shape.PairCells() * 12   // ≈ 6.3 MB
+	if !(pairs < lattice && planes < pairs) {
+		t.Fatalf("shape does not order the ladder: lattice=%d pairs=%d planes=%d", lattice, pairs, planes)
+	}
+
+	// Budget between planes and pairs: the exact linear-space kernel fits.
+	pl, _, err := Resolve(Request{Shape: shape, Parallel: true, MaxMemoryBytes: int64(planes) + 1024})
+	if err != nil {
+		t.Fatalf("planes budget: %v", err)
+	}
+	if pl.Algorithm != "parallel-linear" || pl.Degraded {
+		t.Fatalf("planes budget: planned %s (degraded=%v), want parallel-linear", pl.Algorithm, pl.Degraded)
+	}
+	if len(pl.Downgrades) == 0 {
+		t.Fatalf("planes budget: no downgrade recorded")
+	}
+
+	// Budget below even the planes: nothing exact fits; an automatic
+	// request bottoms out on the degraded heuristic only if the heuristic
+	// fits, which it does not here — expect ErrTooLarge.
+	_, _, err = Resolve(Request{Shape: shape, Parallel: true, MaxMemoryBytes: 1024})
+	if !errors.Is(err, core.ErrTooLarge) {
+		t.Fatalf("tiny budget: err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestLastResortHeuristic exercises the exact→heuristic last resort on a
+// shape where the pairwise matrices are the only thing that fits: a short
+// A against a large B×C face keeps the lattice big and makes the pairwise
+// matrices slightly cheaper than the linear-space planes.
+func TestLastResortHeuristic(t *testing.T) {
+	shape := Shape{NA: 60, NB: 400, NC: 400}
+	lattice := shape.Cells() * 4      // ≈ 39 MB
+	planes := shape.PlaneCells() * 16 // ≈ 2.57 MB
+	pairs := shape.PairCells() * 12   // ≈ 2.52 MB
+	if !(pairs < planes && planes < lattice) {
+		t.Fatalf("shape does not order pairs<planes<lattice: %d %d %d", pairs, planes, lattice)
+	}
+	budget := int64(pairs) + 1024
+	pl, spec, err := Resolve(Request{Shape: shape, Parallel: true, MaxMemoryBytes: budget})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if pl.Algorithm != lastResort || spec.Exact {
+		t.Fatalf("planned %s (exact=%v), want the %s last resort", pl.Algorithm, spec.Exact, lastResort)
+	}
+	if !pl.Degraded {
+		t.Fatal("last-resort plan not marked Degraded")
+	}
+	if len(pl.Downgrades) < 2 {
+		t.Fatalf("expected the full ladder in Downgrades, got %v", pl.Downgrades)
+	}
+	if pl.EstBytes > uint64(budget) {
+		t.Fatalf("EstBytes %d over budget %d", pl.EstBytes, budget)
+	}
+}
+
+// TestExplicitAlgorithmIdentity pins explicit requests: without a budget
+// the planner never substitutes, whatever the shape.
+func TestExplicitAlgorithmIdentity(t *testing.T) {
+	shape := Shape{NA: 300, NB: 300, NC: 300}
+	for _, k := range Kernels() {
+		pl, _, err := Resolve(Request{Shape: shape, Algorithm: k.Name, Parallel: true})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if pl.Algorithm != k.Name || len(pl.Downgrades) != 0 {
+			t.Errorf("%s: planned %s with downgrades %v", k.Name, pl.Algorithm, pl.Downgrades)
+		}
+	}
+	if _, _, err := Resolve(Request{Shape: shape, Algorithm: "nonsense"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestTileDims checks tile negotiation: blocked kernels carry tile
+// dimensions (cubic under an explicit BlockSize), others none.
+func TestTileDims(t *testing.T) {
+	shape := Shape{NA: 200, NB: 200, NC: 200}
+	pl, _, err := Resolve(Request{Shape: shape, Algorithm: "parallel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.TileDims[0] <= 0 || pl.TileDims[1] <= 0 || pl.TileDims[2] <= 0 {
+		t.Fatalf("blocked kernel got no tile dims: %v", pl.TileDims)
+	}
+	pl, _, err = Resolve(Request{Shape: shape, Algorithm: "parallel", BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.TileDims != [3]int{8, 8, 8} {
+		t.Fatalf("BlockSize override ignored: %v", pl.TileDims)
+	}
+	pl, _, err = Resolve(Request{Shape: shape, Algorithm: "linear"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.TileDims != [3]int{} {
+		t.Fatalf("non-blocked kernel got tile dims: %v", pl.TileDims)
+	}
+}
+
+// TestParseDowngrade round-trips the entry format.
+func TestParseDowngrade(t *testing.T) {
+	entry := downgradeEntry(kernels["parallel"], kernels["parallel-linear"], Shape{NA: 100, NB: 100, NC: 100}, 1<<20)
+	from, to, ok := ParseDowngrade(entry)
+	if !ok || from != "parallel" || to != "parallel-linear" {
+		t.Fatalf("ParseDowngrade(%q) = %q, %q, %v", entry, from, to, ok)
+	}
+	if _, _, ok := ParseDowngrade("not a downgrade"); ok {
+		t.Fatal("ParseDowngrade accepted garbage")
+	}
+}

@@ -1,0 +1,273 @@
+package plan
+
+import (
+	"context"
+
+	"repro/internal/alignment"
+	"repro/internal/core"
+	"repro/internal/msa"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// RunFunc executes one kernel. PruneStats is non-nil only for the
+// Carrillo–Lipman kernels.
+type RunFunc func(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt core.Options) (*alignment.Alignment, *core.PruneStats, error)
+
+// KernelSpec is one algorithm's self-description: what it optimizes, how
+// it scales, how to estimate its footprint, and how to run it. The
+// registry of specs replaces the hard-coded algorithm switch that used to
+// live in the facade.
+type KernelSpec struct {
+	// Name is the public algorithm name (repro.Algorithm value).
+	Name string
+	// Gaps is the bitmask of gap models the kernel optimizes. Purely
+	// descriptive for dispatch (an explicit request runs regardless, as the
+	// old switch did), normative for automatic selection.
+	Gaps GapModel
+	// Space is the working-memory growth class; the downgrade ladder is
+	// monotone non-increasing in it.
+	Space SpaceClass
+	// Parallel reports that the kernel exploits Options.Workers.
+	Parallel bool
+	// Exact reports a provably optimal kernel (under its gap model), as
+	// opposed to a heuristic; only exact kernels participate in the
+	// Fallback degradation policy and the budget last resort.
+	Exact bool
+	// Traceback reports that the kernel reconstructs the full aligned rows
+	// (every registered kernel currently does; score-only kernels would
+	// clear it).
+	Traceback bool
+	// Blocked3D reports that the kernel runs the blocked 3D wavefront
+	// schedule and therefore negotiates TileDims through the planner.
+	Blocked3D bool
+	// BytesPerCell is the lattice cost per DP cell for blocked kernels
+	// (4 for the single linear-gap tensor, 28 for the seven affine ones);
+	// it parameterizes the adaptive tile heuristic.
+	BytesPerCell int
+	// RateKey and RateScale map the kernel onto the calibrated throughput
+	// table: predicted rate = Calibration[RateKey] × RateScale.
+	RateKey   string
+	RateScale float64
+	// Downgrade names the next kernel down the memory ladder, or "" when
+	// only the heuristic last resort (exact kernels) or nothing (heuristics)
+	// remains.
+	Downgrade string
+	// EstBytes predicts the peak working-set allocation for a shape,
+	// saturating in uint64.
+	EstBytes func(Shape) uint64
+	// EstCells predicts the DP cell count; nil means the full lattice
+	// Shape.Cells (linear-space kernels still fill every lattice cell —
+	// their saving is space, not work).
+	EstCells func(Shape) uint64
+	// Run executes the kernel.
+	Run RunFunc
+}
+
+func (k *KernelSpec) estCells(s Shape) uint64 {
+	if k.EstCells != nil {
+		return k.EstCells(s)
+	}
+	return s.Cells()
+}
+
+// Supports reports whether the kernel optimizes the gap model.
+func (k *KernelSpec) Supports(g GapModel) bool { return k.Gaps&g != 0 }
+
+var (
+	kernels = make(map[string]*KernelSpec)
+	order   []string
+)
+
+// Lookup finds a kernel spec by algorithm name.
+func Lookup(name string) (*KernelSpec, bool) {
+	k, ok := kernels[name]
+	return k, ok
+}
+
+// Kernels lists every registered spec in registration order.
+func Kernels() []*KernelSpec {
+	out := make([]*KernelSpec, len(order))
+	for i, name := range order {
+		out[i] = kernels[name]
+	}
+	return out
+}
+
+func register(k *KernelSpec) {
+	if _, dup := kernels[k.Name]; dup {
+		panic("plan: duplicate kernel " + k.Name)
+	}
+	kernels[k.Name] = k
+	order = append(order, k.Name)
+}
+
+// wrap adapts the common (Alignment, error) kernel signature to RunFunc.
+func wrap(f func(context.Context, seq.Triple, *scoring.Scheme, core.Options) (*alignment.Alignment, error)) RunFunc {
+	return func(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt core.Options) (*alignment.Alignment, *core.PruneStats, error) {
+		aln, err := f(ctx, tr, sch, opt)
+		return aln, nil, err
+	}
+}
+
+// wrapHeuristic adapts the context-free msa heuristics to RunFunc.
+func wrapHeuristic(f func(seq.Triple, *scoring.Scheme) (*alignment.Alignment, error)) RunFunc {
+	return func(_ context.Context, tr seq.Triple, sch *scoring.Scheme, _ core.Options) (*alignment.Alignment, *core.PruneStats, error) {
+		aln, err := f(tr, sch)
+		return aln, nil, err
+	}
+}
+
+// runPruned runs a Carrillo–Lipman kernel seeded with the
+// center-star-refined lower bound, surfacing its PruneStats.
+func runPruned(parallel bool) RunFunc {
+	return func(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt core.Options) (*alignment.Alignment, *core.PruneStats, error) {
+		bound, err := msa.CenterStarRefined(tr, sch)
+		if err != nil {
+			return nil, nil, err
+		}
+		var (
+			aln *alignment.Alignment
+			st  core.PruneStats
+		)
+		if parallel {
+			aln, st, err = core.AlignPrunedParallel(ctx, tr, sch, opt, bound.Score)
+		} else {
+			aln, st, err = core.AlignPruned(ctx, tr, sch, opt, bound.Score)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return aln, &st, nil
+	}
+}
+
+// Footprint estimators. The byte models mirror what the kernels actually
+// allocate: one int32 lattice for linear gaps, seven for affine,
+// 4 sweep planes (Hirschberg) or 28 (affine Hirschberg), and int32
+// score + traceback pairwise matrices for the heuristics.
+func latticeBytes(perCell uint64) func(Shape) uint64 {
+	return func(s Shape) uint64 { return mulSat(s.Cells(), perCell) }
+}
+
+func planeBytes(perCell uint64) func(Shape) uint64 {
+	return func(s Shape) uint64 { return mulSat(s.PlaneCells(), perCell) }
+}
+
+func pairBytes(s Shape) uint64 { return mulSat(s.PairCells(), 12) }
+
+func pairCells(s Shape) uint64 { return s.PairCells() }
+
+func init() {
+	register(&KernelSpec{
+		Name: "full", Gaps: GapLinear, Space: SpaceLattice,
+		Exact: true, Traceback: true, BytesPerCell: 4,
+		RateKey: "full", RateScale: 1,
+		Downgrade: "linear", EstBytes: latticeBytes(4),
+		Run: wrap(core.AlignFull),
+	})
+	register(&KernelSpec{
+		Name: "parallel", Gaps: GapLinear, Space: SpaceLattice,
+		Parallel: true, Exact: true, Traceback: true, Blocked3D: true, BytesPerCell: 4,
+		RateKey: "parallel", RateScale: 1,
+		Downgrade: "parallel-linear", EstBytes: latticeBytes(4),
+		Run: wrap(core.AlignParallel),
+	})
+	register(&KernelSpec{
+		Name: "linear", Gaps: GapLinear, Space: SpacePlanes,
+		Exact: true, Traceback: true, BytesPerCell: 4,
+		RateKey: "linear", RateScale: 1,
+		EstBytes: planeBytes(16),
+		Run:      wrap(core.AlignLinear),
+	})
+	register(&KernelSpec{
+		Name: "parallel-linear", Gaps: GapLinear, Space: SpacePlanes,
+		Parallel: true, Exact: true, Traceback: true, BytesPerCell: 4,
+		RateKey: "linear", RateScale: 1,
+		EstBytes: planeBytes(16),
+		Run:      wrap(core.AlignParallelLinear),
+	})
+	register(&KernelSpec{
+		Name: "diagonal", Gaps: GapLinear, Space: SpaceLattice,
+		Parallel: true, Exact: true, Traceback: true, BytesPerCell: 4,
+		RateKey: "diagonal", RateScale: 1,
+		Downgrade: "parallel-linear", EstBytes: latticeBytes(4),
+		Run: wrap(core.AlignDiagonal),
+	})
+	register(&KernelSpec{
+		Name: "pruned", Gaps: GapLinear, Space: SpaceLattice,
+		Exact: true, Traceback: true, BytesPerCell: 4,
+		RateKey: "pruned", RateScale: 1,
+		Downgrade: "linear", EstBytes: latticeBytes(4),
+		Run: runPruned(false),
+	})
+	register(&KernelSpec{
+		Name: "pruned-parallel", Gaps: GapLinear, Space: SpaceLattice,
+		Parallel: true, Exact: true, Traceback: true, Blocked3D: true, BytesPerCell: 4,
+		RateKey: "pruned", RateScale: 1,
+		Downgrade: "parallel-linear", EstBytes: latticeBytes(4),
+		Run: runPruned(true),
+	})
+	register(&KernelSpec{
+		Name: "affine", Gaps: GapAffine, Space: SpaceLattice,
+		Exact: true, Traceback: true, BytesPerCell: 28,
+		RateKey: "affine7", RateScale: 1,
+		Downgrade: "affine-linear", EstBytes: latticeBytes(28),
+		Run: wrap(core.AlignAffine),
+	})
+	register(&KernelSpec{
+		// The affine Hirschberg halves at every level; its rate is roughly
+		// half the one-pass affine fill's.
+		Name: "affine-linear", Gaps: GapAffine, Space: SpacePlanes,
+		Exact: true, Traceback: true, BytesPerCell: 28,
+		RateKey: "affine7", RateScale: 0.5,
+		EstBytes: planeBytes(112),
+		Run:      wrap(core.AlignAffineLinear),
+	})
+	register(&KernelSpec{
+		Name: "affine-parallel", Gaps: GapAffine, Space: SpaceLattice,
+		Parallel: true, Exact: true, Traceback: true, Blocked3D: true, BytesPerCell: 28,
+		RateKey: "affine7", RateScale: 1,
+		Downgrade: "affine-linear", EstBytes: latticeBytes(28),
+		Run: wrap(core.AlignAffineParallel),
+	})
+	register(&KernelSpec{
+		Name: "center-star", Gaps: GapLinear | GapAffine, Space: SpacePairwise,
+		Traceback: true,
+		RateKey:   "pairwise-global", RateScale: 1,
+		EstBytes: pairBytes, EstCells: pairCells,
+		Run: wrapHeuristic(msa.CenterStar),
+	})
+	register(&KernelSpec{
+		// Refinement re-aligns each row against the other two a bounded
+		// number of rounds; call it half the raw center-star rate.
+		Name: "center-star-refined", Gaps: GapLinear | GapAffine, Space: SpacePairwise,
+		Traceback: true,
+		RateKey:   "pairwise-global", RateScale: 0.5,
+		EstBytes: pairBytes, EstCells: pairCells,
+		Run: wrapHeuristic(msa.CenterStarRefined),
+	})
+	register(&KernelSpec{
+		Name: "progressive", Gaps: GapLinear | GapAffine, Space: SpacePairwise,
+		Traceback: true,
+		RateKey:   "pairwise-global", RateScale: 0.7,
+		EstBytes: pairBytes, EstCells: pairCells,
+		Run: wrapHeuristic(msa.Progressive),
+	})
+
+	// Registry self-check: every downgrade edge must exist and move down
+	// (or stay level in) the space-class ladder, or the budget loop in
+	// Resolve could cycle or dead-end on a typo.
+	for _, k := range Kernels() {
+		if k.Downgrade == "" {
+			continue
+		}
+		to, ok := kernels[k.Downgrade]
+		if !ok {
+			panic("plan: " + k.Name + " downgrades to unregistered " + k.Downgrade)
+		}
+		if to.Space >= k.Space {
+			panic("plan: downgrade " + k.Name + "→" + to.Name + " does not shrink the space class")
+		}
+	}
+}

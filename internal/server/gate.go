@@ -79,6 +79,9 @@ type stats struct {
 	coalescedBatches  atomic.Int64 // coalesced flushes submitted
 	coalescedRequests atomic.Int64 // requests served through a coalesced flush
 
+	estBytesInFlight  atomic.Int64 // planner-estimated bytes of executing alignments
+	plannedDowngrades atomic.Int64 // downgrade steps recorded by served plans
+
 	latency latencyRing
 }
 

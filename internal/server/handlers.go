@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -36,7 +37,34 @@ func (s *Server) shed(w http.ResponseWriter) {
 	writeError(w, http.StatusTooManyRequests, errors.New("queue full; retry later"))
 }
 
-// handleAlign serves POST /v1/align: parse, admit or shed, then execute —
+// planItem plans one resolved item and enforces the server's lattice cap:
+// the memory-aware admission check that runs *before* a queue slot is
+// taken, so an oversized request is shed with 413 without ever occupying
+// queue depth.
+func (s *Server) planItem(item repro.BatchItem) (*repro.Plan, error) {
+	pl, err := repro.PlanAlign(item.Triple, item.Opt)
+	if err != nil {
+		return nil, err
+	}
+	if limit := s.cfg.MaxLatticeBytes; limit > 0 && pl.EstBytes > uint64(limit) {
+		return nil, fmt.Errorf("planned %s lattice needs %d bytes; the server caps lattices at %d bytes: %w",
+			pl.Algorithm, pl.EstBytes, limit, repro.ErrTooLarge)
+	}
+	return pl, nil
+}
+
+// estGauge converts a planned byte estimate to the in-flight gauge's
+// int64 domain (saturating; a saturated uint64 estimate never reaches the
+// gauge in practice because planItem or the kernels reject it first).
+func estGauge(estBytes uint64) int64 {
+	if estBytes > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(estBytes)
+}
+
+// handleAlign serves POST /v1/align: parse, plan (shedding over-cap
+// lattices with 413 before queueing), admit or shed, then execute —
 // through the coalescer for small requests, on a dedicated run slot
 // otherwise.
 func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
@@ -56,15 +84,24 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorStatus(err), err)
 		return
 	}
+	pl, err := s.planItem(item)
+	if err != nil {
+		s.stats.failed.Add(1)
+		writeError(w, errorStatus(err), err)
+		return
+	}
 	if !s.gate.tryAdmit() {
 		s.shed(w)
 		return
 	}
 	defer s.gate.releaseAdmit()
 
+	est := estGauge(pl.EstBytes)
+	s.stats.estBytesInFlight.Add(est)
 	start := time.Now()
 	res, coalesced, err := s.execute(r, item)
 	s.stats.latency.record(time.Since(start))
+	s.stats.estBytesInFlight.Add(-est)
 	if err != nil {
 		s.stats.failed.Add(1)
 		writeError(w, errorStatus(err), err)
@@ -74,7 +111,35 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	if res.Degraded {
 		s.stats.degraded.Add(1)
 	}
+	if res.Plan != nil {
+		s.stats.plannedDowngrades.Add(int64(len(res.Plan.Downgrades)))
+	}
 	writeJSON(w, http.StatusOK, response(res, coalesced))
+}
+
+// handlePlan serves POST /v1/plan: the dry-run planning endpoint. The
+// request body is an AlignRequest; the response is the execution plan
+// Align would run, resolved under the same option and admission rules —
+// including the MaxLatticeBytes 413 — but without taking a queue slot or
+// aligning anything. Planning is read-only, so it stays available during
+// drain.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req AlignRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	item, err := s.item(&req)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	pl, err := s.planItem(item)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pl)
 }
 
 // execute runs one admitted item: coalesced when eligible, else directly
@@ -126,9 +191,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch has %d items; the server caps batches at %d", len(req.Items), s.cfg.MaxBatchItems))
 		return
 	}
-	// Resolve every item before admitting: a batch with a malformed item
-	// is rejected whole, which keeps "results" aligned with "items".
+	// Resolve and plan every item before admitting: a batch with a
+	// malformed or over-cap item is rejected whole, which keeps "results"
+	// aligned with "items" and keeps oversized lattices out of the queue.
 	items := make([]repro.BatchItem, len(req.Items))
+	var est int64
 	for i := range req.Items {
 		merged := merge(req.Defaults, req.Items[i])
 		item, err := s.item(&merged)
@@ -137,6 +204,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, errorStatus(err), fmt.Errorf("item %d: %w", i, err))
 			return
 		}
+		pl, err := s.planItem(item)
+		if err != nil {
+			s.stats.failed.Add(1)
+			writeError(w, errorStatus(err), fmt.Errorf("item %d: %w", i, err))
+			return
+		}
+		est += estGauge(pl.EstBytes)
 		items[i] = item
 	}
 	if !s.gate.tryAdmit() {
@@ -144,14 +218,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.gate.releaseAdmit()
+	s.stats.estBytesInFlight.Add(est)
 	start := time.Now()
 	if err := s.gate.acquireRun(r.Context()); err != nil {
+		s.stats.estBytesInFlight.Add(-est)
 		writeError(w, errorStatus(err), err)
 		return
 	}
 	results := repro.AlignBatchItemsContext(r.Context(), items)
 	s.gate.releaseRun()
 	s.stats.latency.record(time.Since(start))
+	s.stats.estBytesInFlight.Add(-est)
 
 	out := BatchResponse{Results: make([]BatchItemResponse, len(results))}
 	for i, res := range results {
@@ -164,6 +241,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.stats.completed.Add(1)
 		if res.Result.Degraded {
 			s.stats.degraded.Add(1)
+		}
+		if res.Result.Plan != nil {
+			s.stats.plannedDowngrades.Add(int64(len(res.Result.Plan.Downgrades)))
 		}
 		out.Results[i].Result = response(res.Result, false)
 	}

@@ -33,6 +33,10 @@ type AlignRequest struct {
 	// Fallback opts out of graceful degradation when set to false.
 	Fallback *bool `json:"fallback,omitempty"`
 	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// MaxMemoryBytes is the soft planning budget (Options.MaxMemoryBytes):
+	// the planner downgrades to a smaller-memory kernel instead of
+	// rejecting, recording each step in the response plan.
+	MaxMemoryBytes int64 `json:"max_memory_bytes,omitempty"`
 }
 
 // BatchRequest is the wire form of /v1/align/batch: shared defaults plus
@@ -59,6 +63,10 @@ type AlignResponse struct {
 	// Coalesced reports that this request was served through a coalesced
 	// batch submission rather than a dedicated run slot.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Plan is the execution plan that served the request: kernel, tile
+	// shape, workers, footprint and duration estimates, and any
+	// budget-driven downgrades.
+	Plan *repro.Plan `json:"plan,omitempty"`
 }
 
 // BatchResponse is the wire form of /v1/align/batch: one entry per item in
@@ -167,6 +175,9 @@ func merge(def *AlignRequest, item AlignRequest) AlignRequest {
 	if out.MaxBytes == 0 {
 		out.MaxBytes = def.MaxBytes
 	}
+	if out.MaxMemoryBytes == 0 {
+		out.MaxMemoryBytes = def.MaxMemoryBytes
+	}
 	return out
 }
 
@@ -181,6 +192,7 @@ func response(res *repro.Result, coalesced bool) *AlignResponse {
 		Names:     [3]string{res.Triple.A.Name(), res.Triple.B.Name(), res.Triple.C.Name()},
 		Rows:      [3]string{ra, rb, rc},
 		Coalesced: coalesced,
+		Plan:      res.Plan,
 	}
 	if res.Degraded {
 		out.Degraded = true

@@ -27,8 +27,15 @@
 //     The process exit path (signal handling, listener shutdown) belongs
 //     to cmd/alignd.
 //
-// Endpoints: POST /v1/align, POST /v1/align/batch, GET /healthz,
-// GET /readyz, GET /statsz, and /debug/pprof/*.
+//   - Admission is memory-aware: every request is planned (internal/plan
+//     through repro.PlanAlign) before it takes a queue slot. A configured
+//     MaxLatticeBytes sheds requests whose estimated lattice footprint is
+//     over the cap with 413 before queueing, POST /v1/plan exposes the
+//     plan itself as a dry run, and /statsz reports est_bytes_in_flight
+//     and planned_downgrades so operators can see budget pressure.
+//
+// Endpoints: POST /v1/align, POST /v1/align/batch, POST /v1/plan,
+// GET /healthz, GET /readyz, GET /statsz, and /debug/pprof/*.
 package server
 
 import (
@@ -79,6 +86,13 @@ type Config struct {
 	MaxBodyBytes   int64
 	MaxSequenceLen int
 	MaxBatchItems  int
+	// MaxLatticeBytes, when positive, caps the planner-estimated lattice
+	// footprint of any single alignment (each batch item counts
+	// separately). Requests planning a larger allocation are shed with 413
+	// *before* taking an admission slot, so an oversized request can never
+	// occupy queue depth. 0 means no cap beyond the per-request MaxBytes
+	// the kernels enforce.
+	MaxLatticeBytes int64
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -149,6 +163,7 @@ func New(cfg Config) *Server {
 	s.coal = newCoalescer(s)
 	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
 	s.mux.HandleFunc("POST /v1/align/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -201,6 +216,13 @@ type Statsz struct {
 	CoalescedBatches  int64 `json:"coalesced_batches"`
 	CoalescedRequests int64 `json:"coalesced_requests"`
 
+	// EstBytesInFlight sums the planner-estimated lattice bytes of the
+	// alignments currently executing — the budget-pressure gauge behind
+	// MaxLatticeBytes sizing. PlannedDowngrades counts individual
+	// downgrade steps the planner recorded across all served requests.
+	EstBytesInFlight  int64 `json:"est_bytes_in_flight"`
+	PlannedDowngrades int64 `json:"planned_downgrades"`
+
 	LatencyMS struct {
 		P50 float64 `json:"p50"`
 		P90 float64 `json:"p90"`
@@ -227,6 +249,8 @@ func (s *Server) snapshot() Statsz {
 	st.Degraded = s.stats.degraded.Load()
 	st.CoalescedBatches = s.stats.coalescedBatches.Load()
 	st.CoalescedRequests = s.stats.coalescedRequests.Load()
+	st.EstBytesInFlight = s.stats.estBytesInFlight.Load()
+	st.PlannedDowngrades = s.stats.plannedDowngrades.Load()
 	p50, p90, p99 := s.stats.latency.quantiles()
 	st.LatencyMS.P50 = durMS(p50)
 	st.LatencyMS.P90 = durMS(p90)
@@ -263,6 +287,9 @@ func (s *Server) resolveOptions(req *AlignRequest) (repro.Options, error) {
 	}
 	if req.MaxBytes > 0 {
 		opt.MaxBytes = req.MaxBytes
+	}
+	if req.MaxMemoryBytes > 0 {
+		opt.MaxMemoryBytes = req.MaxMemoryBytes
 	}
 	opt.Deadline = s.cfg.DefaultDeadline
 	if req.DeadlineMS > 0 {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/alignment"
 	"repro/internal/core"
 	"repro/internal/msa"
+	"repro/internal/plan"
 	"repro/internal/scoring"
 	"repro/internal/seq"
 )
@@ -35,6 +36,12 @@ type (
 	MutationModel = seq.MutationModel
 	// Generator produces deterministic synthetic sequences.
 	Generator = seq.Generator
+	// Plan is the execution plan the memory-aware planner resolves for a
+	// request: the kernel that will run, its tile shape and worker count,
+	// and the predicted cells, bytes, and duration. Every successful Result
+	// carries the plan that produced it, and PlanAlign returns one without
+	// aligning.
+	Plan = plan.ExecutionPlan
 )
 
 // Standard alphabets.
@@ -151,8 +158,19 @@ type Options struct {
 	// default.
 	BlockSize int
 	// MaxBytes caps lattice allocations; non-positive means the core
-	// default (4 GiB).
+	// default (4 GiB). It is a hard admission check: an explicit Algorithm
+	// whose lattice exceeds it fails with ErrTooLarge (AlgorithmAuto steers
+	// around it by picking a linear-space kernel).
 	MaxBytes int64
+	// MaxMemoryBytes, when positive, is a soft planning budget: instead of
+	// rejecting, the planner downgrades along the space-class ladder —
+	// full lattice → linear-space sweep planes → (for exact requests) the
+	// center-star-refined heuristic as a degraded last resort — until the
+	// estimated footprint fits. Every step is recorded in
+	// Result.Plan.Downgrades; a heuristic last resort additionally marks
+	// the Result Degraded with a cause wrapping ErrTooLarge. A budget too
+	// small for even the cheapest kernel fails with ErrTooLarge.
+	MaxMemoryBytes int64
 	// Deadline, when positive, bounds the wall-clock time of one Align
 	// call: the alignment runs under a context that expires after this
 	// duration (in addition to any deadline already on the caller's
@@ -180,6 +198,12 @@ type Result struct {
 	Elapsed time.Duration
 	// Prune carries Carrillo–Lipman statistics when AlgorithmPruned ran.
 	Prune *PruneStats
+	// Plan is the execution plan that produced this result: the planner's
+	// kernel choice with its footprint and duration estimates, including
+	// any budget-driven downgrades. It describes what was planned; when
+	// Degraded is set via the Fallback policy, Algorithm reports what
+	// actually ran.
+	Plan *Plan
 	// Degraded reports that the exact algorithm was abandoned (deadline or
 	// memory cap) and the alignment came from the heuristic fallback; the
 	// score is a lower bound on the optimum, not the optimum.
@@ -262,93 +286,64 @@ func resolveScheme(tr Triple, opt Options) (*Scheme, error) {
 	return DefaultScheme(tr.A.Alphabet())
 }
 
-// resolveAlgorithm maps AlgorithmAuto to a concrete strategy for the
-// triple and scheme. With parallel set it picks the intra-alignment
-// parallel variants (the single-call default); otherwise the sequential
-// ones (the right choice when an outer batch supplies the parallelism).
-func resolveAlgorithm(tr Triple, sch *Scheme, opt Options, parallel bool) Algorithm {
+// gapModel maps a scheme onto the planner's gap-model axis.
+func gapModel(sch *Scheme) plan.GapModel {
+	if sch.Affine() {
+		return plan.GapAffine
+	}
+	return plan.GapLinear
+}
+
+// planRequest translates a triple and Options into a planner request. The
+// parallel flag selects the intra-alignment parallel variants on automatic
+// requests (the single-call default); a wide outer batch clears it because
+// the batch itself supplies the parallelism.
+func planRequest(tr Triple, sch *Scheme, opt Options, parallel bool) plan.Request {
+	return plan.Request{
+		Shape:          plan.Shape{NA: tr.A.Len(), NB: tr.B.Len(), NC: tr.C.Len()},
+		Gap:            gapModel(sch),
+		Algorithm:      string(opt.Algorithm),
+		Workers:        opt.Workers,
+		BlockSize:      opt.BlockSize,
+		MaxBytes:       opt.MaxBytes,
+		MaxMemoryBytes: opt.MaxMemoryBytes,
+		Parallel:       parallel,
+	}
+}
+
+// PlanAlign resolves the execution plan Align would run for the triple
+// under opt — kernel, tile shape, workers, and footprint/duration
+// estimates — without allocating a lattice or aligning anything. It is
+// the dry-run entry point behind align3 -explain and alignd's POST
+// /v1/plan, and the admission hook serving layers use to reject oversized
+// requests before they queue (the returned error wraps ErrTooLarge when
+// no kernel fits Options.MaxMemoryBytes).
+func PlanAlign(tr Triple, opt Options) (*Plan, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	sch, err := resolveScheme(tr, opt)
+	if err != nil {
+		return nil, err
+	}
+	pl, _, err := resolvePlan(tr, sch, opt, true)
+	return pl, err
+}
+
+// resolvePlan runs the planner for a validated triple and resolved scheme,
+// keeping the facade's historical error surface (unknown algorithms are
+// reported as "repro: unknown algorithm").
+func resolvePlan(tr Triple, sch *Scheme, opt Options, parallel bool) (*Plan, *plan.KernelSpec, error) {
 	if opt.Algorithm != AlgorithmAuto {
-		return opt.Algorithm
+		if _, ok := plan.Lookup(string(opt.Algorithm)); !ok {
+			return nil, nil, fmt.Errorf("repro: unknown algorithm %q", opt.Algorithm)
+		}
 	}
-	maxB := opt.MaxBytes
-	if maxB <= 0 {
-		maxB = core.DefaultMaxBytes
+	pl, spec, err := plan.Resolve(planRequest(tr, sch, opt, parallel))
+	if err != nil {
+		return nil, nil, fmt.Errorf("repro: align: %w", err)
 	}
-	switch {
-	case sch.Affine() && 7*core.FullMatrixBytes(tr) <= maxB:
-		if parallel {
-			return AlgorithmAffineParallel
-		}
-		return AlgorithmAffine
-	case sch.Affine():
-		return AlgorithmAffineLinear
-	case core.FullMatrixBytes(tr) <= maxB:
-		if parallel {
-			return AlgorithmParallel
-		}
-		return AlgorithmFull
-	default:
-		if parallel {
-			return AlgorithmParallelLinear
-		}
-		return AlgorithmLinear
-	}
-}
-
-// runAlgorithm dispatches one resolved algorithm.
-func runAlgorithm(ctx context.Context, algo Algorithm, tr Triple, sch *Scheme, copt core.Options) (aln *Alignment, prune *PruneStats, err error) {
-	switch algo {
-	case AlgorithmFull:
-		aln, err = core.AlignFull(ctx, tr, sch, copt)
-	case AlgorithmParallel:
-		aln, err = core.AlignParallel(ctx, tr, sch, copt)
-	case AlgorithmLinear:
-		aln, err = core.AlignLinear(ctx, tr, sch, copt)
-	case AlgorithmParallelLinear:
-		aln, err = core.AlignParallelLinear(ctx, tr, sch, copt)
-	case AlgorithmDiagonal:
-		aln, err = core.AlignDiagonal(ctx, tr, sch, copt)
-	case AlgorithmAffine:
-		aln, err = core.AlignAffine(ctx, tr, sch, copt)
-	case AlgorithmAffineLinear:
-		aln, err = core.AlignAffineLinear(ctx, tr, sch, copt)
-	case AlgorithmAffineParallel:
-		aln, err = core.AlignAffineParallel(ctx, tr, sch, copt)
-	case AlgorithmPruned, AlgorithmPrunedParallel:
-		var bound *Alignment
-		bound, err = msa.CenterStarRefined(tr, sch)
-		if err != nil {
-			break
-		}
-		var st core.PruneStats
-		if algo == AlgorithmPruned {
-			aln, st, err = core.AlignPruned(ctx, tr, sch, copt, bound.Score)
-		} else {
-			aln, st, err = core.AlignPrunedParallel(ctx, tr, sch, copt, bound.Score)
-		}
-		if err == nil {
-			prune = &st
-		}
-	case AlgorithmCenterStar:
-		aln, err = msa.CenterStar(tr, sch)
-	case AlgorithmCenterStarRefined:
-		aln, err = msa.CenterStarRefined(tr, sch)
-	case AlgorithmProgressive:
-		aln, err = msa.Progressive(tr, sch)
-	default:
-		return nil, nil, fmt.Errorf("repro: unknown algorithm %q", algo)
-	}
-	return aln, prune, err
-}
-
-// exactAlgorithm reports whether algo is one of the exact kernels — the
-// only algorithms the Fallback policy degrades from.
-func exactAlgorithm(algo Algorithm) bool {
-	switch algo {
-	case AlgorithmCenterStar, AlgorithmCenterStarRefined, AlgorithmProgressive:
-		return false
-	}
-	return true
+	return pl, spec, nil
 }
 
 // degradable reports whether err is a budget exhaustion the Fallback
@@ -380,6 +375,13 @@ func Align(tr Triple, opt Options) (*Result, error) {
 // Result then has Degraded set and DegradedCause holding the original
 // error.
 func AlignContext(ctx context.Context, tr Triple, opt Options) (*Result, error) {
+	return alignWith(ctx, tr, opt, true)
+}
+
+// alignWith is the single execution path behind Align, AlignContext, and
+// the batch claimers: plan through the kernel registry, dispatch the
+// planned spec, and apply the Fallback degradation policy.
+func alignWith(ctx context.Context, tr Triple, opt Options, parallel bool) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("repro: align: %w", err)
 	}
@@ -390,8 +392,16 @@ func AlignContext(ctx context.Context, tr Triple, opt Options) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	copt := core.Options{Workers: opt.Workers, BlockSize: opt.BlockSize, MaxBytes: opt.MaxBytes}
-	algo := resolveAlgorithm(tr, sch, opt, true)
+	pl, spec, err := resolvePlan(tr, sch, opt, parallel)
+	if err != nil {
+		return nil, err
+	}
+	copt := core.Options{
+		Workers:   opt.Workers,
+		BlockSize: opt.BlockSize,
+		MaxBytes:  opt.MaxBytes,
+		TileDims:  pl.TileDims,
+	}
 
 	runCtx := ctx
 	if opt.Deadline > 0 {
@@ -401,11 +411,11 @@ func AlignContext(ctx context.Context, tr Triple, opt Options) (*Result, error) 
 	}
 
 	start := time.Now()
-	aln, prune, err := runAlgorithm(runCtx, algo, tr, sch, copt)
+	aln, prune, err := spec.Run(runCtx, tr, sch, copt)
 	if err != nil {
 		// Degrade only when the caller's own context still has budget:
 		// a dead parent means the caller is gone, not over-ambitious.
-		if opt.Fallback && exactAlgorithm(algo) && degradable(err) && ctx.Err() == nil {
+		if opt.Fallback && spec.Exact && degradable(err) && ctx.Err() == nil {
 			aln2, ferr := msa.CenterStarRefined(tr, sch)
 			if ferr != nil {
 				return nil, fmt.Errorf("repro: fallback after %v failed: %w", err, ferr)
@@ -414,11 +424,28 @@ func AlignContext(ctx context.Context, tr Triple, opt Options) (*Result, error) 
 				Alignment:     aln2,
 				Algorithm:     AlgorithmCenterStarRefined,
 				Elapsed:       time.Since(start),
+				Plan:          pl,
 				Degraded:      true,
 				DegradedCause: err,
 			}, nil
 		}
 		return nil, err
 	}
-	return &Result{Alignment: aln, Algorithm: algo, Elapsed: time.Since(start), Prune: prune}, nil
+	res := &Result{
+		Alignment: aln,
+		Algorithm: Algorithm(pl.Algorithm),
+		Elapsed:   time.Since(start),
+		Prune:     prune,
+		Plan:      pl,
+	}
+	// A plan that bottomed out on the heuristic last resort is a degraded
+	// answer even though the run itself succeeded: the score is a lower
+	// bound, not the optimum the caller asked for.
+	if pl.Degraded {
+		res.Degraded = true
+		res.DegradedCause = fmt.Errorf(
+			"repro: exact alignment exceeds the %d-byte memory budget; planned heuristic %s instead: %w",
+			opt.MaxMemoryBytes, pl.Algorithm, ErrTooLarge)
+	}
+	return res, nil
 }
