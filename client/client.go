@@ -1,0 +1,407 @@
+// Package client is the Go client for an alignd server: a thin typed
+// wrapper over the HTTP JSON API that adds the retry discipline the
+// serving layer is designed for.
+//
+// alignd sheds load instead of queueing it — a full admission queue
+// answers 429, a draining or fault-injected server answers 503, both with
+// a Retry-After hint — so a correct client is a retrying client. This
+// package classifies every failure as retryable (429, 502, 503, transport
+// errors) or terminal (all other statuses), retries the former under
+// capped exponential backoff with full jitter, honors the server's
+// Retry-After hint when it asks for more patience than the backoff would
+// give, and bounds each attempt with an optional per-attempt timeout so a
+// stalled connection cannot eat the whole deadline of the call. Retried
+// attempts carry an X-Retry-Attempt header, which the server counts in
+// /statsz as retries_observed — fleet-wide retry pressure is visible on
+// the server even when no single client logs it.
+//
+// Optionally a call can be hedged: when HedgeDelay elapses with no answer,
+// a second identical request is issued and the first response wins. POST
+// /v1/align is idempotent (aligning the same triple twice computes the
+// same answer; the cost is one duplicated alignment), so hedging trades
+// duplicate work for tail latency.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	repro "repro"
+	"repro/internal/server"
+)
+
+// Wire types, aliased from the serving layer so there is exactly one
+// definition of the protocol.
+type (
+	// AlignRequest is the POST /v1/align (and /v1/plan) request body.
+	AlignRequest = server.AlignRequest
+	// AlignResponse is one alignment result.
+	AlignResponse = server.AlignResponse
+	// BatchRequest is the POST /v1/align/batch request body.
+	BatchRequest = server.BatchRequest
+	// BatchResponse is the batch result set, one entry per item.
+	BatchResponse = server.BatchResponse
+	// BatchItemResponse is one batch item's outcome.
+	BatchItemResponse = server.BatchItemResponse
+	// Statsz is the GET /statsz document.
+	Statsz = server.Statsz
+	// Plan is the execution plan returned by POST /v1/plan.
+	Plan = repro.Plan
+)
+
+// retryAttemptHeader marks attempt n of a retried call; the server counts
+// requests bearing it.
+const retryAttemptHeader = "X-Retry-Attempt"
+
+// Config tunes a Client. The zero value (plus a BaseURL) is a working
+// configuration with the defaults noted per field.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient overrides the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries is how many times a retryable failure is retried after
+	// the initial attempt. Default 3; negative means no retries.
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff ceiling; attempt n waits a
+	// uniformly random duration in [0, min(BaseBackoff·2ⁿ⁻¹, MaxBackoff)]
+	// (full jitter), raised to the server's Retry-After hint when that is
+	// longer. Defaults 100ms and 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// AttemptTimeout bounds each individual attempt (connection + full
+	// response) on top of the call context; 0 means no per-attempt bound.
+	AttemptTimeout time.Duration
+	// HedgeDelay, when positive, arms request hedging on Align: an
+	// attempt still unanswered after this delay is raced against a second
+	// identical request, first response wins. 0 disables hedging.
+	HedgeDelay time.Duration
+	// Seed makes the jitter deterministic for tests; 0 seeds from the
+	// clock.
+	Seed int64
+}
+
+// Client is a retrying alignd client; safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+	cfg  Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a Client for the server at cfg.BaseURL.
+func New(cfg Config) *Client {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{
+		base: strings.TrimRight(cfg.BaseURL, "/"),
+		http: hc,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// HTTPError is a non-2xx response from the server: the status, the error
+// message from the JSON body (or the raw body when it is not the standard
+// error document), and the parsed Retry-After hint when one was sent.
+type HTTPError struct {
+	StatusCode int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("client: server answered %d: %s", e.StatusCode, e.Message)
+}
+
+// Retryable reports whether the failure is transient by the serving
+// layer's own contract: shed load (429), a bad or briefly absent upstream
+// (502), and unavailable/draining (503) are worth retrying; everything
+// else — validation, over-cap lattices, genuine server errors, deadline
+// exhaustion — is terminal, because repeating the identical request
+// repeats the outcome.
+func (e *HTTPError) Retryable() bool {
+	switch e.StatusCode {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// Retryable classifies any error from this package: *HTTPError by status,
+// everything else (transport failures, unexpected EOF) as retryable
+// unless it is the caller's own context expiring.
+func Retryable(err error) bool {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Retryable()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return err != nil
+}
+
+// Align submits one alignment, retrying per the configuration (and
+// hedging when HedgeDelay is set).
+func (c *Client) Align(ctx context.Context, req *AlignRequest) (*AlignResponse, error) {
+	var out AlignResponse
+	if err := c.call(ctx, "/v1/align", req, &out, c.cfg.HedgeDelay > 0); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AlignBatch submits a batch; one admission covers all items.
+func (c *Client) AlignBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.call(ctx, "/v1/align/batch", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Plan asks the server for the execution plan it would run for req — a
+// dry run, available even while the server drains.
+func (c *Client) Plan(ctx context.Context, req *AlignRequest) (*Plan, error) {
+	var out Plan
+	if err := c.call(ctx, "/v1/plan", req, &out, c.cfg.HedgeDelay > 0); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the /statsz document.
+func (c *Client) Stats(ctx context.Context) (*Statsz, error) {
+	body, err := c.get(ctx, "/statsz")
+	if err != nil {
+		return nil, err
+	}
+	var out Statsz
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("client: decoding /statsz: %w", err)
+	}
+	return &out, nil
+}
+
+// Ready reports whether the server is accepting work: nil on 200, the
+// *HTTPError otherwise (503 while draining). It never retries — readiness
+// is a point-in-time question.
+func (c *Client) Ready(ctx context.Context) error {
+	_, err := c.get(ctx, "/readyz")
+	return err
+}
+
+// call runs the retry loop around one POST: attempt, classify, back off
+// (honoring Retry-After), repeat up to MaxRetries times.
+func (c *Client) call(ctx context.Context, path string, in, out any, hedge bool) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff(attempt, lastErr)
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("client: %w (last attempt: %v)", ctx.Err(), lastErr)
+			}
+		}
+		body, err := c.attemptMaybeHedged(ctx, path, payload, attempt, hedge)
+		if err == nil {
+			if uerr := json.Unmarshal(body, out); uerr != nil {
+				return fmt.Errorf("client: decoding %s response: %w", path, uerr)
+			}
+			return nil
+		}
+		lastErr = err
+		if !Retryable(err) {
+			return err
+		}
+		if attempt >= c.cfg.MaxRetries {
+			return fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+	}
+}
+
+// backoff computes the wait before retry number attempt (1-based): full
+// jitter over the exponential ceiling, raised to the server's Retry-After
+// when the last failure carried a longer hint.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	ceil := c.cfg.BaseBackoff << (attempt - 1)
+	if ceil > c.cfg.MaxBackoff || ceil <= 0 {
+		ceil = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(ceil) + 1))
+	c.mu.Unlock()
+	var he *HTTPError
+	if errors.As(lastErr, &he) && he.RetryAfter > d {
+		d = he.RetryAfter
+	}
+	return d
+}
+
+// attemptMaybeHedged runs one logical attempt: a single request, or — when
+// hedging is armed and the primary is still unanswered after HedgeDelay —
+// two racing requests whose first success wins (first terminal failure
+// loses only if the other lane also fails).
+func (c *Client) attemptMaybeHedged(ctx context.Context, path string, payload []byte, attempt int, hedge bool) ([]byte, error) {
+	if !hedge || c.cfg.HedgeDelay <= 0 {
+		return c.attempt(ctx, path, payload, attempt)
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type lane struct {
+		body []byte
+		err  error
+	}
+	results := make(chan lane, 2)
+	launch := func() {
+		body, err := c.attempt(raceCtx, path, payload, attempt)
+		results <- lane{body, err}
+	}
+	go launch()
+	hedgeTimer := time.NewTimer(c.cfg.HedgeDelay)
+	defer hedgeTimer.Stop()
+	launched, landed := 1, 0
+	var firstErr error
+	for {
+		select {
+		case <-hedgeTimer.C:
+			if launched == 1 {
+				launched++
+				go launch()
+			}
+		case l := <-results:
+			landed++
+			if l.err == nil {
+				return l.body, nil
+			}
+			if firstErr == nil {
+				firstErr = l.err
+			}
+			if landed == launched {
+				return nil, firstErr
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attempt issues one POST and maps the response: 2xx returns the body,
+// anything else an *HTTPError.
+func (c *Client) attempt(ctx context.Context, path string, payload []byte, attempt int) ([]byte, error) {
+	actx := ctx
+	if c.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if attempt > 0 {
+		req.Header.Set(retryAttemptHeader, strconv.Itoa(attempt))
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		// Surface the caller's own expiry as such; transport errors under
+		// a live context stay retryable.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("client: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, httpError(resp, body)
+	}
+	return body, nil
+}
+
+// get issues one plain GET (no retries): 2xx returns the body, anything
+// else an *HTTPError.
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("client: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, httpError(resp, body)
+	}
+	return body, nil
+}
+
+// httpError builds the *HTTPError for a non-2xx response, extracting the
+// server's JSON error message and Retry-After hint when present.
+func httpError(resp *http.Response, body []byte) *HTTPError {
+	he := &HTTPError{StatusCode: resp.StatusCode}
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &doc) == nil && doc.Error != "" {
+		he.Message = doc.Error
+	} else {
+		he.Message = strings.TrimSpace(string(body))
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			he.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return he
+}

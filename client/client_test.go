@@ -1,0 +1,343 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	repro "repro"
+	"repro/internal/faultpoint"
+	"repro/internal/server"
+)
+
+// The client suite runs against a real alignd server (and, for the
+// transport edge cases, scripted httptest handlers): retries must mask
+// injected transient failures, terminal failures must fail fast, and the
+// server must observe the retry pressure in /statsz.
+
+func newAlignd(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+func fastClient(t *testing.T, baseURL string, retries int) *Client {
+	t.Helper()
+	return New(Config{
+		BaseURL:     baseURL,
+		MaxRetries:  retries,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Seed:        1,
+	})
+}
+
+func testRequest(t *testing.T, seed int64, n int) *AlignRequest {
+	t.Helper()
+	g := repro.NewGenerator(repro.DNA, seed)
+	tr := g.RelatedTriple(n, repro.MutationModel{SubstitutionRate: 0.2, InsertionRate: 0.02, DeletionRate: 0.02})
+	return &AlignRequest{A: tr.A.String(), B: tr.B.String(), C: tr.C.String()}
+}
+
+// TestRetriesMaskInjectedUnavailability is the contract the whole layer
+// exists for: the server's admission edge injects two 503s via the
+// server.admit fault point, and a single client.Align call still returns
+// the alignment — while the server's /statsz records the retry pressure.
+func TestRetriesMaskInjectedUnavailability(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.Arm("server.admit", "first:2"); err != nil {
+		t.Fatal(err)
+	}
+	ts := newAlignd(t, server.Config{CoalesceTick: -1})
+	c := fastClient(t, ts.URL, 3)
+
+	res, err := c.Align(context.Background(), testRequest(t, 1, 40))
+	if err != nil {
+		t.Fatalf("Align did not mask injected 503s: %v", err)
+	}
+	if res.Score == 0 && res.Columns == 0 {
+		t.Fatalf("masked call returned an empty result: %+v", res)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RetriesObserved < 1 {
+		t.Fatalf("retries_observed = %d, want >= 1", st.RetriesObserved)
+	}
+	if st.FaultsInjected < 2 {
+		t.Fatalf("faults_injected = %d, want >= 2", st.FaultsInjected)
+	}
+}
+
+// TestTerminalFailureNotRetried: a 400 must fail on the first attempt.
+func TestTerminalFailureNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	h := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"sequence A is empty"}`)
+	}))
+	defer h.Close()
+
+	c := fastClient(t, h.URL, 5)
+	_, err := c.Align(context.Background(), &AlignRequest{})
+	var he *HTTPError
+	if !errors.As(err, &he) || he.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want *HTTPError with status 400", err)
+	}
+	if he.Message != "sequence A is empty" {
+		t.Fatalf("message = %q, want the server's error body", he.Message)
+	}
+	if Retryable(err) {
+		t.Fatal("400 classified retryable")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("terminal failure hit the server %d times, want 1", n)
+	}
+}
+
+// TestGivesUpAfterMaxRetries: a server that always sheds exhausts the
+// budget — MaxRetries retries after the first attempt — then surfaces the
+// last failure.
+func TestGivesUpAfterMaxRetries(t *testing.T) {
+	var calls atomic.Int64
+	h := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"queue full; retry later"}`)
+	}))
+	defer h.Close()
+
+	c := fastClient(t, h.URL, 2)
+	_, err := c.Align(context.Background(), testRequest(t, 2, 20))
+	var he *HTTPError
+	if !errors.As(err, &he) || he.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want wrapped 429", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 1 initial + 2 retries", n)
+	}
+}
+
+// TestRetryAttemptHeaderSequence: retried attempts must carry
+// X-Retry-Attempt: n, the first attempt none.
+func TestRetryAttemptHeaderSequence(t *testing.T) {
+	var headers []string
+	h := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		headers = append(headers, r.Header.Get("X-Retry-Attempt"))
+		if len(headers) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"score":7}`)
+	}))
+	defer h.Close()
+
+	c := fastClient(t, h.URL, 3)
+	res, err := c.Align(context.Background(), testRequest(t, 3, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 7 {
+		t.Fatalf("score = %d, want 7", res.Score)
+	}
+	want := []string{"", "1", "2"}
+	if len(headers) != len(want) {
+		t.Fatalf("server saw %d attempts, want %d", len(headers), len(want))
+	}
+	for i := range want {
+		if headers[i] != want[i] {
+			t.Fatalf("attempt %d header = %q, want %q", i, headers[i], want[i])
+		}
+	}
+}
+
+// TestRetryAfterHonored: the server's hint must stretch the backoff beyond
+// the client's own (tiny) jitter ceiling.
+func TestRetryAfterHonored(t *testing.T) {
+	var times []time.Time
+	h := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		times = append(times, time.Now())
+		if len(times) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining"}`)
+			return
+		}
+		fmt.Fprint(w, `{"score":1}`)
+	}))
+	defer h.Close()
+
+	c := fastClient(t, h.URL, 1) // 1ms..5ms jitter, so any gap >=1s is the hint
+	if _, err := c.Align(context.Background(), testRequest(t, 4, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(times))
+	}
+	if gap := times[1].Sub(times[0]); gap < time.Second {
+		t.Fatalf("retry came after %v, want >= 1s (Retry-After ignored)", gap)
+	}
+}
+
+// TestCallerContextNotRetried: the caller's own expiry is terminal even
+// though it surfaces as a transport error.
+func TestCallerContextNotRetried(t *testing.T) {
+	release := make(chan struct{})
+	h := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer h.Close()
+	defer close(release) // unblock the handler before h.Close waits on it
+
+	c := fastClient(t, h.URL, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.Align(ctx, testRequest(t, 5, 20))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the caller's DeadlineExceeded", err)
+	}
+	if Retryable(err) {
+		t.Fatal("caller context expiry classified retryable")
+	}
+}
+
+// TestHedgeRacesSlowPrimary: with hedging armed, a primary that hangs is
+// overtaken by the hedge lane and the call still succeeds quickly.
+func TestHedgeRacesSlowPrimary(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	h := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // the slow primary never answers on its own
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"score":9}`)
+	}))
+	defer h.Close()
+	defer close(release) // unblock the wedged primary before h.Close waits on it
+
+	c := New(Config{
+		BaseURL:    h.URL,
+		MaxRetries: 0,
+		HedgeDelay: 10 * time.Millisecond,
+		Seed:       1,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := c.Align(ctx, testRequest(t, 6, 20))
+	if err != nil {
+		t.Fatalf("hedged call failed: %v", err)
+	}
+	if res.Score != 9 {
+		t.Fatalf("score = %d, want the hedge lane's 9", res.Score)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d requests, want primary + hedge", n)
+	}
+}
+
+// TestReadyAndDrain: Ready is nil on a serving alignd and a 503 *HTTPError
+// once it drains; readiness is point-in-time, never retried.
+func TestReadyAndDrain(t *testing.T) {
+	s := server.New(server.Config{CoalesceTick: -1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	c := fastClient(t, ts.URL, 3)
+	if err := c.Ready(context.Background()); err != nil {
+		t.Fatalf("Ready on a serving alignd: %v", err)
+	}
+	s.BeginDrain()
+	err := c.Ready(context.Background())
+	var he *HTTPError
+	if !errors.As(err, &he) || he.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("Ready on a draining alignd = %v, want a 503 *HTTPError", err)
+	}
+}
+
+// TestPlanDryRun: Plan returns the execution plan document for a request
+// without running the alignment.
+func TestPlanDryRun(t *testing.T) {
+	ts := newAlignd(t, server.Config{CoalesceTick: -1})
+	c := fastClient(t, ts.URL, 0)
+	pl, err := c.Plan(context.Background(), testRequest(t, 7, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Algorithm == "" || pl.EstCells == 0 {
+		t.Fatalf("plan document incomplete: %+v", pl)
+	}
+}
+
+// TestBatchRoundTrip: AlignBatch answers every item in order against a
+// real server.
+func TestBatchRoundTrip(t *testing.T) {
+	ts := newAlignd(t, server.Config{CoalesceTick: -1})
+	c := fastClient(t, ts.URL, 1)
+	req := &BatchRequest{}
+	for i := 0; i < 3; i++ {
+		req.Items = append(req.Items, *testRequest(t, int64(10+i), 30))
+	}
+	res, err := c.AlignBatch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 3 {
+		t.Fatalf("batch answered %d of 3 items", len(res.Results))
+	}
+	for i, item := range res.Results {
+		if item.Index != i || item.Error != "" || item.Result == nil {
+			t.Fatalf("item %d malformed: %+v", i, item)
+		}
+	}
+}
+
+// TestStatszDecodes pins the statsz wire contract the client exposes.
+func TestStatszDecodes(t *testing.T) {
+	ts := newAlignd(t, server.Config{CoalesceTick: -1})
+	c := fastClient(t, ts.URL, 0)
+	if _, err := c.Align(context.Background(), testRequest(t, 8, 30)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed < 1 {
+		t.Fatalf("completed = %d after a successful align", st.Completed)
+	}
+	// The robustness counters must be present in the document (zero is
+	// fine; absent would mean the contract regressed).
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"panics_contained", "watchdog_stalls", "retries_observed", "mem_pressure_degraded", "faults_injected"} {
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("statsz misses %q", key)
+		}
+	}
+}

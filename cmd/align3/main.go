@@ -34,6 +34,20 @@
 // smaller-memory kernel (full lattice → linear space → heuristic last
 // resort) instead of rejecting, and each step shows up in the plan's
 // downgrades (and in the json format's "plan" object).
+//
+// Exit codes distinguish the failure classes a screening pipeline wants
+// to branch on:
+//
+//	0  success (including -fallback degraded results — check the
+//	   "degraded" flag before treating the score as optimal)
+//	1  generic failure: bad input, unknown flags, cancelled, or any
+//	   other alignment error
+//	3  the scheduler's watchdog stalled the run (repro.ErrStalled):
+//	   a wedged worker, not a slow input — retrying may succeed,
+//	   unlike exit 4
+//	4  the alignment exceeds the memory budget (repro.ErrTooLarge)
+//	   and no fallback was allowed: retrying the same input cannot
+//	   succeed without raising -max-mem or adding -fallback
 package main
 
 import (
@@ -60,8 +74,21 @@ func main() {
 			err = fmt.Errorf("align3: cancelled (interrupt received)")
 		}
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps a run error to the documented exit code: stalls and
+// memory exhaustion are distinguishable so pipelines can retry the former
+// and re-budget the latter; everything else is the generic 1.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, repro.ErrStalled):
+		return 3
+	case errors.Is(err, repro.ErrTooLarge):
+		return 4
+	}
+	return 1
 }
 
 func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	repro "repro"
@@ -275,4 +276,22 @@ func TestRunTimeoutWithFallbackDegrades(t *testing.T) {
 func hugeFASTA(n int) string {
 	row := strings.Repeat("ACGT", n/4+1)[:n]
 	return ">s1\n" + row + "\n>s2\n" + row + "\n>s3\n" + row + "\n"
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{errors.New("generic failure"), 1},
+		{repro.ErrStalled, 3},
+		{&repro.StallError{Budget: 1, Completed: 1, Total: 2}, 3},
+		{repro.ErrTooLarge, 4},
+		{fmt.Errorf("align: %w", repro.ErrTooLarge), 4},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
 }

@@ -1,0 +1,209 @@
+// Command alignctl drives an alignd server from the shell through the
+// retrying client package: transient failures (429 shed, 503 drain or
+// fault injection, transport drops) are masked by backoff-with-jitter
+// retries honoring the server's Retry-After hints, so a flaky-but-alive
+// server still yields an answer and an exit code of 0.
+//
+// Usage:
+//
+//	alignctl align -addr http://localhost:8080 -a ACGT -b ACGT -c AGGT
+//	alignctl align -fasta triple.fa -algorithm affine -deadline 2s
+//	alignctl plan  -a ACGT -b ACGT -c AGGT -max-memory-bytes 1048576
+//	alignctl stats
+//	alignctl ready
+//
+// Commands:
+//
+//	align   submit one alignment and print the aligned rows and score
+//	plan    dry-run the request and print the server's execution plan
+//	stats   print the /statsz document
+//	ready   exit 0 when the server accepts work, 1 while it drains
+//
+// Retry behavior is tuned with -retries, -attempt-timeout, and -hedge
+// (align/plan only); -json switches align output to the raw response
+// document for scripting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/client"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "alignctl: give a command: align, plan, stats, or ready")
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "align":
+		err = runAlign(rest, stdout, false)
+	case "plan":
+		err = runAlign(rest, stdout, true)
+	case "stats":
+		err = runStats(rest, stdout)
+	case "ready":
+		err = runReady(rest, stdout)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprintln(stdout, "usage: alignctl <align|plan|stats|ready> [flags]")
+		return 0
+	default:
+		fmt.Fprintf(stderr, "alignctl: unknown command %q (want align, plan, stats, or ready)\n", cmd)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "alignctl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// clientFlags registers the connection/retry flags shared by all commands
+// and returns a constructor bound to them.
+func clientFlags(fs *flag.FlagSet) func() (*client.Client, context.Context, context.CancelFunc) {
+	addr := fs.String("addr", "http://localhost:8080", "alignd base URL")
+	retries := fs.Int("retries", 3, "retries after the first attempt on 429/502/503 or transport errors")
+	attemptTimeout := fs.Duration("attempt-timeout", 10*time.Second, "per-attempt timeout (0 = none)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall call timeout including retries (0 = none)")
+	hedge := fs.Duration("hedge", 0, "hedge delay: race a second request after this long unanswered (0 disables)")
+	return func() (*client.Client, context.Context, context.CancelFunc) {
+		c := client.New(client.Config{
+			BaseURL:        *addr,
+			MaxRetries:     *retries,
+			AttemptTimeout: *attemptTimeout,
+			HedgeDelay:     *hedge,
+		})
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		return c, ctx, cancel
+	}
+}
+
+// runAlign serves both align and plan: same request construction, one
+// different endpoint.
+func runAlign(args []string, stdout io.Writer, planOnly bool) error {
+	name := "align"
+	if planOnly {
+		name = "plan"
+	}
+	fs := flag.NewFlagSet("alignctl "+name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	mk := clientFlags(fs)
+	var (
+		a         = fs.String("a", "", "first sequence residues")
+		b         = fs.String("b", "", "second sequence residues")
+		c         = fs.String("c", "", "third sequence residues")
+		fasta     = fs.String("fasta", "", "three-record FASTA file (\"-\" for stdin) instead of -a/-b/-c")
+		alphabet  = fs.String("alphabet", "", "dna, rna, or protein (server default: dna)")
+		scheme    = fs.String("scheme", "", "scoring scheme name (server default for the alphabet)")
+		algorithm = fs.String("algorithm", "", "algorithm name (empty = server auto)")
+		deadline  = fs.Duration("deadline", 0, "server-side alignment deadline (0 = server default)")
+		maxMem    = fs.Int64("max-memory-bytes", 0, "soft planning budget: downgrade kernels instead of rejecting (0 = none)")
+		asJSON    = fs.Bool("json", false, "print the raw response document")
+	)
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	req := client.AlignRequest{
+		A: *a, B: *b, C: *c,
+		Alphabet:       *alphabet,
+		Scheme:         *scheme,
+		Algorithm:      *algorithm,
+		DeadlineMS:     int64(*deadline / time.Millisecond),
+		MaxMemoryBytes: *maxMem,
+	}
+	if *fasta != "" {
+		var doc []byte
+		var err error
+		if *fasta == "-" {
+			doc, err = io.ReadAll(os.Stdin)
+		} else {
+			doc, err = os.ReadFile(*fasta)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: reading fasta: %w", name, err)
+		}
+		req.FASTA = string(doc)
+	}
+	cl, ctx, cancel := mk()
+	defer cancel()
+	if planOnly {
+		pl, err := cl.Plan(ctx, &req)
+		if err != nil {
+			return err
+		}
+		return printJSON(stdout, pl)
+	}
+	res, err := cl.Align(ctx, &req)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(stdout, res)
+	}
+	for i, row := range res.Rows {
+		fmt.Fprintf(stdout, "%-10s %s\n", res.Names[i], row)
+	}
+	fmt.Fprintf(stdout, "score=%d algorithm=%s columns=%d elapsed_ms=%.3f", res.Score, res.Algorithm, res.Columns, res.ElapsedMS)
+	if res.Coalesced {
+		fmt.Fprint(stdout, " coalesced")
+	}
+	if res.Degraded {
+		fmt.Fprintf(stdout, " DEGRADED (%s)", res.DegradedCause)
+	}
+	fmt.Fprintln(stdout)
+	return nil
+}
+
+func runStats(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("alignctl stats", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	mk := clientFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	cl, ctx, cancel := mk()
+	defer cancel()
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, st)
+}
+
+func runReady(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("alignctl ready", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	mk := clientFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("ready: %w", err)
+	}
+	cl, ctx, cancel := mk()
+	defer cancel()
+	if err := cl.Ready(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "ready")
+	return nil
+}
+
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

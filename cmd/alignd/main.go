@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultpoint"
 	"repro/internal/prof"
 	"repro/internal/server"
 )
@@ -69,6 +70,8 @@ func run(args []string, logw io.Writer) error {
 		maxSeq       = fs.Int("max-seq", 4096, "per-sequence residue cap")
 		maxBody      = fs.Int64("max-body", 8<<20, "request body byte cap")
 		maxLattice   = fs.Int64("max-lattice-bytes", 0, "planner-estimated lattice byte cap per alignment; larger requests shed with 413 before queueing (0 = no cap)")
+		memSoft      = fs.Int64("mem-soft-limit", 0, "heap soft limit in bytes: approaching it degrades new admissions through the planner's downgrade ladder, exceeding it sheds with 429 (0 disables the pressure guard)")
+		memFrac      = fs.Float64("mem-degrade-fraction", 0.85, "fraction of -mem-soft-limit at which admissions start degrading")
 		drainGrace   = fs.Duration("drain-grace", time.Second, "pause between flipping /readyz and closing the listener")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "bound on waiting for in-flight requests during drain")
 		cpuProf      = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -85,17 +88,22 @@ func run(args []string, logw io.Writer) error {
 
 	logger := log.New(logw, "alignd: ", log.LstdFlags)
 	srv := server.New(server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		MaxInFlight:     *maxInFlight,
-		CoalesceTick:    *coalesceTick,
-		CoalesceMax:     *coalesceMax,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		MaxSequenceLen:  *maxSeq,
-		MaxBodyBytes:    *maxBody,
-		MaxLatticeBytes: *maxLattice,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		MaxInFlight:        *maxInFlight,
+		CoalesceTick:       *coalesceTick,
+		CoalesceMax:        *coalesceMax,
+		DefaultDeadline:    *deadline,
+		MaxDeadline:        *maxDeadline,
+		MaxSequenceLen:     *maxSeq,
+		MaxBodyBytes:       *maxBody,
+		MaxLatticeBytes:    *maxLattice,
+		MemSoftLimitBytes:  *memSoft,
+		MemDegradeFraction: *memFrac,
 	})
+	if armed := faultpoint.Armed(); len(armed) > 0 {
+		logger.Printf("fault points armed via %s: %v", faultpoint.EnvVar, armed)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)

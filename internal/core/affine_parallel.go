@@ -20,6 +20,9 @@ import (
 // 28 predecessor lanes once per (i, j) and runs the 7×7 transition with
 // table reads only.
 func fillRangeAffine(d *[7]*mat.Tensor3, st *scoreTables, ca, cb, cc []int8, sch *scoring.Scheme, open *affineOpenTable, si, sj, sk wavefront.Span) {
+	if fpFill.Fire() {
+		panic("faultpoint: core.fill.block")
+	}
 	go_ := sch.GapOpen()
 	ge := sch.GapExtend()
 	// Transposed open table: the interior loop scans predecessor states q

@@ -30,11 +30,19 @@ import (
 	"fmt"
 
 	"repro/internal/alignment"
+	"repro/internal/faultpoint"
 	"repro/internal/mat"
 	"repro/internal/scoring"
 	"repro/internal/seq"
 	"repro/internal/wavefront"
 )
+
+// fpFill is the kernel-interior fault point, checked once per block fill
+// (never per cell — the interior loops stay branch-free). A fired hit
+// panics inside the block function, which is exactly the fault the
+// wavefront scheduler's panic containment and the batch layer's per-item
+// recovery exist to absorb.
+var fpFill = faultpoint.New("core.fill.block")
 
 // Options tunes the algorithms. The zero value is ready to use.
 type Options struct {
@@ -117,6 +125,9 @@ func colXXX(sch *scoring.Scheme, ai, bj, ck int8) mat.Score {
 // row, k == 0 column) and a branch-minimal interior loop, so the interior
 // carries no per-cell boundary tests and no nil-lane checks.
 func fillRange(t *mat.Tensor3, st *scoreTables, ge2 mat.Score, si, sj, sk wavefront.Span) {
+	if fpFill.Fire() {
+		panic("faultpoint: core.fill.block")
+	}
 	if si.Lo == 0 {
 		fillBoundaryI0(t, st, ge2, sj, sk)
 	}

@@ -1,0 +1,325 @@
+// Package faultpoint is a deterministic fault-injection registry: named
+// points compiled into the layers that matter (arena get/put, kernel block
+// fills, deque steals and handoffs, coalescer flushes, admission slots,
+// planner downgrades) that cost one atomic load and a nil check while
+// disarmed and, when armed, decide deterministically whether this hit
+// should fail.
+//
+// A subsystem declares its points at package init:
+//
+//	var fpGet = faultpoint.New("mat.arena.get")
+//
+// and consults them at the site the fault models:
+//
+//	if fpGet.Fire() {
+//		panic("faultpoint: mat.arena.get")
+//	}
+//
+// What a fired point *does* is the site's choice — panic, return an
+// injected error, pretend a steal failed — because a useful fault is the
+// one the surrounding code could actually produce. The registry only
+// answers "should this hit fail?".
+//
+// Points are armed three ways:
+//
+//   - Tests call Arm("name", "nth:3") / Disarm / Reset.
+//   - Operators (and the chaos-smoke CI job) set the ALIGND_FAULTPOINTS
+//     environment variable to a spec like
+//     "server.admit=every:3;mat.arena.get=nth:2"; points named there are
+//     armed as soon as the owning package registers them.
+//   - ArmSpec applies the same spec string programmatically.
+//
+// Trigger modes (all deterministic given the spec):
+//
+//	always      fire on every hit
+//	nth:N       fire on the Nth hit only (once)
+//	every:N     fire on hit N, 2N, 3N, ...
+//	first:N     fire on the first N hits
+//	prob:P[:S]  fire each hit with probability P from a PRNG seeded with S
+//	            (default seed 1) — reproducible across runs
+//	off         never fire (still counts hits)
+//
+// Hit and fired counts accumulate only while a point is armed, so the
+// disarmed fast path stays a single atomic pointer load.
+package faultpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable holding the boot-time arming spec.
+const EnvVar = "ALIGND_FAULTPOINTS"
+
+// Point is one named fault site. The zero Point is not valid; obtain
+// points with New.
+type Point struct {
+	name  string
+	state atomic.Pointer[trigger] // nil while disarmed — the whole fast path
+}
+
+// trigger is the armed state of a point. Hits are serialized under mu so
+// nth/every/prob decisions are deterministic even from concurrent sites.
+type trigger struct {
+	mu    sync.Mutex
+	mode  string
+	n     int64      // parameter of nth/every/first
+	p     float64    // probability for prob
+	rng   *rand.Rand // seeded source for prob
+	hits  int64
+	fired int64
+}
+
+// registry holds every declared point plus arming specs that arrived (via
+// the environment) before the owning package registered its point.
+var registry = struct {
+	mu      sync.Mutex
+	points  map[string]*Point
+	pending map[string]string
+}{points: make(map[string]*Point), pending: make(map[string]string)}
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		// Points named in the environment usually do not exist yet — the
+		// packages declaring them initialize after this one — so the spec
+		// is parked and applied by New as each point registers.
+		if err := armSpec(spec, true); err != nil {
+			// A malformed boot spec must not be silently ignored: the whole
+			// purpose of arming via the environment is a chaos run, and a
+			// typo that disarms everything would pass vacuously.
+			panic(fmt.Sprintf("faultpoint: bad %s: %v", EnvVar, err))
+		}
+	}
+}
+
+// New declares a fault point. It is meant to be called from package-level
+// var initializers; declaring the same name twice panics. A pending
+// environment spec naming the point arms it immediately.
+func New(name string) *Point {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.points[name]; dup {
+		panic("faultpoint: duplicate point " + name)
+	}
+	p := &Point{name: name}
+	registry.points[name] = p
+	if mode, ok := registry.pending[name]; ok {
+		delete(registry.pending, name)
+		tr, err := parseMode(mode)
+		if err != nil {
+			panic(fmt.Sprintf("faultpoint: bad %s mode for %s: %v", EnvVar, name, err))
+		}
+		p.state.Store(tr)
+	}
+	return p
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Fire reports whether this hit of the point should fail. Disarmed points
+// return false after a single atomic load; armed points count the hit and
+// evaluate their trigger under the trigger's lock.
+func (p *Point) Fire() bool {
+	tr := p.state.Load()
+	if tr == nil {
+		return false
+	}
+	return tr.fire()
+}
+
+func (t *trigger) fire() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hits++
+	var f bool
+	switch t.mode {
+	case "always":
+		f = true
+	case "nth":
+		f = t.hits == t.n
+	case "every":
+		f = t.hits%t.n == 0
+	case "first":
+		f = t.hits <= t.n
+	case "prob":
+		f = t.rng.Float64() < t.p
+	case "off":
+		f = false
+	}
+	if f {
+		t.fired++
+	}
+	return f
+}
+
+// parseMode parses one trigger mode ("always", "nth:3", "prob:0.5:42", ...).
+func parseMode(mode string) (*trigger, error) {
+	parts := strings.Split(mode, ":")
+	t := &trigger{mode: parts[0]}
+	switch parts[0] {
+	case "always", "off":
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("mode %q takes no argument", parts[0])
+		}
+	case "nth", "every", "first":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("mode %q wants one count argument", parts[0])
+		}
+		n, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("mode %q wants a positive count, got %q", parts[0], parts[1])
+		}
+		t.n = n
+	case "prob":
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, fmt.Errorf("mode prob wants prob:P[:seed]")
+		}
+		p, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("mode prob wants a probability in [0,1], got %q", parts[1])
+		}
+		seed := int64(1)
+		if len(parts) == 3 {
+			seed, err = strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mode prob: bad seed %q", parts[2])
+			}
+		}
+		t.p = p
+		t.rng = rand.New(rand.NewSource(seed))
+	default:
+		return nil, fmt.Errorf("unknown mode %q", parts[0])
+	}
+	return t, nil
+}
+
+// Arm arms a declared point with the given trigger mode, replacing any
+// previous arming (and its counters). Unknown names and malformed modes
+// are errors — a chaos test that typos a point name must fail loudly, not
+// pass vacuously.
+func Arm(name, mode string) error {
+	tr, err := parseMode(mode)
+	if err != nil {
+		return fmt.Errorf("faultpoint: %s: %w", name, err)
+	}
+	registry.mu.Lock()
+	p, ok := registry.points[name]
+	registry.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("faultpoint: unknown point %q", name)
+	}
+	p.state.Store(tr)
+	return nil
+}
+
+// ArmSpec applies a full "name=mode;name=mode" spec — the ALIGND_FAULTPOINTS
+// grammar — to declared points. Every name must already be registered.
+func ArmSpec(spec string) error { return armSpec(spec, false) }
+
+func armSpec(spec string, pendUnknown bool) error {
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, mode, ok := strings.Cut(entry, "=")
+		if !ok || name == "" || mode == "" {
+			return fmt.Errorf("faultpoint: bad spec entry %q (want name=mode)", entry)
+		}
+		if pendUnknown {
+			// Validate the mode eagerly so a boot-spec typo fails at
+			// startup, then park it for New.
+			if _, err := parseMode(mode); err != nil {
+				return fmt.Errorf("faultpoint: %s: %w", name, err)
+			}
+			registry.mu.Lock()
+			if p, ok := registry.points[name]; ok {
+				tr, _ := parseMode(mode)
+				p.state.Store(tr)
+			} else {
+				registry.pending[name] = mode
+			}
+			registry.mu.Unlock()
+			continue
+		}
+		if err := Arm(name, mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Disarm disarms a point (a no-op for unknown names, so tests can disarm
+// unconditionally in cleanup).
+func Disarm(name string) {
+	registry.mu.Lock()
+	p, ok := registry.points[name]
+	registry.mu.Unlock()
+	if ok {
+		p.state.Store(nil)
+	}
+}
+
+// Reset disarms every point and drops pending environment arms. Chaos
+// suites call it in test cleanup so faults never leak between tests.
+func Reset() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, p := range registry.points {
+		p.state.Store(nil)
+	}
+	registry.pending = make(map[string]string)
+}
+
+// Stats reports how many times an armed point was hit and how many hits
+// fired. Both are zero for disarmed or unknown points (counters reset at
+// each Arm).
+func Stats(name string) (hits, fired int64) {
+	registry.mu.Lock()
+	p, ok := registry.points[name]
+	registry.mu.Unlock()
+	if !ok {
+		return 0, 0
+	}
+	tr := p.state.Load()
+	if tr == nil {
+		return 0, 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.hits, tr.fired
+}
+
+// Names lists every declared point, sorted — the operator-facing catalog
+// (alignd logs it at boot when any point is armed).
+func Names() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]string, 0, len(registry.points))
+	for name := range registry.points {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Armed lists the currently armed points, sorted.
+func Armed() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	var out []string
+	for name, p := range registry.points {
+		if p.state.Load() != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

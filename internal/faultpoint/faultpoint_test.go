@@ -1,0 +1,210 @@
+package faultpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+// point declares a uniquely named test point (the registry is process
+// global and New panics on duplicates).
+func point(t *testing.T, name string) *Point {
+	t.Helper()
+	p := New(name)
+	t.Cleanup(func() { Disarm(name) })
+	return p
+}
+
+func fires(p *Point, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = p.Fire()
+	}
+	return out
+}
+
+func countTrue(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDisarmedNeverFires(t *testing.T) {
+	p := point(t, "test.disarmed")
+	if countTrue(fires(p, 100)) != 0 {
+		t.Fatal("disarmed point fired")
+	}
+	if hits, fired := Stats("test.disarmed"); hits != 0 || fired != 0 {
+		t.Fatalf("disarmed point counted hits=%d fired=%d", hits, fired)
+	}
+}
+
+func TestModes(t *testing.T) {
+	cases := []struct {
+		mode string
+		want []bool
+	}{
+		{"always", []bool{true, true, true, true, true}},
+		{"off", []bool{false, false, false, false, false}},
+		{"nth:3", []bool{false, false, true, false, false}},
+		{"every:2", []bool{false, true, false, true, false}},
+		{"first:2", []bool{true, true, false, false, false}},
+	}
+	for _, tc := range cases {
+		p := point(t, "test.mode."+strings.ReplaceAll(tc.mode, ":", "_"))
+		if err := Arm(p.Name(), tc.mode); err != nil {
+			t.Fatalf("Arm(%q): %v", tc.mode, err)
+		}
+		got := fires(p, len(tc.want))
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("mode %q hit %d: fired=%v want %v", tc.mode, i+1, got[i], tc.want[i])
+			}
+		}
+		hits, fired := Stats(p.Name())
+		if hits != int64(len(tc.want)) || fired != int64(countTrue(tc.want)) {
+			t.Errorf("mode %q stats: hits=%d fired=%d want %d/%d",
+				tc.mode, hits, fired, len(tc.want), countTrue(tc.want))
+		}
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	p := point(t, "test.prob")
+	if err := Arm(p.Name(), "prob:0.5:42"); err != nil {
+		t.Fatal(err)
+	}
+	first := fires(p, 64)
+	if err := Arm(p.Name(), "prob:0.5:42"); err != nil { // re-arm resets the PRNG
+		t.Fatal(err)
+	}
+	second := fires(p, 64)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("prob sequence not reproducible at hit %d", i+1)
+		}
+	}
+	if n := countTrue(first); n == 0 || n == 64 {
+		t.Fatalf("prob:0.5 fired %d of 64 hits; expected a mix", n)
+	}
+}
+
+func TestArmErrors(t *testing.T) {
+	point(t, "test.armerrs")
+	for _, mode := range []string{"bogus", "nth", "nth:0", "nth:x", "every:-1", "prob:2", "prob:", "always:1"} {
+		if err := Arm("test.armerrs", mode); err == nil {
+			t.Errorf("Arm(%q) accepted a malformed mode", mode)
+		}
+	}
+	if err := Arm("test.never.declared", "always"); err == nil {
+		t.Error("Arm accepted an unknown point name")
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	a := point(t, "test.spec.a")
+	b := point(t, "test.spec.b")
+	if err := ArmSpec("test.spec.a=always; test.spec.b=nth:2"); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Fire() {
+		t.Error("spec-armed always point did not fire")
+	}
+	if b.Fire() || !b.Fire() {
+		t.Error("spec-armed nth:2 point misfired")
+	}
+	if err := ArmSpec("test.spec.a=always;test.spec.unknown=always"); err == nil {
+		t.Error("ArmSpec accepted an unknown point name")
+	}
+	if err := ArmSpec("garbage"); err == nil {
+		t.Error("ArmSpec accepted an entry without '='")
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	p := point(t, "test.reset")
+	if err := Arm(p.Name(), "always"); err != nil {
+		t.Fatal(err)
+	}
+	Disarm(p.Name())
+	if p.Fire() {
+		t.Error("disarmed point fired")
+	}
+	Disarm("test.unknown.name") // must not panic
+	if err := Arm(p.Name(), "always"); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if p.Fire() {
+		t.Error("point fired after Reset")
+	}
+	for _, name := range Armed() {
+		if strings.HasPrefix(name, "test.") {
+			t.Errorf("point %s still armed after Reset", name)
+		}
+	}
+}
+
+func TestNamesAndArmed(t *testing.T) {
+	p := point(t, "test.names")
+	found := false
+	for _, n := range Names() {
+		if n == "test.names" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names() misses a declared point")
+	}
+	if err := Arm(p.Name(), "off"); err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, n := range Armed() {
+		if n == "test.names" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Armed() misses an armed point")
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	point(t, "test.dup")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate New did not panic")
+		}
+	}()
+	New("test.dup")
+}
+
+func TestConcurrentFire(t *testing.T) {
+	p := point(t, "test.concurrent")
+	if err := Arm(p.Name(), "every:10"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			n := 0
+			for i := 0; i < 1000; i++ {
+				if p.Fire() {
+					n++
+				}
+			}
+			done <- n
+		}()
+	}
+	total := 0
+	for g := 0; g < 8; g++ {
+		total += <-done
+	}
+	if total != 800 {
+		t.Fatalf("every:10 fired %d of 8000 concurrent hits, want 800", total)
+	}
+}

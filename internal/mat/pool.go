@@ -3,6 +3,8 @@ package mat
 import (
 	"math/bits"
 	"sync"
+
+	"repro/internal/faultpoint"
 )
 
 // Buffer arena: size-classed sync.Pools of Score slices that back the
@@ -24,6 +26,16 @@ const numClasses = 31
 
 var scorePools [numClasses]sync.Pool
 
+// Arena fault points. A fired get or put panics — the shape of the real
+// faults this layer can suffer (an OOM-killed allocation, a corrupted
+// size-class header) — and the chaos suites assert the kernels' deferred
+// Puts keep the arena consistent through them: no buffer is ever handed
+// out twice and a panicking kernel leaks nothing to the next caller.
+var (
+	fpGet = faultpoint.New("mat.arena.get")
+	fpPut = faultpoint.New("mat.arena.put")
+)
+
 // sizeClass is floor(log2(n)): the pool whose slices have at least n/2 and
 // at most 2n-1 elements of capacity. Classing by the slice's own capacity
 // (not a rounded-up allocation size) avoids up-to-2x memory waste on large
@@ -37,6 +49,9 @@ func sizeClass(n int) int {
 // reusing a pooled backing array when one is large enough. Put it back with
 // PutScores when no longer referenced.
 func GetScores(n int) []Score {
+	if fpGet.Fire() {
+		panic("faultpoint: mat.arena.get")
+	}
 	if n <= 0 {
 		return nil
 	}
@@ -52,6 +67,9 @@ func GetScores(n int) []Score {
 // slice) to the arena. The caller must not use s, or any alias of it, after
 // the call — the buffer will be handed to a future GetScores.
 func PutScores(s []Score) {
+	if fpPut.Fire() {
+		panic("faultpoint: mat.arena.put")
+	}
 	n := cap(s)
 	if n == 0 {
 		return

@@ -40,8 +40,16 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultpoint"
 	"repro/internal/wavefront"
 )
+
+// fpDowngrade forces one extra step down the space-class ladder on a fired
+// hit, as if the resolved kernel's estimate had come in over budget. Chaos
+// runs use it to drive the downgrade machinery — and everything downstream
+// that reads ExecutionPlan.Downgrades — deterministically, without
+// crafting shapes that straddle a real budget boundary.
+var fpDowngrade = faultpoint.New("plan.downgrade")
 
 // GapModel is the gap-cost family a scoring scheme uses and a kernel
 // optimizes. Specs carry a bitmask; requests carry a single model.
@@ -222,6 +230,15 @@ func Resolve(req Request) (*ExecutionPlan, *KernelSpec, error) {
 		spec = s
 	} else {
 		spec, downgrades = autoSpec(req.Shape, gap, req.Parallel, autoBudget(req))
+	}
+
+	if fpDowngrade.Fire() {
+		if next := spec.Downgrade; next != "" {
+			to := kernels[next]
+			downgrades = append(downgrades,
+				spec.Name+"→"+to.Name+": forced by fault point plan.downgrade")
+			spec = to
+		}
 	}
 
 	// The soft budget walks the downgrade ladder until the estimate fits.

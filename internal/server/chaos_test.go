@@ -1,0 +1,222 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultpoint"
+)
+
+// The serving chaos suite: fault points at the coalescer flush, the
+// admission edge, and the pressure guard, with the invariant that every
+// in-flight request gets exactly one well-formed answer — a 200, or a
+// typed error status — and the server survives to serve the next one.
+
+// TestChaosFlushPanicContained arms server.coalesce.flush so one parked
+// request's delivery panics mid-flush. That request must get a typed 500;
+// the other requests in the same buffer keep their 200s; the panic is
+// counted in /statsz.
+func TestChaosFlushPanicContained(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.Arm("server.coalesce.flush", "nth:2"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{CoalesceTick: 20 * time.Millisecond, CoalesceMax: 64})
+
+	const requests = 6
+	type reply struct {
+		status int
+		body   string
+	}
+	replies := make([]reply, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, b, c := testTriple(t, int64(i+1), 30)
+			body := fmt.Sprintf(`{"a":%q,"b":%q,"c":%q}`, a, b, c)
+			resp, err := http.Post(ts.URL+"/v1/align", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			buf := make([]byte, 4096)
+			n, _ := resp.Body.Read(buf)
+			replies[i] = reply{resp.StatusCode, string(buf[:n])}
+		}(i)
+	}
+	wg.Wait()
+
+	var oks, panics int
+	for i, r := range replies {
+		switch r.status {
+		case http.StatusOK:
+			oks++
+		case http.StatusInternalServerError:
+			if !strings.Contains(r.body, "flush panicked") {
+				t.Errorf("request %d: 500 body %q misses the flush-panic cause", i, r.body)
+			}
+			panics++
+		default:
+			t.Errorf("request %d: status %d body %q", i, r.status, r.body)
+		}
+	}
+	if panics == 0 {
+		t.Fatal("injected flush panic reached no request")
+	}
+	if oks == 0 {
+		t.Fatal("flush panic took down the whole buffer: no request succeeded")
+	}
+
+	// The server survives: a fresh request (fault is nth — already spent)
+	// still aligns, and the panic was counted.
+	a, b, c := testTriple(t, 99, 30)
+	var out AlignResponse
+	resp := postJSON(t, ts, "/v1/align", fmt.Sprintf(`{"a":%q,"b":%q,"c":%q}`, a, b, c), &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic request: status %d, want 200", resp.StatusCode)
+	}
+	var st Statsz
+	getJSON(t, ts, "/statsz", &st)
+	if st.PanicsContained < 1 {
+		t.Fatalf("panics_contained = %d, want >= 1", st.PanicsContained)
+	}
+	if st.FaultsInjected < 1 {
+		t.Fatalf("faults_injected = %d, want >= 1", st.FaultsInjected)
+	}
+}
+
+// TestChaosAdmitFaultInjects503 arms server.admit and checks the injected
+// unavailability is a well-formed transient: 503 plus a Retry-After hint,
+// and the very next attempt (fault spent) succeeds.
+func TestChaosAdmitFaultInjects503(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.Arm("server.admit", "first:2"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{CoalesceTick: -1})
+	a, b, c := testTriple(t, 7, 30)
+	body := fmt.Sprintf(`{"a":%q,"b":%q,"c":%q}`, a, b, c)
+
+	for attempt := 0; attempt < 2; attempt++ {
+		resp, err := http.Post(ts.URL+"/v1/align", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("attempt %d: status %d, want 503", attempt, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("attempt %d: injected 503 without a Retry-After hint", attempt)
+		}
+	}
+	var out AlignResponse
+	resp := postJSON(t, ts, "/v1/align", body, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("attempt after fault spent: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestChaosPressureDegrade forces the guard's degrade level: a request big
+// enough that the full lattice exceeds the forced budget must still get an
+// exact answer, served under a downgraded plan, and be counted.
+func TestChaosPressureDegrade(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.Arm("server.pressure.degrade", "always"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{CoalesceTick: -1})
+	a, b, c := testTriple(t, 3, 260)
+	want := directScore(t, a, b, c)
+
+	var out AlignResponse
+	resp := postJSON(t, ts, "/v1/align", fmt.Sprintf(`{"a":%q,"b":%q,"c":%q}`, a, b, c), &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (degrade serves, never sheds)", resp.StatusCode)
+	}
+	if out.Score != want {
+		t.Fatalf("score under pressure = %d, want exact %d", out.Score, want)
+	}
+	if out.Plan == nil || len(out.Plan.Downgrades) == 0 {
+		t.Fatalf("pressure degrade left no downgrade trail: plan = %+v", out.Plan)
+	}
+	var st Statsz
+	getJSON(t, ts, "/statsz", &st)
+	if st.MemPressureDegraded < 1 {
+		t.Fatalf("mem_pressure_degraded = %d, want >= 1", st.MemPressureDegraded)
+	}
+}
+
+// TestChaosPressureShed forces the guard's shed level: new work bounces
+// with 429 + Retry-After, then flows again once the fault is disarmed.
+func TestChaosPressureShed(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.Arm("server.pressure.shed", "always"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{CoalesceTick: -1})
+	a, b, c := testTriple(t, 5, 30)
+	body := fmt.Sprintf(`{"a":%q,"b":%q,"c":%q}`, a, b, c)
+
+	resp, err := http.Post(ts.URL+"/v1/align", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status under forced shed = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed without a Retry-After hint")
+	}
+
+	faultpoint.Disarm("server.pressure.shed")
+	var out AlignResponse
+	resp = postJSON(t, ts, "/v1/align", body, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after shed lifted = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestChaosBatchPressureDegrade routes a whole batch through the degrade
+// level: every item answers, exact scores, downgraded plans where the
+// lattice is too big for the forced budget.
+func TestChaosBatchPressureDegrade(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.Arm("server.pressure.degrade", "always"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{CoalesceTick: -1})
+
+	items := make([]string, 3)
+	wants := make([]int32, 3)
+	for i := range items {
+		a, b, c := testTriple(t, int64(40+i), 200)
+		items[i] = fmt.Sprintf(`{"a":%q,"b":%q,"c":%q}`, a, b, c)
+		wants[i] = directScore(t, a, b, c)
+	}
+	var out BatchResponse
+	resp := postJSON(t, ts, "/v1/align/batch",
+		fmt.Sprintf(`{"items":[%s]}`, strings.Join(items, ",")), &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200", resp.StatusCode)
+	}
+	if len(out.Results) != len(items) {
+		t.Fatalf("batch answered %d of %d items", len(out.Results), len(items))
+	}
+	for i, item := range out.Results {
+		if item.Error != "" {
+			t.Fatalf("item %d failed under pressure: %s", i, item.Error)
+		}
+		if item.Result == nil || item.Result.Score != wants[i] {
+			t.Fatalf("item %d result = %+v, want exact score %d", i, item.Result, wants[i])
+		}
+	}
+}

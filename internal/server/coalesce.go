@@ -2,10 +2,12 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	repro "repro"
+	"repro/internal/faultpoint"
 )
 
 // The coalescer merges concurrent small /v1/align requests into one
@@ -24,6 +26,21 @@ import (
 // ErrServerClosed is reported to coalesced requests caught by Close
 // before their flush was submitted.
 var ErrServerClosed = errors.New("server: draining, request abandoned")
+
+// fpFlush panics inside the flush delivery loop — after some parked
+// requests have been answered and before the rest — which is the nastiest
+// place a flush can die: a naive flusher would abandon the unanswered
+// tail on their done channels forever.
+var fpFlush = faultpoint.New("server.coalesce.flush")
+
+// flushPanicError is the typed failure delivered to parked requests whose
+// coalesced flush panicked after they were buffered: a server-side 500
+// carrying the recovered cause, scoped to the affected requests only.
+type flushPanicError struct{ cause any }
+
+func (e *flushPanicError) Error() string {
+	return fmt.Sprintf("server: coalesced flush panicked: %v", e.cause)
+}
 
 // coalescePending is one buffered request awaiting its flush.
 type coalescePending struct {
@@ -108,6 +125,14 @@ func (c *coalescer) tick() {
 // delivers each item's outcome. The batch runs under the server's base
 // context so one client's disconnect cannot cancel its batch-mates;
 // per-item deadlines ride in each item's Options.
+//
+// A panic anywhere in the flush — most dangerously mid-delivery, when
+// some parked requests are already answered — must not abandon the rest
+// on their done channels: the deferred recover answers exactly the
+// not-yet-answered requests with a *flushPanicError (their 500), so every
+// parked handler is always released. The per-item alignment panics are
+// already contained by AlignBatchItemsContext; this recover covers the
+// flush machinery itself.
 func (c *coalescer) flush(batch []*coalescePending) {
 	if len(batch) == 0 {
 		return
@@ -116,9 +141,24 @@ func (c *coalescer) flush(batch []*coalescePending) {
 	go func() {
 		defer c.wg.Done()
 		s := c.srv
+		answered := make([]bool, len(batch))
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			s.stats.panicsContained.Add(1)
+			err := &flushPanicError{cause: r}
+			for i, p := range batch {
+				if !answered[i] {
+					p.done <- coalesceDone{err: err}
+				}
+			}
+		}()
 		if err := s.gate.acquireRun(s.base); err != nil {
-			for _, p := range batch {
+			for i, p := range batch {
 				p.done <- coalesceDone{err: ErrServerClosed}
+				answered[i] = true
 			}
 			return
 		}
@@ -130,7 +170,11 @@ func (c *coalescer) flush(batch []*coalescePending) {
 		s.stats.coalescedBatches.Add(1)
 		s.stats.coalescedRequests.Add(int64(len(batch)))
 		for _, r := range repro.AlignBatchItemsContext(s.base, items) {
+			if fpFlush.Fire() {
+				panic("faultpoint: server.coalesce.flush")
+			}
 			batch[r.Index].done <- coalesceDone{res: r.Result, err: r.Err}
+			answered[r.Index] = true
 		}
 	}()
 }

@@ -82,6 +82,10 @@ type stats struct {
 	estBytesInFlight  atomic.Int64 // planner-estimated bytes of executing alignments
 	plannedDowngrades atomic.Int64 // downgrade steps recorded by served plans
 
+	panicsContained     atomic.Int64 // panics recovered instead of crashing the process
+	retriesObserved     atomic.Int64 // requests arriving with an X-Retry-Attempt header
+	memPressureDegraded atomic.Int64 // admissions routed through the degrade ladder
+
 	latency latencyRing
 }
 

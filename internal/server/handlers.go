@@ -10,10 +10,48 @@ import (
 	"time"
 
 	repro "repro"
+	"repro/internal/faultpoint"
+	"repro/internal/wavefront"
 )
 
 // errDraining is the 503 body for alignment requests arriving mid-drain.
 var errDraining = errors.New("server draining; not accepting new alignments")
+
+// retryAttemptHeader marks a request as attempt n of a retrying client
+// (the client package sets it); the server counts them so operators can
+// see retry pressure that per-client logs hide.
+const retryAttemptHeader = "X-Retry-Attempt"
+
+// fpAdmit injects a transient 503 (with a Retry-After hint) at admission —
+// the canonical fault a retrying client must mask. Behavioral: nothing is
+// corrupted, the request is simply refused as if the server were briefly
+// unavailable.
+var fpAdmit = faultpoint.New("server.admit")
+
+// observeRetry counts requests that arrive marked as client retries.
+func (s *Server) observeRetry(r *http.Request) {
+	if r.Header.Get(retryAttemptHeader) != "" {
+		s.stats.retriesObserved.Add(1)
+	}
+}
+
+// fail records one failed request, counting contained panics separately:
+// a *wavefront.PanicError surfacing here means a kernel died and the
+// process did not.
+func (s *Server) fail(err error) {
+	s.stats.failed.Add(1)
+	if wavefront.IsPanic(err) {
+		s.stats.panicsContained.Add(1)
+	}
+}
+
+// injectUnavailable answers a fired admission fault: 503 plus the same
+// Retry-After hint a real shed carries.
+func (s *Server) injectUnavailable(w http.ResponseWriter) {
+	s.stats.shed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	writeError(w, http.StatusServiceUnavailable, errors.New("fault injected: admission unavailable; retry"))
+}
 
 // decode reads one JSON request body under the configured size cap.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
@@ -72,21 +110,36 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errDraining)
 		return
 	}
+	s.observeRetry(r)
+	if fpAdmit.Fire() {
+		s.injectUnavailable(w)
+		return
+	}
 	var req AlignRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.stats.failed.Add(1)
+		s.fail(err)
 		writeError(w, errorStatus(err), err)
 		return
 	}
 	item, err := s.item(&req)
 	if err != nil {
-		s.stats.failed.Add(1)
+		s.fail(err)
 		writeError(w, errorStatus(err), err)
 		return
 	}
+	// Pressure routing happens before planning so an imposed degrade
+	// budget shapes the plan (and its downgrade ladder) rather than
+	// second-guessing it afterwards.
+	switch s.pressureLevel() {
+	case pressureShed:
+		s.shed(w)
+		return
+	case pressureDegrade:
+		s.degradeForPressure(&item)
+	}
 	pl, err := s.planItem(item)
 	if err != nil {
-		s.stats.failed.Add(1)
+		s.fail(err)
 		writeError(w, errorStatus(err), err)
 		return
 	}
@@ -103,7 +156,7 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	s.stats.latency.record(time.Since(start))
 	s.stats.estBytesInFlight.Add(-est)
 	if err != nil {
-		s.stats.failed.Add(1)
+		s.fail(err)
 		writeError(w, errorStatus(err), err)
 		return
 	}
@@ -174,21 +227,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errDraining)
 		return
 	}
+	s.observeRetry(r)
+	if fpAdmit.Fire() {
+		s.injectUnavailable(w)
+		return
+	}
 	var req BatchRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.stats.failed.Add(1)
+		s.fail(err)
 		writeError(w, errorStatus(err), err)
 		return
 	}
 	if len(req.Items) == 0 {
-		s.stats.failed.Add(1)
+		s.fail(nil)
 		writeError(w, http.StatusBadRequest, errors.New("empty batch: give items"))
 		return
 	}
 	if len(req.Items) > s.cfg.MaxBatchItems {
-		s.stats.failed.Add(1)
+		s.fail(nil)
 		writeError(w, http.StatusBadRequest,
 			fmt.Errorf("batch has %d items; the server caps batches at %d", len(req.Items), s.cfg.MaxBatchItems))
+		return
+	}
+	// One pressure decision covers the whole batch: it is one admission.
+	pressure := s.pressureLevel()
+	if pressure == pressureShed {
+		s.shed(w)
 		return
 	}
 	// Resolve and plan every item before admitting: a batch with a
@@ -200,13 +264,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		merged := merge(req.Defaults, req.Items[i])
 		item, err := s.item(&merged)
 		if err != nil {
-			s.stats.failed.Add(1)
+			s.fail(err)
 			writeError(w, errorStatus(err), fmt.Errorf("item %d: %w", i, err))
 			return
 		}
+		if pressure == pressureDegrade {
+			s.degradeForPressure(&item)
+		}
 		pl, err := s.planItem(item)
 		if err != nil {
-			s.stats.failed.Add(1)
+			s.fail(err)
 			writeError(w, errorStatus(err), fmt.Errorf("item %d: %w", i, err))
 			return
 		}
@@ -234,7 +301,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		out.Results[i].Index = res.Index
 		if res.Err != nil {
-			s.stats.failed.Add(1)
+			s.fail(res.Err)
 			out.Results[i].Error = res.Err.Error()
 			continue
 		}

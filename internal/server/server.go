@@ -46,6 +46,7 @@ import (
 	"time"
 
 	repro "repro"
+	"repro/internal/faultpoint"
 	"repro/internal/wavefront"
 )
 
@@ -93,6 +94,18 @@ type Config struct {
 	// occupy queue depth. 0 means no cap beyond the per-request MaxBytes
 	// the kernels enforce.
 	MaxLatticeBytes int64
+	// MemSoftLimitBytes, when positive, enables the memory-pressure guard:
+	// a sampler watches the process heap and, as it approaches this limit,
+	// new admissions are first routed through the planner's downgrade
+	// ladder (degraded 200s) and finally shed with 429 (see pressure.go).
+	// 0 disables the guard.
+	MemSoftLimitBytes int64
+	// MemDegradeFraction is the fraction of MemSoftLimitBytes at which
+	// admissions start degrading; out-of-range values mean 0.85.
+	MemDegradeFraction float64
+	// MemSampleInterval is the heap sampling period; non-positive means
+	// 100ms.
+	MemSampleInterval time.Duration
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -131,11 +144,12 @@ func (c Config) withDefaults() Config {
 // Server is the alignd HTTP serving layer. Create with New, mount
 // Handler() on an http.Server, and call BeginDrain/Close on shutdown.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	gate  *gate
-	coal  *coalescer
-	stats *stats
+	cfg      Config
+	mux      *http.ServeMux
+	gate     *gate
+	coal     *coalescer
+	stats    *stats
+	pressure *pressureGuard // nil when MemSoftLimitBytes is unset
 
 	draining atomic.Bool
 	// base outlives individual requests: coalesced batches run under it so
@@ -156,6 +170,7 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		gate:     newGate(cfg.QueueDepth, cfg.MaxInFlight),
 		stats:    newStats(),
+		pressure: newPressureGuard(cfg.MemSoftLimitBytes, cfg.MemDegradeFraction, cfg.MemSampleInterval),
 		base:     base,
 		stopBase: stop,
 		started:  time.Now(),
@@ -193,6 +208,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Close() {
 	s.draining.Store(true)
 	s.coal.close()
+	s.pressure.close()
 	s.stopBase()
 }
 
@@ -223,6 +239,20 @@ type Statsz struct {
 	EstBytesInFlight  int64 `json:"est_bytes_in_flight"`
 	PlannedDowngrades int64 `json:"planned_downgrades"`
 
+	// Robustness counters. PanicsContained counts panics the serving and
+	// scheduling layers recovered instead of crashing (contained kernel
+	// panics and flush panics); WatchdogStalls counts parallel runs the
+	// wavefront watchdog cancelled; RetriesObserved counts requests that
+	// arrived bearing an X-Retry-Attempt header (a client retrying);
+	// MemPressureDegraded counts admissions routed through the planner's
+	// downgrade ladder by the memory-pressure guard; FaultsInjected sums
+	// fired fault-point hits (zero outside chaos runs).
+	PanicsContained     int64 `json:"panics_contained"`
+	WatchdogStalls      int64 `json:"watchdog_stalls"`
+	RetriesObserved     int64 `json:"retries_observed"`
+	MemPressureDegraded int64 `json:"mem_pressure_degraded"`
+	FaultsInjected      int64 `json:"faults_injected"`
+
 	LatencyMS struct {
 		P50 float64 `json:"p50"`
 		P90 float64 `json:"p90"`
@@ -251,11 +281,19 @@ func (s *Server) snapshot() Statsz {
 	st.CoalescedRequests = s.stats.coalescedRequests.Load()
 	st.EstBytesInFlight = s.stats.estBytesInFlight.Load()
 	st.PlannedDowngrades = s.stats.plannedDowngrades.Load()
+	st.PanicsContained = s.stats.panicsContained.Load()
+	st.RetriesObserved = s.stats.retriesObserved.Load()
+	st.MemPressureDegraded = s.stats.memPressureDegraded.Load()
+	for _, name := range faultpoint.Names() {
+		_, fired := faultpoint.Stats(name)
+		st.FaultsInjected += fired
+	}
 	p50, p90, p99 := s.stats.latency.quantiles()
 	st.LatencyMS.P50 = durMS(p50)
 	st.LatencyMS.P90 = durMS(p90)
 	st.LatencyMS.P99 = durMS(p99)
 	ws := wavefront.Stats()
+	st.WatchdogStalls = ws.Stalls
 	st.Pool.Workers = ws.PoolWorkers
 	st.Pool.Capacity = ws.PoolCapacity
 	return st

@@ -1,0 +1,184 @@
+package wavefront
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultpoint"
+)
+
+// The scheduler chaos suite. The steal/handoff/grow fault points push the
+// scheduler down its rarely-taken legal paths — thieves that keep losing,
+// cache-hot handoffs that get queued, a pool that pretends to be
+// saturated — and the invariant under all of them is exactly-once block
+// execution with no goroutine leaks. The watchdog tests wedge a block for
+// real and assert the run is cancelled as a typed stall instead of
+// hanging.
+
+// runCounted runs an nbi×nbj×nbk grid counting per-block executions and
+// fails on any lost or duplicated block.
+func runCounted(t *testing.T, nbi, nbj, nbk, workers int) {
+	t.Helper()
+	counts := make([]atomic.Int32, nbi*nbj*nbk)
+	err := Run3DContext(context.Background(), nbi, nbj, nbk, workers, func(bi, bj, bk int) {
+		counts[(bi*nbj+bj)*nbk+bk].Add(1)
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	for id := range counts {
+		if n := counts[id].Load(); n != 1 {
+			t.Fatalf("block %d executed %d times, want exactly once", id, n)
+		}
+	}
+}
+
+func TestChaosStealAndHandoffFaults(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.ArmSpec("wavefront.deque.steal=prob:0.4:3;wavefront.handoff=prob:0.4:5"); err != nil {
+		t.Fatal(err)
+	}
+	warmPool(t, 4)
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		runCounted(t, 6, 6, 6, 4)
+	}
+	if hits, _ := faultpoint.Stats("wavefront.handoff"); hits == 0 {
+		t.Fatal("handoff fault never exercised")
+	}
+	waitForGoroutines(t, before)
+}
+
+func TestChaosPoolSaturated(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.Arm("wavefront.pool.grow", "always"); err != nil {
+		t.Fatal(err)
+	}
+	// Every TryGo is refused, so the run must degrade to the sequential
+	// fill and still execute every block exactly once.
+	prev := Stats()
+	runCounted(t, 4, 4, 4, 4)
+	if d := Stats().Sub(prev); d.SoloRuns == 0 {
+		t.Fatalf("saturated pool did not fall back to a solo run: %+v", d)
+	}
+}
+
+func TestChaosPoolPartiallySaturated(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.Arm("wavefront.pool.grow", "every:2"); err != nil {
+		t.Fatal(err)
+	}
+	warmPool(t, 4)
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		runCounted(t, 5, 5, 5, 4)
+	}
+	waitForGoroutines(t, before)
+}
+
+func TestWatchdogStallsWedgedRun(t *testing.T) {
+	prev := SetStallBudget(25 * time.Millisecond)
+	t.Cleanup(func() { SetStallBudget(prev) })
+	warmPool(t, 4)
+	before := runtime.NumGoroutine()
+
+	wedge := make(chan struct{})
+	var done atomic.Int64
+	statsBefore := Stats()
+	err := Run3DContext(context.Background(), 4, 4, 4, 4, func(bi, bj, bk int) {
+		if bi == 2 && bj == 2 && bk == 2 {
+			<-wedge // a livelocked/deadlocked block: never returns on its own
+		}
+		done.Add(1)
+	})
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("errors.Is(err, ErrStalled) = false for %v", err)
+	}
+	if se.Completed >= se.Total {
+		t.Fatalf("stall reports %d of %d blocks done", se.Completed, se.Total)
+	}
+	if d := Stats().Sub(statsBefore); d.Stalls != 1 {
+		t.Fatalf("stall counter moved by %d, want 1", d.Stalls)
+	}
+	if done.Load() >= 4*4*4 {
+		t.Fatal("all blocks ran despite the wedge")
+	}
+	// Unwedge: the abandoned participant finishes its block, observes the
+	// cancel, and returns its pool slot; everything drains to baseline.
+	close(wedge)
+	waitForGoroutines(t, before)
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	prev := SetStallBudget(-1)
+	t.Cleanup(func() { SetStallBudget(prev) })
+	runCounted(t, 4, 4, 4, 4)
+}
+
+func TestWatchdogQuietOnHealthyRuns(t *testing.T) {
+	prev := SetStallBudget(20 * time.Millisecond)
+	t.Cleanup(func() { SetStallBudget(prev) })
+	statsBefore := Stats()
+	// Each block is far faster than the budget; the watchdog must never
+	// fire even though whole runs take many budget windows.
+	for round := 0; round < 3; round++ {
+		var count atomic.Int64
+		err := Run3DContext(context.Background(), 8, 8, 8, 4, func(bi, bj, bk int) {
+			count.Add(1)
+			time.Sleep(20 * time.Microsecond)
+		})
+		if err != nil {
+			t.Fatalf("healthy run failed: %v", err)
+		}
+		if count.Load() != 8*8*8 {
+			t.Fatalf("ran %d blocks, want %d", count.Load(), 8*8*8)
+		}
+	}
+	if d := Stats().Sub(statsBefore); d.Stalls != 0 {
+		t.Fatalf("watchdog fired %d times on healthy runs", d.Stalls)
+	}
+}
+
+func TestStallBudgetDeadlineClamp(t *testing.T) {
+	prev := SetStallBudget(0) // default 30s
+	t.Cleanup(func() { SetStallBudget(prev) })
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if b := stallBudgetFor(ctx); b > 50*time.Millisecond || b < minStallBudget {
+		t.Fatalf("deadline-derived budget = %v, want within [%v, 50ms]", b, minStallBudget)
+	}
+	if b := stallBudgetFor(context.Background()); b != DefaultStallBudget {
+		t.Fatalf("background budget = %v, want %v", b, DefaultStallBudget)
+	}
+	SetStallBudget(-time.Second)
+	if b := stallBudgetFor(context.Background()); b != 0 {
+		t.Fatalf("disabled budget = %v, want 0", b)
+	}
+}
+
+func TestStallErrorMessage(t *testing.T) {
+	se := &StallError{Budget: 30 * time.Millisecond, Completed: 7, Total: 64}
+	msg := se.Error()
+	for _, want := range []string{"stalled", "30ms", "7 of 64"} {
+		if !contains(msg, want) {
+			t.Fatalf("StallError message %q misses %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

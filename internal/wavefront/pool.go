@@ -3,6 +3,8 @@ package wavefront
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/faultpoint"
 )
 
 // The shared worker pool. All wavefront runs in the process — and any other
@@ -58,12 +60,21 @@ func Prewarm(n int) {
 	p.mu.Unlock()
 }
 
+// fpGrow simulates a saturated pool: a fired hit makes TryGo report false
+// as if every slot were busy, so chaos runs exercise the degraded paths
+// (solo fills, fewer helpers, plain-goroutine worker 0) without actually
+// loading the pool. Behavioral, not a panic — saturation is a legal state.
+var fpGrow = faultpoint.New("wavefront.pool.grow")
+
 // TryGo runs f on a pool worker if a slot is free, spawning a persistent
 // worker lazily when none is idle and the pool is under capacity. It
 // reports false — without blocking — when every slot is busy, which is how
 // a saturated pool degrades gracefully: the caller simply proceeds with
 // less parallelism. TryGo never queues: a granted task starts immediately.
 func TryGo(f func()) bool {
+	if fpGrow.Fire() {
+		return false
+	}
 	p := pool
 	p.mu.Lock()
 	if p.capacity == 0 {

@@ -4,6 +4,9 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/faultpoint"
 )
 
 // The locality-aware work-stealing scheduler.
@@ -35,7 +38,18 @@ type predShard struct {
 
 const (
 	noBlock = -1 // participant has no block in hand
-	stopRun = -2 // run is over (completed, cancelled, or panicked)
+	stopRun = -2 // run is over (completed, cancelled, panicked, or stalled)
+)
+
+// Scheduler fault points. All three are *behavioral*: a fired hit makes
+// the scheduler take a legal but pessimal path (a steal that finds
+// nothing, a cache-hot handoff that is queued instead, a pool that
+// pretends to be saturated), so chaos runs exercise the rarely-taken
+// branches while the no-lost-no-duplicated-blocks invariant must still
+// hold.
+var (
+	fpSteal   = faultpoint.New("wavefront.deque.steal")
+	fpHandoff = faultpoint.New("wavefront.handoff")
 )
 
 // stealRun is the per-run state shared by all participants.
@@ -56,12 +70,18 @@ type stealRun struct {
 
 	panicOnce sync.Once
 	panicErr  *PanicError
-	wg        sync.WaitGroup // recruited pool helpers
+	wg        sync.WaitGroup // all participants (worker 0 included)
+
+	// stallErr is set by the watchdog before stalled is closed; runSteal
+	// reads it only after observing the close, so the channel carries the
+	// happens-before edge.
+	stallErr *StallError
+	stalled  chan struct{}
 }
 
 // Cumulative scheduler counters; see Stats.
 var sched struct {
-	runs, soloRuns, blocks, keeps, steals, helperJoins atomic.Int64
+	runs, soloRuns, blocks, keeps, steals, helperJoins, stalls atomic.Int64
 }
 
 // SchedStats is a snapshot of the cumulative work-stealing scheduler and
@@ -72,6 +92,9 @@ type SchedStats struct {
 	// parallel requests that fell back to the sequential fill because the
 	// pool had no free helper.
 	Runs, SoloRuns int64
+	// Stalls counts runs the watchdog cancelled because no block was
+	// retired within the stall budget (returned as a *StallError).
+	Stalls int64
 	// Blocks is the number of blocks executed by work-stealing runs.
 	Blocks int64
 	// Keeps counts blocks a worker kept directly after unlocking them (the
@@ -90,6 +113,7 @@ func Stats() SchedStats {
 	s := SchedStats{
 		Runs:        sched.runs.Load(),
 		SoloRuns:    sched.soloRuns.Load(),
+		Stalls:      sched.stalls.Load(),
 		Blocks:      sched.blocks.Load(),
 		Keeps:       sched.keeps.Load(),
 		Steals:      sched.steals.Load(),
@@ -105,6 +129,7 @@ func (s SchedStats) Sub(prev SchedStats) SchedStats {
 	return SchedStats{
 		Runs:         s.Runs - prev.Runs,
 		SoloRuns:     s.SoloRuns - prev.SoloRuns,
+		Stalls:       s.Stalls - prev.Stalls,
 		Blocks:       s.Blocks - prev.Blocks,
 		Keeps:        s.Keeps - prev.Keeps,
 		Steals:       s.Steals - prev.Steals,
@@ -125,6 +150,7 @@ func newStealRun(ctx context.Context, nbi, nbj, nbk, workers int, fn func(bi, bj
 		deques:   make([]wdeque, workers),
 		finished: make(chan struct{}),
 		notify:   make(chan struct{}, workers),
+		stalled:  make(chan struct{}),
 	}
 }
 
@@ -160,8 +186,14 @@ func (r *stealRun) participate(slot, seed int) {
 	}
 }
 
-// trySteal scans the other participants' deques FIFO-end first.
+// trySteal scans the other participants' deques FIFO-end first. A fired
+// steal fault makes the whole scan report empty — the block stays where it
+// is and its owner (or a later steal) still runs it, modeling a thief that
+// keeps losing races.
 func (r *stealRun) trySteal(slot int) int {
+	if fpSteal.Fire() {
+		return noBlock
+	}
 	n := len(r.deques)
 	for i := 1; i < n; i++ {
 		if id, ok := r.deques[(slot+i)%n].steal(); ok {
@@ -236,7 +268,11 @@ func (r *stealRun) offer(id, bi, bj, bk, slot int, keep *int) {
 		delete(s.m, id)
 		s.mu.Unlock()
 	}
-	if *keep == noBlock {
+	// A fired handoff fault suppresses the cache-hot keep: the ready block
+	// goes through the deque like any other, trading locality for nothing —
+	// chaos runs use it to prove the keep is an optimization, not a
+	// correctness dependency.
+	if *keep == noBlock && !fpHandoff.Fire() {
 		*keep = id
 		sched.keeps.Add(1)
 		return
@@ -249,10 +285,13 @@ func (r *stealRun) offer(id, bi, bj, bk, slot int, keep *int) {
 }
 
 // runSteal drives a multi-worker run: it recruits up to workers-1 helpers
-// from the shared pool, participates itself as worker 0 seeded with the
-// origin block, and reports whether any helper joined (when none did the
-// caller should use the sequential fill instead). All helpers have exited
-// the run state by the time runSteal returns.
+// from the shared pool, runs worker 0 seeded with the origin block, and
+// reports whether any helper joined (when none did the caller should use
+// the sequential fill instead). Under the stall watchdog, worker 0 runs on
+// its own goroutine and the caller only waits — so a wedged participant
+// (watchdog fired, grace expired) can be abandoned instead of hanging the
+// caller; see watchdog.go. On the normal path every participant has exited
+// by the time runSteal returns.
 func runSteal(ctx context.Context, nbi, nbj, nbk, workers int, fn func(bi, bj, bk int)) (bool, error) {
 	GrowPool(workers)
 	r := newStealRun(ctx, nbi, nbj, nbk, workers, fn)
@@ -273,10 +312,46 @@ func runSteal(ctx context.Context, nbi, nbj, nbk, workers int, fn func(bi, bj, b
 	}
 	sched.runs.Add(1)
 	sched.helperJoins.Add(int64(joined))
-	r.participate(0, 0)
-	r.wg.Wait()
+
+	budget := stallBudgetFor(r.ctx)
+	if budget <= 0 {
+		// Watchdog disabled: the caller participates directly, as before.
+		r.participate(0, 0)
+		r.wg.Wait()
+		if r.panicErr != nil {
+			return true, r.panicErr
+		}
+		return true, nil
+	}
+	go r.watchdog(budget)
+	r.wg.Add(1)
+	w0 := func() { defer r.wg.Done(); r.participate(0, 0) }
+	if !TryGo(w0) {
+		go w0()
+	}
+	waitc := make(chan struct{})
+	go func() { r.wg.Wait(); close(waitc) }()
+	select {
+	case <-waitc:
+	case <-r.stalled:
+		// Give the healthy participants a grace window to observe the
+		// cancel; whoever is still running after it is wedged inside a
+		// block and is abandoned (its pool slot stays occupied until —
+		// if ever — the block returns).
+		select {
+		case <-waitc:
+		case <-time.After(stallGrace(budget)):
+		}
+	}
 	if r.panicErr != nil {
 		return true, r.panicErr
+	}
+	select {
+	case <-r.stalled:
+		if r.done.Load() < r.total {
+			return true, r.stallErr
+		}
+	default:
 	}
 	return true, nil
 }

@@ -1,0 +1,141 @@
+package wavefront
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// The stall watchdog. Cooperative cancellation (PR 1) handles callers that
+// give up and panic containment handles blocks that die loudly, but a
+// block function that simply never returns — a livelocked loop, a blocked
+// syscall, a deadlock inside user code — used to wedge the whole run: the
+// remaining workers drain their deques, park forever, and the caller hangs
+// in wg.Wait. The watchdog turns that hang into a typed error: each
+// multi-participant run gets one watchdog goroutine that checks the
+// retired-block counter once per stall budget; a whole window with no
+// progress while blocks remain means some participant is wedged, so the
+// run is cancelled and reported as a *StallError (errors.Is ErrStalled).
+//
+// To make the cancellation effective, worker 0 runs on its own goroutine
+// (pool slot when one is free, plain goroutine otherwise) instead of on
+// the calling goroutine: any participant, not just a pool helper, can then
+// be abandoned. Healthy participants notice the cancel at their next block
+// boundary and exit within the grace window; a truly wedged participant is
+// abandoned — it occupies one pool worker until (if ever) its block
+// returns, which is the honest cost of a wedged computation and is far
+// cheaper than hanging the request that scheduled it.
+//
+// The budget is deadline-derived: the configured stall budget, clamped
+// down to the request's remaining deadline (a request 200ms from its
+// deadline should learn about a wedge in 200ms, not 30s) and never below
+// minStallBudget. Detection latency is between one and two budgets, since
+// the first window only seeds the progress counter.
+
+// DefaultStallBudget is the no-progress window after which a run is
+// declared stalled when SetStallBudget has not been called. Blocks retire
+// in tens of microseconds, so thirty seconds of zero retirements is a
+// wedge, not load.
+const DefaultStallBudget = 30 * time.Second
+
+// minStallBudget floors the deadline-derived budget so a nearly-expired
+// deadline cannot arm a hair-trigger watchdog that fires on scheduler
+// jitter.
+const minStallBudget = 10 * time.Millisecond
+
+// ErrStalled is the sentinel matched by errors.Is for runs cancelled by
+// the stall watchdog. The concrete error is a *StallError.
+var ErrStalled = errors.New("wavefront: run stalled")
+
+// StallError reports a run the watchdog cancelled: no block was retired
+// for a whole Budget window while blocks remained. It unwraps to
+// ErrStalled.
+type StallError struct {
+	// Budget is the no-progress window that expired.
+	Budget time.Duration
+	// Completed and Total count retired blocks and grid blocks.
+	Completed, Total int64
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("wavefront: run stalled: no block retired in %v (%d of %d blocks done)",
+		e.Budget, e.Completed, e.Total)
+}
+
+// Unwrap makes errors.Is(err, ErrStalled) hold.
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// stallBudgetNS holds the configured stall budget in nanoseconds:
+// 0 means DefaultStallBudget, negative disables the watchdog.
+var stallBudgetNS atomic.Int64
+
+// SetStallBudget configures the watchdog's no-progress window for
+// subsequent runs: 0 restores DefaultStallBudget, a negative duration
+// disables the watchdog entirely (runs regain the pre-watchdog hang
+// behavior). It returns the previous setting so tests can restore it.
+func SetStallBudget(d time.Duration) (prev time.Duration) {
+	return time.Duration(stallBudgetNS.Swap(int64(d)))
+}
+
+// stallBudgetFor resolves the effective budget for one run under ctx.
+func stallBudgetFor(ctx interface{ Deadline() (time.Time, bool) }) time.Duration {
+	b := time.Duration(stallBudgetNS.Load())
+	if b < 0 {
+		return 0
+	}
+	if b == 0 {
+		b = DefaultStallBudget
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < b {
+			b = rem
+		}
+	}
+	if b < minStallBudget {
+		b = minStallBudget
+	}
+	return b
+}
+
+// stallGrace is how long runSteal waits after a stall for the healthy
+// participants to notice the cancel before abandoning the stragglers.
+func stallGrace(budget time.Duration) time.Duration {
+	g := budget / 2
+	if g < minStallBudget {
+		g = minStallBudget
+	}
+	if g > time.Second {
+		g = time.Second
+	}
+	return g
+}
+
+// watchdog is the per-run monitor goroutine: declare a stall when a whole
+// budget window passes with no block retired and blocks remain, then
+// cancel the run. stallErr is published before stalled is closed, so any
+// reader that observed the close may read it.
+func (r *stealRun) watchdog(budget time.Duration) {
+	t := time.NewTimer(budget)
+	defer t.Stop()
+	last := int64(-1)
+	for {
+		select {
+		case <-r.finished:
+			return
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+			n := r.done.Load()
+			if n == last && n < r.total {
+				sched.stalls.Add(1)
+				r.stallErr = &StallError{Budget: budget, Completed: n, Total: r.total}
+				close(r.stalled)
+				r.cancel()
+				return
+			}
+			last = n
+			t.Reset(budget)
+		}
+	}
+}

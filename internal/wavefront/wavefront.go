@@ -101,8 +101,9 @@ func (e *PanicError) Error() string {
 // A panic inside fn is re-raised on the calling goroutine as a *PanicError.
 func Run3D(nbi, nbj, nbk, workers int, fn func(bi, bj, bk int)) {
 	if err := Run3DContext(context.Background(), nbi, nbj, nbk, workers, fn); err != nil {
-		// A background context never cancels, so the only possible error is
-		// a contained panic; surface it where the caller can recover it.
+		// A background context never cancels, so the only possible errors
+		// are a contained panic and a watchdog stall; surface them where
+		// the caller can recover them.
 		panic(err)
 	}
 }
@@ -113,14 +114,18 @@ func Run2D(nbi, nbj, workers int, fn func(bi, bj int)) {
 	Run3D(nbi, nbj, 1, workers, func(bi, bj, _ int) { fn(bi, bj) })
 }
 
-// Run3DContext is Run3D with cooperative cancellation and panic
-// containment. The calling goroutine participates as a worker; up to
-// workers-1 helpers are recruited from the shared pool (when the pool is
-// saturated the run proceeds with fewer, down to the sequential fill).
-// Workers check the context before claiming each block; when it is
-// cancelled the run drains (in-flight blocks finish, ready ones are
-// abandoned) and the wrapped context error is returned. A panic inside fn
-// cancels the remaining schedule and is returned as a *PanicError. All
+// Run3DContext is Run3D with cooperative cancellation, panic containment,
+// and a stall watchdog. Up to workers-1 helpers are recruited from the
+// shared pool (when the pool is saturated the run proceeds with fewer,
+// down to the sequential fill). Workers check the context before claiming
+// each block; when it is cancelled the run drains (in-flight blocks
+// finish, ready ones are abandoned) and the wrapped context error is
+// returned. A panic inside fn cancels the remaining schedule and is
+// returned as a *PanicError. A multi-worker run that retires no block for
+// a whole stall budget (SetStallBudget, clamped to the context deadline)
+// is cancelled and returned as a *StallError matching ErrStalled; healthy
+// workers detach on the cancel, while a truly wedged one is abandoned
+// mid-block rather than hanging the caller. On every other path all
 // helpers have detached from the run by the time Run3DContext returns.
 func Run3DContext(ctx context.Context, nbi, nbj, nbk, workers int, fn func(bi, bj, bk int)) error {
 	total := nbi * nbj * nbk

@@ -13,6 +13,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/scoring"
 	"repro/internal/seq"
+	"repro/internal/wavefront"
 )
 
 // Re-exported substrate types. The aliases make the internal implementation
@@ -53,6 +54,17 @@ var (
 
 // ErrTooLarge is returned when an alignment would exceed Options.MaxBytes.
 var ErrTooLarge = core.ErrTooLarge
+
+// ErrStalled is returned (wrapped in a *wavefront.StallError) when the
+// scheduler's watchdog cancelled a parallel run because no wavefront block
+// was retired within the stall budget — a wedged worker, not a slow one.
+// Check with errors.Is; callers that want the completed/total block counts
+// can errors.As into *StallError.
+var ErrStalled = wavefront.ErrStalled
+
+// StallError is the concrete error behind ErrStalled; see
+// wavefront.StallError.
+type StallError = wavefront.StallError
 
 // Algorithm selects the alignment strategy.
 type Algorithm string
