@@ -291,6 +291,9 @@ func printStats(w io.Writer, res *repro.Result) {
 // printPlan renders one execution plan for -explain.
 func printPlan(w io.Writer, pl *repro.Plan) {
 	fmt.Fprintf(w, "algorithm: %s   workers: %d", pl.Algorithm, pl.Workers)
+	if pl.CellWidthBits > 0 {
+		fmt.Fprintf(w, "   cells: int%d", pl.CellWidthBits)
+	}
 	if pl.TileDims != [3]int{} {
 		fmt.Fprintf(w, "   tile: %dx%dx%d", pl.TileDims[0], pl.TileDims[1], pl.TileDims[2])
 	}

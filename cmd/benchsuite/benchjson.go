@@ -202,8 +202,20 @@ func writeBenchJSON(path string, cfg config) error {
 		{"full", n, lattice(tr), func() {
 			mustAlign(core.AlignFull(ctx, tr, sch, core.Options{}))
 		}, cells(tr), false},
+		{"full-packed", n, lattice(tr), func() {
+			mustAlign(core.AlignFullPacked(ctx, tr, sch, core.Options{}))
+		}, cells(tr), false},
+		{"full-packed-w16", n, lattice(tr) / 2, func() {
+			mustAlign(core.AlignFullPacked(ctx, tr, sch, core.Options{CellWidth: 16}))
+		}, cells(tr), false},
 		{"parallel", n, lattice(tr), func() {
 			mustAlign(core.AlignParallel(ctx, tr, sch, core.Options{}))
+		}, cells(tr), true},
+		{"parallel-packed", n, lattice(tr), func() {
+			mustAlign(core.AlignParallelPacked(ctx, tr, sch, core.Options{}))
+		}, cells(tr), true},
+		{"parallel-packed-w16", n, lattice(tr) / 2, func() {
+			mustAlign(core.AlignParallelPacked(ctx, tr, sch, core.Options{CellWidth: 16}))
 		}, cells(tr), true},
 		{"score", n, 2 * int64(tr.B.Len()+1) * int64(tr.C.Len()+1) * 4, func() {
 			if _, err := core.Score(ctx, tr, sch, core.Options{}); err != nil {

@@ -84,8 +84,10 @@ func TestBenchJSON(t *testing.T) {
 	if rep.Rev == "" || rep.GoVersion == "" || rep.GOMAXPROCS < 1 {
 		t.Fatalf("missing environment metadata: %+v", rep)
 	}
-	want := map[string]bool{"full": false, "parallel": false, "score": false, "linear": false,
-		"pruned": false, "diagonal": false, "affine7": false, "pairwise-global": false, "pairwise-gotoh": false}
+	want := map[string]bool{"full": false, "full-packed": false, "full-packed-w16": false,
+		"parallel": false, "parallel-packed": false, "parallel-packed-w16": false,
+		"score": false, "linear": false, "pruned": false, "diagonal": false, "affine7": false,
+		"pairwise-global": false, "pairwise-gotoh": false}
 	for _, k := range rep.Kernels {
 		if _, ok := want[k.Kernel]; !ok {
 			t.Errorf("unexpected kernel %q", k.Kernel)

@@ -78,6 +78,20 @@
 // memory. See the README's Performance section for measured numbers and
 // the BENCH_<rev>.json regression harness.
 //
+// Lattice cell width is negotiated, never assumed. Scores and the public
+// Alignment type are always int32, but the linear-gap kernels store the
+// lattice itself in int16 cells when the planner proves every cell fits:
+// total sequence length times the scheme's per-column score bound must
+// stay within int16, checked with overflow-proof arithmetic. The chosen
+// width is reported as Plan.CellWidthBits (16 or 32). The width is a
+// hint with a one-sided failure mode: kernels re-verify the bound at
+// dispatch and silently run 32-bit cells when it does not hold, so a
+// stale plan can cost memory bandwidth but can never truncate a score.
+// The -packed algorithm variants (AlgorithmFullPacked,
+// AlgorithmParallelPacked — the Auto defaults for linear-gap schemes)
+// additionally vectorize the interior loop along the unit-stride axis;
+// they are exact and bit-identical to their scalar counterparts.
+//
 // The underlying algorithm implementations live in internal/core; sequence
 // and scoring substrates in internal/seq and internal/scoring; heuristic
 // baselines in internal/msa. DESIGN.md maps every subsystem, and

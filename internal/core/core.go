@@ -62,6 +62,13 @@ type Options struct {
 	// It outranks BlockSize; the zero value defers to BlockSize or the
 	// adaptive heuristic.
 	TileDims [3]int
+	// CellWidth selects the lattice cell storage width in bits for the
+	// width-aware kernels (AlignFull, AlignParallel and their packed
+	// variants): 16 requests an int16 lattice, 0 or 32 the default int32.
+	// The kernels re-verify the request with the Int16Safe bound and keep
+	// int32 silently when the narrow width could overflow, so a stale or
+	// hostile value can cost bandwidth but never correctness.
+	CellWidth int
 }
 
 // DefaultBlockSize is the tile edge used when Options.BlockSize is unset.
@@ -124,7 +131,7 @@ func colXXX(sch *scoring.Scheme, ai, bj, ck int8) mat.Score {
 // The box is peeled into explicit boundary passes (i == 0 plane, j == 0
 // row, k == 0 column) and a branch-minimal interior loop, so the interior
 // carries no per-cell boundary tests and no nil-lane checks.
-func fillRange(t *mat.Tensor3, st *scoreTables, ge2 mat.Score, si, sj, sk wavefront.Span) {
+func fillRange[T mat.Cell](t *mat.Tensor3Of[T], st *scoreTablesOf[T], ge2 T, si, sj, sk wavefront.Span) {
 	if fpFill.Fire() {
 		panic("faultpoint: core.fill.block")
 	}
@@ -149,7 +156,7 @@ func fillRange(t *mat.Tensor3, st *scoreTables, ge2 mat.Score, si, sj, sk wavefr
 // -gcflags=-d=ssa/check_bce), and the k-1 predecessors are carried in
 // registers across iterations, so each lattice and table element is loaded
 // exactly once.
-func fillLane(t *mat.Tensor3, ge2 mat.Score, i, j int, sAB mat.Score, acRow, bcRow []mat.Score, sk wavefront.Span) {
+func fillLane[T mat.Cell](t *mat.Tensor3Of[T], ge2 T, i, j int, sAB T, acRow, bcRow []T, sk wavefront.Span) {
 	hi := sk.Hi
 	cur := t.Lane(i, j)[:hi:hi]
 	lane11 := t.Lane(i-1, j-1)[:hi]
@@ -187,7 +194,7 @@ func fillLane(t *mat.Tensor3, ge2 mat.Score, i, j int, sAB mat.Score, acRow, bcR
 
 // fillBoundaryI0 fills the i == 0 plane portion of the box: only the moves
 // that leave A untouched (GXX, GXG, GGX) apply.
-func fillBoundaryI0(t *mat.Tensor3, st *scoreTables, ge2 mat.Score, sj, sk wavefront.Span) {
+func fillBoundaryI0[T mat.Cell](t *mat.Tensor3Of[T], st *scoreTablesOf[T], ge2 T, sj, sk wavefront.Span) {
 	for j := sj.Lo; j < sj.Hi; j++ {
 		cur := t.Lane(0, j)
 		if j == 0 {
@@ -216,7 +223,7 @@ func fillBoundaryI0(t *mat.Tensor3, st *scoreTables, ge2 mat.Score, sj, sk wavef
 
 // fillBoundaryJ0 fills the j == 0 row of plane i ≥ 1: only the B-gapped
 // moves XGX, XGG, GGX apply.
-func fillBoundaryJ0(t *mat.Tensor3, ge2 mat.Score, i int, acRow []mat.Score, sk wavefront.Span) {
+func fillBoundaryJ0[T mat.Cell](t *mat.Tensor3Of[T], ge2 T, i int, acRow []T, sk wavefront.Span) {
 	cur := t.Lane(i, 0)
 	prev := t.Lane(i-1, 0)
 	k := sk.Lo
@@ -230,25 +237,28 @@ func fillBoundaryJ0(t *mat.Tensor3, ge2 mat.Score, i int, acRow []mat.Score, sk 
 }
 
 // tracebackTensor recovers one optimal move sequence from a filled lattice
-// by re-evaluating which predecessor produced each cell's value.
-func tracebackTensor(t *mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme) ([]alignment.Move, error) {
-	ge2 := 2 * sch.GapExtend()
+// by re-evaluating which predecessor produced each cell's value. The
+// re-evaluation runs at the lattice's own cell width; every sum it compares
+// is a candidate the fill already computed, so the width-safety bound that
+// admitted the lattice covers the traceback too.
+func tracebackTensor[T mat.Cell](t *mat.Tensor3Of[T], ca, cb, cc []int8, sch *scoring.Scheme) ([]alignment.Move, error) {
+	ge2 := T(2 * sch.GapExtend())
 	i, j, k := len(ca), len(cb), len(cc)
 	moves := make([]alignment.Move, 0, i+j+k)
 	for i > 0 || j > 0 || k > 0 {
 		v := t.At(i, j, k)
 		switch {
 		case i > 0 && j > 0 && k > 0 &&
-			v == t.At(i-1, j-1, k-1)+colXXX(sch, ca[i-1], cb[j-1], cc[k-1]):
+			v == t.At(i-1, j-1, k-1)+T(colXXX(sch, ca[i-1], cb[j-1], cc[k-1])):
 			moves = append(moves, alignment.MoveXXX)
 			i, j, k = i-1, j-1, k-1
-		case i > 0 && j > 0 && v == t.At(i-1, j-1, k)+sch.Sub(ca[i-1], cb[j-1])+ge2:
+		case i > 0 && j > 0 && v == t.At(i-1, j-1, k)+T(sch.Sub(ca[i-1], cb[j-1]))+ge2:
 			moves = append(moves, alignment.MoveXXG)
 			i, j = i-1, j-1
-		case i > 0 && k > 0 && v == t.At(i-1, j, k-1)+sch.Sub(ca[i-1], cc[k-1])+ge2:
+		case i > 0 && k > 0 && v == t.At(i-1, j, k-1)+T(sch.Sub(ca[i-1], cc[k-1]))+ge2:
 			moves = append(moves, alignment.MoveXGX)
 			i, k = i-1, k-1
-		case j > 0 && k > 0 && v == t.At(i, j-1, k-1)+sch.Sub(cb[j-1], cc[k-1])+ge2:
+		case j > 0 && k > 0 && v == t.At(i, j-1, k-1)+T(sch.Sub(cb[j-1], cc[k-1]))+ge2:
 			moves = append(moves, alignment.MoveGXX)
 			j, k = j-1, k-1
 		case i > 0 && v == t.At(i-1, j, k)+ge2:
@@ -289,64 +299,137 @@ func prepare(tr seq.Triple, sch *scoring.Scheme) (ca, cb, cc []int8, err error) 
 }
 
 // AlignFull computes an optimal alignment with the sequential full-matrix
-// algorithm. The context is polled at every i-plane boundary.
+// algorithm. The context is polled at every i-plane boundary. When
+// Options.CellWidth asks for — and the Int16Safe bound admits — a 16-bit
+// lattice, the fill runs over int16 cells at half the memory traffic and
+// produces bit-identical scores.
 func AlignFull(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
 		return nil, err
 	}
+	if useInt16(opt, sch, ca, cb, cc) {
+		return alignFullOf[int16](ctx, tr, ca, cb, cc, sch, opt, false)
+	}
+	return alignFullOf[mat.Score](ctx, tr, ca, cb, cc, sch, opt, false)
+}
+
+// AlignFullPacked is AlignFull with the lane-packed interior: the unit-
+// stride k lane advances four cells per iteration with hand-unrolled,
+// bounds-check-free max chains. Scores and moves are bit-identical to
+// AlignFull (integer max is associative and commutative, so regrouping the
+// chain cannot change any cell).
+func AlignFullPacked(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+	ca, cb, cc, err := prepare(tr, sch)
+	if err != nil {
+		return nil, err
+	}
+	if useInt16(opt, sch, ca, cb, cc) {
+		return alignFullOf[int16](ctx, tr, ca, cb, cc, sch, opt, true)
+	}
+	return alignFullOf[mat.Score](ctx, tr, ca, cb, cc, sch, opt, true)
+}
+
+// latticeNeed is the width-aware admission size of the full lattice.
+func latticeNeed[T mat.Cell](ca, cb, cc []int8) int64 {
+	return int64(mat.CellBytes[T]()) * int64(len(ca)+1) * int64(len(cb)+1) * int64(len(cc)+1)
+}
+
+func alignFullOf[T mat.Cell](ctx context.Context, tr seq.Triple, ca, cb, cc []int8, sch *scoring.Scheme, opt Options, packed bool) (*alignment.Alignment, error) {
 	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
-	if FullMatrixBytes(tr) > opt.maxBytes() {
-		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, FullMatrixBytes(tr), opt.maxBytes())
+	if need := latticeNeed[T](ca, cb, cc); need > opt.maxBytes() {
+		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, need, opt.maxBytes())
 	}
-	st := newScoreTables(ca, cb, cc, sch)
+	st := newScoreTablesOf[T](ca, cb, cc, sch)
 	defer st.release()
-	t := mat.GetTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
-	defer mat.PutTensor3(t)
-	ge2 := 2 * sch.GapExtend()
+	t := mat.GetTensor3Of[T](len(ca)+1, len(cb)+1, len(cc)+1)
+	defer mat.PutTensor3Of(t)
+	ge2 := T(2 * sch.GapExtend())
+	var lv laneVec
+	if packed {
+		initLaneVec(&lv, ca, cb, cc, sch, ge2)
+	}
 	sj := wavefront.Span{Lo: 0, Hi: len(cb) + 1}
 	sk := wavefront.Span{Lo: 0, Hi: len(cc) + 1}
 	for i := 0; i <= len(ca); i++ {
 		if err := checkCtx(ctx); err != nil {
 			return nil, err
 		}
-		fillRange(t, st, ge2, wavefront.Span{Lo: i, Hi: i + 1}, sj, sk)
+		si := wavefront.Span{Lo: i, Hi: i + 1}
+		if packed {
+			fillRangePacked(t, st, ge2, si, sj, sk, &lv)
+		} else {
+			fillRange(t, st, ge2, si, sj, sk)
+		}
 	}
 	moves, err := tracebackTensor(t, ca, cb, cc, sch)
 	if err != nil {
 		return nil, err
 	}
-	return &alignment.Alignment{Triple: tr, Moves: moves, Score: t.At(len(ca), len(cb), len(cc))}, nil
+	return &alignment.Alignment{Triple: tr, Moves: moves, Score: mat.Score(t.At(len(ca), len(cb), len(cc)))}, nil
 }
 
 // AlignParallel computes the same optimum as AlignFull using the blocked
 // wavefront schedule over a goroutine pool — the paper's parallel
 // algorithm. The full lattice is retained, so traceback is exact.
-// Cancellation is checked per block by the wavefront scheduler.
+// Cancellation is checked per block by the wavefront scheduler. Like
+// AlignFull it honors a planner-negotiated Options.CellWidth of 16.
 func AlignParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
 	ca, cb, cc, err := prepare(tr, sch)
 	if err != nil {
 		return nil, err
 	}
+	if useInt16(opt, sch, ca, cb, cc) {
+		return alignParallelOf[int16](ctx, tr, ca, cb, cc, sch, opt, false)
+	}
+	return alignParallelOf[mat.Score](ctx, tr, ca, cb, cc, sch, opt, false)
+}
+
+// AlignParallelPacked is AlignParallel with the lane-packed interior
+// filling each wavefront block; see AlignFullPacked.
+func AlignParallelPacked(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Options) (*alignment.Alignment, error) {
+	ca, cb, cc, err := prepare(tr, sch)
+	if err != nil {
+		return nil, err
+	}
+	if useInt16(opt, sch, ca, cb, cc) {
+		return alignParallelOf[int16](ctx, tr, ca, cb, cc, sch, opt, true)
+	}
+	return alignParallelOf[mat.Score](ctx, tr, ca, cb, cc, sch, opt, true)
+}
+
+func alignParallelOf[T mat.Cell](ctx context.Context, tr seq.Triple, ca, cb, cc []int8, sch *scoring.Scheme, opt Options, packed bool) (*alignment.Alignment, error) {
 	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
-	if FullMatrixBytes(tr) > opt.maxBytes() {
-		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, FullMatrixBytes(tr), opt.maxBytes())
+	if need := latticeNeed[T](ca, cb, cc); need > opt.maxBytes() {
+		return nil, fmt.Errorf("%w: need %d bytes, cap %d", ErrTooLarge, need, opt.maxBytes())
 	}
-	st := newScoreTables(ca, cb, cc, sch)
+	st := newScoreTablesOf[T](ca, cb, cc, sch)
 	defer st.release()
-	t := mat.GetTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
-	defer mat.PutTensor3(t)
-	ge2 := 2 * sch.GapExtend()
-	ti, tj, tk := opt.tileDims(len(ca)+1, len(cb)+1, len(cc)+1, 4)
+	t := mat.GetTensor3Of[T](len(ca)+1, len(cb)+1, len(cc)+1)
+	defer mat.PutTensor3Of(t)
+	ge2 := T(2 * sch.GapExtend())
+	var lv laneVec
+	if packed {
+		initLaneVec(&lv, ca, cb, cc, sch, ge2)
+	}
+	ti, tj, tk := opt.tileDims(len(ca)+1, len(cb)+1, len(cc)+1, mat.CellBytes[T]())
 	si := wavefront.Partition(len(ca)+1, ti)
 	sj := wavefront.Partition(len(cb)+1, tj)
 	sk := wavefront.Partition(len(cc)+1, tk)
 	if err := wavefront.Run3DContext(ctx, len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
-		fillRange(t, st, ge2, si[bi], sj[bj], sk[bk])
+		if packed {
+			// Each tile works on a private copy: the argument blocks
+			// inside laneVec are scratch state, and tiles run on
+			// concurrent workers.
+			tileLV := lv
+			fillRangePacked(t, st, ge2, si[bi], sj[bj], sk[bk], &tileLV)
+		} else {
+			fillRange(t, st, ge2, si[bi], sj[bj], sk[bk])
+		}
 	}); err != nil {
 		return nil, err
 	}
@@ -354,5 +437,5 @@ func AlignParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt 
 	if err != nil {
 		return nil, err
 	}
-	return &alignment.Alignment{Triple: tr, Moves: moves, Score: t.At(len(ca), len(cb), len(cc))}, nil
+	return &alignment.Alignment{Triple: tr, Moves: moves, Score: mat.Score(t.At(len(ca), len(cb), len(cc)))}, nil
 }

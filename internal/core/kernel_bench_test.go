@@ -70,6 +70,55 @@ func BenchmarkKernelFillRangeInterior(b *testing.B) {
 	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 }
 
+// benchInteriorOf is the shared body of the width- and packing-variant
+// interior benchmarks: tables and lattice prebuilt at cell width T, the
+// chosen fill kernel timed alone.
+func benchInteriorOf[T mat.Cell](b *testing.B, packed bool) {
+	ca, cb, cc := benchCodes(64)
+	sch := scoring.DNADefault()
+	st := newScoreTablesOf[T](ca, cb, cc, sch)
+	defer st.release()
+	t := mat.GetTensor3Of[T](len(ca)+1, len(cb)+1, len(cc)+1)
+	defer mat.PutTensor3Of(t)
+	ge2 := T(2 * sch.GapExtend())
+	var lv laneVec
+	if packed {
+		initLaneVec(&lv, ca, cb, cc, sch, ge2)
+	}
+	si, sj, sk := fullSpans(ca, cb, cc)
+	cells := int64(len(ca)+1) * int64(len(cb)+1) * int64(len(cc)+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if packed {
+			fillRangePacked(t, st, ge2, si, sj, sk, &lv)
+		} else {
+			fillRange(t, st, ge2, si, sj, sk)
+		}
+	}
+	b.StopTimer() // exclude the metric bookkeeping from the alloc count
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkKernelFillRangePackedInterior measures the lane-packed interior
+// at Score width against the same box as BenchmarkKernelFillRangeInterior.
+func BenchmarkKernelFillRangePackedInterior(b *testing.B) {
+	benchInteriorOf[mat.Score](b, true)
+}
+
+// BenchmarkKernelFillRangeInterior16 measures the scalar interior on an
+// int16 lattice.
+func BenchmarkKernelFillRangeInterior16(b *testing.B) {
+	benchInteriorOf[int16](b, false)
+}
+
+// BenchmarkKernelFillRangePackedInterior16 measures the lane-packed
+// interior on an int16 lattice — the planner's preferred sequential kernel
+// when the score bound allows narrowing.
+func BenchmarkKernelFillRangePackedInterior16(b *testing.B) {
+	benchInteriorOf[int16](b, true)
+}
+
 // BenchmarkKernelPrunedInterior measures the admissibility-gated kernel
 // with prebuilt bounds, tables, and lattice.
 func BenchmarkKernelPrunedInterior(b *testing.B) {
@@ -118,6 +167,34 @@ func BenchmarkKernelAffineInterior(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fillRangeAffine(&d, st, ca, cb, cc, sch, &open, si, sj, sk)
+	}
+	b.StopTimer() // exclude the metric bookkeeping from the alloc count
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkKernelPlaneSweepInterior measures one packed plane fill with
+// prebuilt planes, profile, and lane state — the steady-state inner work of
+// the linear-space kernels. Covered by the CI zero-alloc gate.
+func BenchmarkKernelPlaneSweepInterior(b *testing.B) {
+	ca, cb, cc := benchCodes(64)
+	sch := scoring.DNADefault()
+	m, p := len(cb), len(cc)
+	prev := mat.GetPlane(m+1, p+1)
+	defer mat.PutPlane(prev)
+	cur := mat.GetPlane(m+1, p+1)
+	defer mat.PutPlane(cur)
+	prof := newPairProfile(cc, sch)
+	defer prof.release()
+	var lv laneVec
+	initLaneVec(&lv, ca, cb, cc, sch, 2*sch.GapExtend())
+	sj := wavefront.Span{Lo: 0, Hi: m + 1}
+	sk := wavefront.Span{Lo: 0, Hi: p + 1}
+	fillPlaneRangePacked(prev, nil, 0, cb, sch, prof, sj, sk, &lv)
+	cells := int64(m+1) * int64(p+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fillPlaneRangePacked(cur, prev, ca[0], cb, sch, prof, sj, sk, &lv)
 	}
 	b.StopTimer() // exclude the metric bookkeeping from the alloc count
 	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")

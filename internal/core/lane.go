@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"unsafe"
+
+	"repro/internal/mat"
+	"repro/internal/scoring"
+)
+
+// Argument blocks for the vector lane kernels in lane_amd64.s. The layouts
+// are part of the assembly's contract — the field offsets below are pinned
+// by the compile-time assertions at the end of this file.
+//
+// All six pointers address the carried cell (lane index lo-1); the kernel
+// writes cells at element offsets 1..n. The per-scheme fields (gap steps
+// and carry ramp) are filled once per fill call by initLaneArgs*, the
+// per-lane fields by setLane*.
+
+// laneAsmEnabled gates the vector kernels at run time; the differential
+// tests clear it to pin the pure-Go interiors on hosts where the vector
+// path would otherwise cover every full block.
+var laneAsmEnabled = true
+
+type laneArgs16 struct {
+	cur, l11, l10, l01, ac, bc unsafe.Pointer
+	n                          int64
+	sAB                        int16
+	g2, g2x2, g2x4, g2x8       int16
+	_                          [3]int16
+	ramp                       [16]int16 // (1..16)·g2, saturated
+}
+
+type laneArgs32 struct {
+	cur, l11, l10, l01, ac, bc unsafe.Pointer
+	n                          int64
+	sAB                        int32
+	g2, g2x2, g2x4             int32
+	ramp                       [8]int32 // (1..8)·g2
+}
+
+func satInt16(v int32) int16 {
+	if v < math.MinInt16 {
+		return math.MinInt16
+	}
+	if v > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	return int16(v)
+}
+
+func initLaneArgs16(a *laneArgs16, ge2 int16) {
+	g := int32(ge2)
+	a.g2 = ge2
+	a.g2x2 = satInt16(2 * g)
+	a.g2x4 = satInt16(4 * g)
+	a.g2x8 = satInt16(8 * g)
+	for i := range a.ramp {
+		a.ramp[i] = satInt16(int32(i+1) * g)
+	}
+}
+
+func initLaneArgs32(a *laneArgs32, ge2 int32) {
+	a.g2 = ge2
+	a.g2x2 = 2 * ge2
+	a.g2x4 = 4 * ge2
+	for i := range a.ramp {
+		a.ramp[i] = int32(i+1) * ge2
+	}
+}
+
+// setLane16 points a at the carried cell of each row and records the block
+// count. T is int16-wide (the caller checked mat.CellBytes).
+func setLane16[T mat.Cell](a *laneArgs16, cur, l11, l10, l01, ac, bc []T, base, n int, sAB T) {
+	a.cur = unsafe.Pointer(&cur[base])
+	a.l11 = unsafe.Pointer(&l11[base])
+	a.l10 = unsafe.Pointer(&l10[base])
+	a.l01 = unsafe.Pointer(&l01[base])
+	a.ac = unsafe.Pointer(&ac[base])
+	a.bc = unsafe.Pointer(&bc[base])
+	a.n = int64(n)
+	a.sAB = int16(sAB)
+}
+
+func setLane32[T mat.Cell](a *laneArgs32, cur, l11, l10, l01, ac, bc []T, base, n int, sAB T) {
+	a.cur = unsafe.Pointer(&cur[base])
+	a.l11 = unsafe.Pointer(&l11[base])
+	a.l10 = unsafe.Pointer(&l10[base])
+	a.l01 = unsafe.Pointer(&l01[base])
+	a.ac = unsafe.Pointer(&ac[base])
+	a.bc = unsafe.Pointer(&bc[base])
+	a.n = int64(n)
+	a.sAB = int32(sAB)
+}
+
+// laneVec is the per-fill-call vector-kernel state: whether the cell width
+// and score bounds admit the assembly lane kernels, plus their argument
+// blocks (pre-filled with the per-scheme constants). A zero laneVec means
+// "pure Go only".
+type laneVec struct {
+	use16, use32 bool
+	a16          laneArgs16
+	a32          laneArgs32
+}
+
+// initLaneVec decides whether the vector lane kernels may serve this fill.
+// int16 lattices are admitted unconditionally — the width negotiation that
+// produced them already bounds every candidate inside int16. int32
+// lattices additionally need the ±1<<30 headroom check (int32ScanSafe)
+// because the vector scan's fill lanes use wrapping adds.
+func initLaneVec[T mat.Cell](lv *laneVec, ca, cb, cc []int8, sch *scoring.Scheme, ge2 T) {
+	if !haveLaneAsm || !laneAsmEnabled {
+		return
+	}
+	switch mat.CellBytes[T]() {
+	case 2:
+		lv.use16 = true
+		initLaneArgs16(&lv.a16, int16(ge2))
+	case 4:
+		if sch != nil && int32ScanSafe(ca, cb, cc, sch) {
+			lv.use32 = true
+			initLaneArgs32(&lv.a32, int32(ge2))
+		}
+	}
+}
+
+// int32ScanSafe reports whether the int32 vector scan may run: its lane
+// fill value is -1<<30 (AVX2 has no saturating dword add), so every
+// genuine cell and candidate — bounded by (n+m+p+16)·MaxAbsColumn — must
+// stay strictly inside ±1<<30.
+func int32ScanSafe(ca, cb, cc []int8, sch *scoring.Scheme) bool {
+	mc := MaxAbsColumn(sch)
+	if mc == 0 {
+		return true
+	}
+	total := int64(len(ca)) + int64(len(cb)) + int64(len(cc)) + 16
+	return total <= (1<<30-1)/mc
+}
+
+// The assembly reads the argument blocks by fixed offset; a layout drift
+// must fail the build, not corrupt lattices.
+const (
+	laneOff16N    = unsafe.Offsetof(laneArgs16{}.n)
+	laneOff16SAB  = unsafe.Offsetof(laneArgs16{}.sAB)
+	laneOff16Ramp = unsafe.Offsetof(laneArgs16{}.ramp)
+	laneOff32SAB  = unsafe.Offsetof(laneArgs32{}.sAB)
+	laneOff32G2   = unsafe.Offsetof(laneArgs32{}.g2)
+	laneOff32Ramp = unsafe.Offsetof(laneArgs32{}.ramp)
+)
+
+var (
+	_ [laneOff16N - 48]byte
+	_ [48 - laneOff16N]byte
+	_ [laneOff16SAB - 56]byte
+	_ [56 - laneOff16SAB]byte
+	_ [laneOff16Ramp - 72]byte
+	_ [72 - laneOff16Ramp]byte
+	_ [laneOff32SAB - 56]byte
+	_ [56 - laneOff32SAB]byte
+	_ [laneOff32G2 - 60]byte
+	_ [60 - laneOff32G2]byte
+	_ [laneOff32Ramp - 72]byte
+	_ [72 - laneOff32Ramp]byte
+)

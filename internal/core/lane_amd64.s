@@ -1,0 +1,191 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// CPUID/XGETBV helpers for the one-time AVX2 feature probe.
+
+// func cpuidEx(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidEx(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// laneFill16 fills a.n interior cells (a.n a positive multiple of 16) of
+// one k-lane at int16 width, 16 cells per step. All six data pointers
+// address the already-filled carried cell (lane index lo-1); the cells
+// written are at element offsets 1..n from a.cur.
+//
+// Per 16-cell block the 7-move recurrence is computed in two passes:
+//
+//   pass 1   m[k] = max of the six moves that read only completed lanes
+//            (XXX, XGX, GXX, XXG, XGG, GXG) — pure vertical SIMD.
+//   pass 2   the loop-carried GGX chain w[k] = max(m[k], w[k-1]+ge2) is a
+//            max-plus prefix scan: log2(16) doubling steps shift the
+//            vector left by 1, 2, 4, then 8 lanes (shifting in -32768),
+//            add s·ge2, and take the element-wise max; a final step folds
+//            in the carry from the previous block via the precomputed
+//            (1..16)·ge2 ramp.
+//
+// Shifted-in -32768 lanes use saturating adds (VPADDSW) so they can never
+// wrap into winners; genuine candidates are in range by the planner's
+// width negotiation, so saturation never alters a real value. Pass 1 uses
+// wrapping adds (VPADDW), exactly matching the scalar kernel's proven
+// non-overflowing arithmetic.
+//
+// func laneFill16(a *laneArgs16)
+TEXT ·laneFill16(SB), NOSPLIT, $0-8
+	MOVQ a+0(FP), AX
+	MOVQ 0(AX), DI            // cur
+	MOVQ 8(AX), R8            // lane11
+	MOVQ 16(AX), R9           // lane10
+	MOVQ 24(AX), R10          // lane01
+	MOVQ 32(AX), R11          // acRow
+	MOVQ 40(AX), R12          // bcRow
+	MOVQ 48(AX), CX           // n
+	VPCMPEQW Y0, Y0, Y0
+	VPSLLW $15, Y0, Y0        // Y0 = -32768 in every lane
+	VMOVDQU 72(AX), Y1        // Y1 = carry ramp (1..16)·ge2
+	VPBROADCASTW 56(AX), Y2   // Y2 = sAB
+	VPBROADCASTW 58(AX), Y3   // Y3 = ge2
+	VPBROADCASTW 60(AX), Y4   // Y4 = 2·ge2
+	VPBROADCASTW 62(AX), Y5   // Y5 = 4·ge2
+	VPBROADCASTW 64(AX), Y6   // Y6 = 8·ge2
+	XORQ BX, BX               // byte offset of the carried cell
+
+loop16:
+	// Pass 1: the six non-carried moves.
+	VMOVDQU (R8)(BX*1), Y8    // v11 = lane11[k-1]
+	VMOVDQU 2(R8)(BX*1), Y9   // n11 = lane11[k]
+	VMOVDQU (R9)(BX*1), Y10   // v10
+	VMOVDQU 2(R9)(BX*1), Y11  // n10
+	VMOVDQU (R10)(BX*1), Y12  // v01
+	VMOVDQU 2(R10)(BX*1), Y13 // n01
+	VMOVDQU 2(R11)(BX*1), Y14 // ac[k]
+	VMOVDQU 2(R12)(BX*1), Y15 // bc[k]
+	VPADDW Y2, Y8, Y8         // v11+sAB
+	VPADDW Y14, Y8, Y8
+	VPADDW Y15, Y8, Y8        // XXX = v11+sAB+ac+bc
+	VPADDW Y2, Y9, Y9         // XXG' = n11+sAB
+	VPADDW Y14, Y10, Y10      // XGX' = v10+ac
+	VPADDW Y15, Y12, Y12      // GXX' = v01+bc
+	VPMAXSW Y11, Y13, Y7      // max(XGG', GXG') = max(n10, n01)
+	VPMAXSW Y9, Y7, Y7
+	VPMAXSW Y10, Y7, Y7
+	VPMAXSW Y12, Y7, Y7
+	VPADDW Y3, Y7, Y7         // all gapped moves share the +ge2
+	VPMAXSW Y8, Y7, Y7        // m
+
+	// Pass 2: max-plus prefix scan of the GGX chain.
+	VPERM2I128 $0x20, Y7, Y0, Y8 // [minf.lo, m.lo]
+	VPALIGNR $14, Y8, Y7, Y9     // m shifted left one lane
+	VPADDSW Y3, Y9, Y9
+	VPMAXSW Y9, Y7, Y7
+	VPERM2I128 $0x20, Y7, Y0, Y8
+	VPALIGNR $12, Y8, Y7, Y9     // two lanes
+	VPADDSW Y4, Y9, Y9
+	VPMAXSW Y9, Y7, Y7
+	VPERM2I128 $0x20, Y7, Y0, Y8
+	VPALIGNR $8, Y8, Y7, Y9      // four lanes
+	VPADDSW Y5, Y9, Y9
+	VPMAXSW Y9, Y7, Y7
+	VPERM2I128 $0x20, Y7, Y0, Y8 // eight lanes is a half swap
+	VPADDSW Y6, Y8, Y8
+	VPMAXSW Y8, Y7, Y7
+
+	// Fold in the carry from the previous cell.
+	VPBROADCASTW (DI)(BX*1), Y8
+	VPADDSW Y1, Y8, Y8
+	VPMAXSW Y8, Y7, Y7
+	VMOVDQU Y7, 2(DI)(BX*1)
+
+	ADDQ $32, BX
+	SUBQ $16, CX
+	JNZ loop16
+	VZEROUPPER
+	RET
+
+// laneFill32 is laneFill16 at int32 width: 8 cells per step, doubling
+// shifts of 1, 2, then 4 lanes. AVX2 has no saturating dword add, so the
+// shifted-in fill is -1<<30 rather than MinInt32; the caller guarantees
+// (via int32ScanSafe) that no genuine candidate comes near ±1<<30, which
+// keeps the fill lanes strictly below every real value without wrapping.
+//
+// func laneFill32(a *laneArgs32)
+TEXT ·laneFill32(SB), NOSPLIT, $0-8
+	MOVQ a+0(FP), AX
+	MOVQ 0(AX), DI            // cur
+	MOVQ 8(AX), R8            // lane11
+	MOVQ 16(AX), R9           // lane10
+	MOVQ 24(AX), R10          // lane01
+	MOVQ 32(AX), R11          // acRow
+	MOVQ 40(AX), R12          // bcRow
+	MOVQ 48(AX), CX           // n
+	VPCMPEQD Y0, Y0, Y0
+	VPSLLD $30, Y0, Y0        // Y0 = -1<<30 in every lane
+	VMOVDQU 72(AX), Y1        // Y1 = carry ramp (1..8)·ge2
+	VPBROADCASTD 56(AX), Y2   // Y2 = sAB
+	VPBROADCASTD 60(AX), Y3   // Y3 = ge2
+	VPBROADCASTD 64(AX), Y4   // Y4 = 2·ge2
+	VPBROADCASTD 68(AX), Y5   // Y5 = 4·ge2
+	XORQ BX, BX               // byte offset of the carried cell
+
+loop8:
+	// Pass 1: the six non-carried moves.
+	VMOVDQU (R8)(BX*1), Y8    // v11
+	VMOVDQU 4(R8)(BX*1), Y9   // n11
+	VMOVDQU (R9)(BX*1), Y10   // v10
+	VMOVDQU 4(R9)(BX*1), Y11  // n10
+	VMOVDQU (R10)(BX*1), Y12  // v01
+	VMOVDQU 4(R10)(BX*1), Y13 // n01
+	VMOVDQU 4(R11)(BX*1), Y14 // ac[k]
+	VMOVDQU 4(R12)(BX*1), Y15 // bc[k]
+	VPADDD Y2, Y8, Y8
+	VPADDD Y14, Y8, Y8
+	VPADDD Y15, Y8, Y8        // XXX
+	VPADDD Y2, Y9, Y9
+	VPADDD Y14, Y10, Y10
+	VPADDD Y15, Y12, Y12
+	VPMAXSD Y11, Y13, Y7
+	VPMAXSD Y9, Y7, Y7
+	VPMAXSD Y10, Y7, Y7
+	VPMAXSD Y12, Y7, Y7
+	VPADDD Y3, Y7, Y7
+	VPMAXSD Y8, Y7, Y7        // m
+
+	// Pass 2: max-plus prefix scan.
+	VPERM2I128 $0x20, Y7, Y0, Y8 // [fill.lo, m.lo]
+	VPALIGNR $12, Y8, Y7, Y9     // one lane
+	VPADDD Y3, Y9, Y9
+	VPMAXSD Y9, Y7, Y7
+	VPERM2I128 $0x20, Y7, Y0, Y8
+	VPALIGNR $8, Y8, Y7, Y9      // two lanes
+	VPADDD Y4, Y9, Y9
+	VPMAXSD Y9, Y7, Y7
+	VPERM2I128 $0x20, Y7, Y0, Y8 // four lanes is a half swap
+	VPADDD Y5, Y8, Y8
+	VPMAXSD Y8, Y7, Y7
+
+	// Fold in the carry from the previous cell.
+	VPBROADCASTD (DI)(BX*1), Y8
+	VPADDD Y1, Y8, Y8
+	VPMAXSD Y8, Y7, Y7
+	VMOVDQU Y7, 4(DI)(BX*1)
+
+	ADDQ $32, BX
+	SUBQ $8, CX
+	JNZ loop8
+	VZEROUPPER
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package core
+
+// Non-amd64 builds always take the pure-Go advancing-window interiors.
+const haveLaneAsm = false
+
+func laneFill16(*laneArgs16) { panic("core: laneFill16 without asm") }
+func laneFill32(*laneArgs32) { panic("core: laneFill32 without asm") }

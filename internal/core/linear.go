@@ -25,18 +25,10 @@ const smallVolume = 1 << 15
 // and 2·gapExtend if only one is, so the induced pairwise problem uses
 // sub' = sub + 2·ge and gap' = 2·ge.
 func derivePairScheme(sch *scoring.Scheme) *scoring.Scheme {
-	n := sch.Alphabet().Size()
-	ge := int(sch.GapExtend())
-	table := make([][]int, n)
-	for i := range table {
-		table[i] = make([]int, n)
-		for j := range table[i] {
-			table[i][j] = int(sch.Sub(int8(i), int8(j))) + 2*ge
-		}
-	}
-	d, err := scoring.New(sch.Name()+"+pair", sch.Alphabet(), table, 0, 2*ge)
+	ge2 := 2 * sch.GapExtend()
+	d, err := sch.MapSub(sch.Name()+"+pair", func(v mat.Score) mat.Score { return v + ge2 }, 0, ge2)
 	if err != nil {
-		panic("core: derivePairScheme: " + err.Error()) // impossible: table symmetric, gaps ≤ 0
+		panic("core: derivePairScheme: " + err.Error()) // impossible: gaps ≤ 0
 	}
 	return d
 }
@@ -166,15 +158,27 @@ func planeSweep(ctx context.Context, ca, cb, cc []int8, sch *scoring.Scheme, wor
 	cur := mat.GetPlane(m+1, p+1)
 	prof := newPairProfile(cc, sch)
 	defer prof.release()
-	sj := wavefront.Partition(m+1, tj)
-	sk := wavefront.Partition(p+1, tk)
+	// The sweeps always run the packed interior — it is bit-identical to
+	// fillPlaneRange, which survives as the differential suite's scalar
+	// reference.
+	var lv laneVec
+	initLaneVec(&lv, ca, cb, cc, sch, 2*sch.GapExtend())
+	var sj, sk []wavefront.Span
+	if workers > 1 {
+		// The partitions are only needed by the blocked 2D wavefront;
+		// sequential sweeps skip the two slice allocations per call —
+		// the Hirschberg recursion makes two planeSweep calls per node.
+		sj = wavefront.Partition(m+1, tj)
+		sk = wavefront.Partition(p+1, tk)
+	}
 	sweep := func(dst, src *mat.Plane, ai int8) error {
 		if workers <= 1 {
-			fillPlaneRange(dst, src, ai, cb, sch, prof, wavefront.Span{Lo: 0, Hi: m + 1}, wavefront.Span{Lo: 0, Hi: p + 1})
+			fillPlaneRangePacked(dst, src, ai, cb, sch, prof, wavefront.Span{Lo: 0, Hi: m + 1}, wavefront.Span{Lo: 0, Hi: p + 1}, &lv)
 			return nil
 		}
 		return wavefront.Run2DContext(ctx, len(sj), len(sk), workers, func(bj, bk int) {
-			fillPlaneRange(dst, src, ai, cb, sch, prof, sj[bj], sk[bk])
+			blockLV := lv // private copy: the argument block is scratch state
+			fillPlaneRangePacked(dst, src, ai, cb, sch, prof, sj[bj], sk[bk], &blockLV)
 		})
 	}
 	fail := func(err error) (*mat.Plane, error) {
@@ -247,6 +251,10 @@ func (h *hctx) rec(ctx context.Context, ca, cb, cc []int8) ([]alignment.Move, er
 	}
 
 	mid := len(ca) / 2
+	// The backward sweep reads the reversed sequences; the reversed copies
+	// come from the code arena so the recursion reuses a few buffers instead
+	// of allocating three per node.
+	rca, rcb, rcc := reverseCodesArena(ca[mid:]), reverseCodesArena(cb), reverseCodesArena(cc)
 	var fwd, bwdRev *mat.Plane
 	var errF, errB error
 	if h.parallel {
@@ -256,14 +264,17 @@ func (h *hctx) rec(ctx context.Context, ca, cb, cc []int8) ([]alignment.Move, er
 			defer wg.Done()
 			fwd, errF = planeSweep(ctx, ca[:mid], cb, cc, h.sch, h.workers, h.tj, h.tk)
 		}()
-		bwdRev, errB = planeSweep(ctx, reverseCodes(ca[mid:]), reverseCodes(cb), reverseCodes(cc), h.sch, h.workers, h.tj, h.tk)
+		bwdRev, errB = planeSweep(ctx, rca, rcb, rcc, h.sch, h.workers, h.tj, h.tk)
 		wg.Wait()
 	} else {
 		fwd, errF = planeSweep(ctx, ca[:mid], cb, cc, h.sch, 1, h.tj, h.tk)
 		if errF == nil {
-			bwdRev, errB = planeSweep(ctx, reverseCodes(ca[mid:]), reverseCodes(cb), reverseCodes(cc), h.sch, 1, h.tj, h.tk)
+			bwdRev, errB = planeSweep(ctx, rca, rcb, rcc, h.sch, 1, h.tj, h.tk)
 		}
 	}
+	mat.PutCodes(rca)
+	mat.PutCodes(rcb)
+	mat.PutCodes(rcc)
 	if errF != nil {
 		mat.PutPlane(fwd)
 		mat.PutPlane(bwdRev)
@@ -316,8 +327,10 @@ func (h *hctx) rec(ctx context.Context, ca, cb, cc []int8) ([]alignment.Move, er
 	return append(left, right...), nil
 }
 
-func reverseCodes(s []int8) []int8 {
-	out := make([]int8, len(s))
+// reverseCodesArena returns a reversed copy of s drawn from the code arena;
+// release it with mat.PutCodes once the consuming sweep has returned.
+func reverseCodesArena(s []int8) []int8 {
+	out := mat.GetCodes(len(s))
 	for i, c := range s {
 		out[len(s)-1-i] = c
 	}

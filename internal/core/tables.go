@@ -22,20 +22,31 @@ import (
 // k-axis sequence, O(σ·p) memory, with the same one-read-per-cell inner
 // loop.
 
-// scoreTables holds the dense pair-score planes for one (sub-)problem.
-type scoreTables struct {
-	ab *mat.Plane // (n+1)×(m+1): ab[i][j] = Sub(ca[i-1], cb[j-1]) for i,j ≥ 1
-	ac *mat.Plane // (n+1)×(p+1): ac[i][k] = Sub(ca[i-1], cc[k-1]) for i,k ≥ 1
-	bc *mat.Plane // (m+1)×(p+1): bc[j][k] = Sub(cb[j-1], cc[k-1]) for j,k ≥ 1
+// scoreTablesOf holds the dense pair-score planes for one (sub-)problem,
+// stored at the lattice's negotiated cell width so the interior streams the
+// same element size everywhere.
+type scoreTablesOf[T mat.Cell] struct {
+	ab *mat.PlaneOf[T] // (n+1)×(m+1): ab[i][j] = Sub(ca[i-1], cb[j-1]) for i,j ≥ 1
+	ac *mat.PlaneOf[T] // (n+1)×(p+1): ac[i][k] = Sub(ca[i-1], cc[k-1]) for i,k ≥ 1
+	bc *mat.PlaneOf[T] // (m+1)×(p+1): bc[j][k] = Sub(cb[j-1], cc[k-1]) for j,k ≥ 1
 }
+
+// scoreTables is the Score-width instantiation the non-negotiated kernels
+// (affine, pruned, diagonal, banded) build.
+type scoreTables = scoreTablesOf[mat.Score]
 
 // newScoreTables builds the three pair-score planes from the arena. Release
 // them with release when the fill and traceback are done.
 func newScoreTables(ca, cb, cc []int8, sch *scoring.Scheme) *scoreTables {
-	st := &scoreTables{
-		ab: mat.GetPlane(len(ca)+1, len(cb)+1),
-		ac: mat.GetPlane(len(ca)+1, len(cc)+1),
-		bc: mat.GetPlane(len(cb)+1, len(cc)+1),
+	return newScoreTablesOf[mat.Score](ca, cb, cc, sch)
+}
+
+// newScoreTablesOf is newScoreTables at an arbitrary cell width.
+func newScoreTablesOf[T mat.Cell](ca, cb, cc []int8, sch *scoring.Scheme) *scoreTablesOf[T] {
+	st := &scoreTablesOf[T]{
+		ab: mat.GetPlaneOf[T](len(ca)+1, len(cb)+1),
+		ac: mat.GetPlaneOf[T](len(ca)+1, len(cc)+1),
+		bc: mat.GetPlaneOf[T](len(cb)+1, len(cc)+1),
 	}
 	fillPairPlane(st.ab, ca, cb, sch)
 	fillPairPlane(st.ac, ca, cc, sch)
@@ -43,21 +54,21 @@ func newScoreTables(ca, cb, cc []int8, sch *scoring.Scheme) *scoreTables {
 	return st
 }
 
-func (st *scoreTables) release() {
-	mat.PutPlane(st.ab)
-	mat.PutPlane(st.ac)
-	mat.PutPlane(st.bc)
+func (st *scoreTablesOf[T]) release() {
+	mat.PutPlaneOf(st.ab)
+	mat.PutPlaneOf(st.ac)
+	mat.PutPlaneOf(st.bc)
 	st.ab, st.ac, st.bc = nil, nil, nil
 }
 
 // fillPairPlane fills p[i][j] = Sub(x[i-1], y[j-1]) for i, j ≥ 1. Row 0 and
 // column 0 are left untouched (pooled planes keep stale values there).
-func fillPairPlane(p *mat.Plane, x, y []int8, sch *scoring.Scheme) {
+func fillPairPlane[T mat.Cell](p *mat.PlaneOf[T], x, y []int8, sch *scoring.Scheme) {
 	for i := 1; i <= len(x); i++ {
 		row := p.Row(i)[1:]
 		sub := sch.SubRow(x[i-1])
 		for j, yc := range y {
-			row[j] = sub[yc]
+			row[j] = T(sub[yc])
 		}
 	}
 }

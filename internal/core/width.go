@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// Cell-width safety: the planner (internal/plan) negotiates an int16
+// lattice when the problem's score bound provably fits, and the width-aware
+// kernels re-verify that proof here before narrowing. The bound is simple:
+// every lattice cell is the score of an alignment of prefixes, an alignment
+// has at most n+m+p columns (each consumes at least one residue), and one
+// column's contribution is bounded by MaxAbsColumn. The candidate sums the
+// max chains compare are a predecessor cell plus one column, so they obey
+// the same bound and the interior arithmetic can never wrap.
+//
+// Affine schemes never narrow: their kernels seed the NegInf sentinel,
+// which exists only at Score width.
+
+// MaxAbsColumn bounds the absolute sum-of-pairs contribution of one
+// alignment column under sch's linear-gap model: 3·maxAbsSub for a
+// three-residue column, maxAbsSub + 2·|gapExtend| when gaps appear.
+func MaxAbsColumn(sch *scoring.Scheme) int64 {
+	mas := int64(sch.MaxAbsSub())
+	ge := int64(sch.GapExtend())
+	if ge < 0 {
+		ge = -ge
+	}
+	b := mas + 2*ge
+	if 3*mas > b {
+		b = 3 * mas
+	}
+	return b
+}
+
+// Int16SafeBound reports whether totalLen alignment columns, each bounded
+// by maxAbsColumn, provably fit an int16 cell. Division instead of
+// multiplication keeps adversarially long sequences from wrapping the
+// check itself.
+func Int16SafeBound(totalLen, maxAbsColumn uint64) bool {
+	if maxAbsColumn == 0 {
+		return true
+	}
+	return totalLen <= uint64(math.MaxInt16)/maxAbsColumn
+}
+
+// Int16Safe reports whether the linear-gap DP over tr under sch — every
+// lattice cell and every candidate sum in the max chains — provably fits
+// an int16 lattice. Affine schemes and incomplete triples never qualify.
+func Int16Safe(tr seq.Triple, sch *scoring.Scheme) bool {
+	if sch == nil || sch.Affine() {
+		return false
+	}
+	if tr.A == nil || tr.B == nil || tr.C == nil {
+		return false
+	}
+	total := uint64(tr.A.Len()) + uint64(tr.B.Len()) + uint64(tr.C.Len())
+	return Int16SafeBound(total, uint64(MaxAbsColumn(sch)))
+}
+
+// useInt16 is the kernel-side dispatch test: the caller asked for a 16-bit
+// lattice and the problem provably fits one. Kernels fall back to Score
+// width silently otherwise, so a stale or hostile Options.CellWidth can
+// cost bandwidth but never correctness.
+func useInt16(opt Options, sch *scoring.Scheme, ca, cb, cc []int8) bool {
+	if opt.CellWidth != 16 || sch.Affine() {
+		return false
+	}
+	total := uint64(len(ca)) + uint64(len(cb)) + uint64(len(cc))
+	return Int16SafeBound(total, uint64(MaxAbsColumn(sch)))
+}

@@ -7,12 +7,17 @@ import (
 	"repro/internal/faultpoint"
 )
 
-// Buffer arena: size-classed sync.Pools of Score slices that back the
+// Buffer arena: size-classed sync.Pools of cell slices that back the
 // planes, lattices, and score tables the aligners allocate per call or per
 // Hirschberg sub-problem. Reusing backing arrays removes the dominant
 // allocation cost of repeated alignments (batch screening, the Hirschberg
 // recursion, benchmark loops) without a global free-list: sync.Pool keeps
 // reuse per-P and lets the GC reclaim buffers under memory pressure.
+//
+// The arena is segregated by cell width: int16 and int32 buffers live in
+// separate pool sets (plus one for the int8 residue-code buffers the linear
+// kernels recycle), so a width-16 lattice never pins a width-32 backing
+// array and vice versa.
 //
 // Pooled buffers have unspecified contents. Every DP kernel in this
 // repository writes each cell of its working region before reading it (or
@@ -24,7 +29,22 @@ import (
 // cap, so effectively every feasible buffer is poolable.
 const numClasses = 31
 
-var scorePools [numClasses]sync.Pool
+// Pool-set indices by cell width.
+const (
+	pool16 = iota // 2-byte cells
+	pool32        // 4-byte cells
+	numWidths
+)
+
+var cellPools [numWidths][numClasses]sync.Pool
+
+// poolIndex maps a Cell type onto its width's pool set.
+func poolIndex[T Cell]() int {
+	if CellBytes[T]() == 2 {
+		return pool16
+	}
+	return pool32
+}
 
 // Arena fault points. A fired get or put panics — the shape of the real
 // faults this layer can suffer (an OOM-killed allocation, a corrupted
@@ -45,10 +65,10 @@ func sizeClass(n int) int {
 	return bits.Len(uint(n)) - 1
 }
 
-// GetScores returns a Score slice of length n with unspecified contents,
-// reusing a pooled backing array when one is large enough. Put it back with
-// PutScores when no longer referenced.
-func GetScores(n int) []Score {
+// GetCells returns a cell slice of length n with unspecified contents,
+// reusing a pooled backing array of the same width when one is large
+// enough. Put it back with PutCells when no longer referenced.
+func GetCells[T Cell](n int) []T {
 	if fpGet.Fire() {
 		panic("faultpoint: mat.arena.get")
 	}
@@ -56,17 +76,17 @@ func GetScores(n int) []Score {
 		return nil
 	}
 	if c := sizeClass(n); c < numClasses {
-		if v, _ := scorePools[c].Get().(*[]Score); v != nil && cap(*v) >= n {
+		if v, _ := cellPools[poolIndex[T]()][c].Get().(*[]T); v != nil && cap(*v) >= n {
 			return (*v)[:n]
 		}
 	}
-	return make([]Score, n)
+	return make([]T, n)
 }
 
-// PutScores returns a slice obtained from GetScores (or any other Score
-// slice) to the arena. The caller must not use s, or any alias of it, after
-// the call — the buffer will be handed to a future GetScores.
-func PutScores(s []Score) {
+// PutCells returns a slice obtained from GetCells (or any other cell slice)
+// to the arena. The caller must not use s, or any alias of it, after the
+// call — the buffer will be handed to a future GetCells.
+func PutCells[T Cell](s []T) {
 	if fpPut.Fire() {
 		panic("faultpoint: mat.arena.put")
 	}
@@ -76,58 +96,126 @@ func PutScores(s []Score) {
 	}
 	if c := sizeClass(n); c < numClasses {
 		s = s[:n]
-		scorePools[c].Put(&s)
+		cellPools[poolIndex[T]()][c].Put(&s)
 	}
 }
 
-var planePool = sync.Pool{New: func() any { return new(Plane) }}
+// GetScores returns a Score slice of length n from the arena; it is
+// GetCells at the default width.
+func GetScores(n int) []Score { return GetCells[Score](n) }
 
-// GetPlane returns a rows×cols plane with unspecified contents, drawing its
-// backing array from the arena. It panics on negative dimensions, matching
-// NewPlane.
-func GetPlane(rows, cols int) *Plane {
-	p := planePool.Get().(*Plane)
+// PutScores returns a slice obtained from GetScores to the arena.
+func PutScores(s []Score) { PutCells(s) }
+
+// codePools holds the int8 residue-code buffers (reversed sequences in the
+// Hirschberg recursion) under the same size-class discipline.
+var codePools [numClasses]sync.Pool
+
+// GetCodes returns an int8 slice of length n with unspecified contents from
+// the code arena. Put it back with PutCodes when no longer referenced.
+func GetCodes(n int) []int8 {
+	if fpGet.Fire() {
+		panic("faultpoint: mat.arena.get")
+	}
+	if n <= 0 {
+		return nil
+	}
+	if c := sizeClass(n); c < numClasses {
+		if v, _ := codePools[c].Get().(*[]int8); v != nil && cap(*v) >= n {
+			return (*v)[:n]
+		}
+	}
+	return make([]int8, n)
+}
+
+// PutCodes returns a slice obtained from GetCodes to the code arena. The
+// caller must not use s, or any alias of it, after the call.
+func PutCodes(s []int8) {
+	if fpPut.Fire() {
+		panic("faultpoint: mat.arena.put")
+	}
+	n := cap(s)
+	if n == 0 {
+		return
+	}
+	if c := sizeClass(n); c < numClasses {
+		s = s[:n]
+		codePools[c].Put(&s)
+	}
+}
+
+// Header pools, segregated by width like the backing arrays. A pool stores
+// exactly one concrete header type per slot; the type assertion in the
+// generic getters falls back to a fresh header on the (never-in-practice)
+// mismatch of two same-width named cell types sharing a pool.
+var (
+	planePools  [numWidths]sync.Pool
+	tensorPools [numWidths]sync.Pool
+)
+
+// GetPlane returns a rows×cols Score plane with unspecified contents,
+// drawing its backing array from the arena. It panics on negative
+// dimensions, matching NewPlane.
+func GetPlane(rows, cols int) *Plane { return GetPlaneOf[Score](rows, cols) }
+
+// GetPlaneOf is GetPlane at an arbitrary cell width.
+func GetPlaneOf[T Cell](rows, cols int) *PlaneOf[T] {
+	p, _ := planePools[poolIndex[T]()].Get().(*PlaneOf[T])
+	if p == nil {
+		p = new(PlaneOf[T])
+	}
 	p.rows, p.cols = checkPlaneDims(rows, cols)
-	p.data = GetScores(rows * cols)
+	p.data = GetCells[T](rows * cols)
 	return p
 }
 
 // PutPlane returns a plane and its backing array to the arena. The caller
 // must not use p — or any Row slice obtained from it — after the call.
 // A nil plane is a no-op.
-func PutPlane(p *Plane) {
+func PutPlane(p *Plane) { PutPlaneOf(p) }
+
+// PutPlaneOf is PutPlane at an arbitrary cell width.
+func PutPlaneOf[T Cell](p *PlaneOf[T]) {
 	if p == nil {
 		return
 	}
-	PutScores(p.data)
+	PutCells(p.data)
 	p.data = nil
 	p.rows, p.cols = 0, 0
-	planePool.Put(p)
+	planePools[poolIndex[T]()].Put(p)
 }
 
-var tensorPool = sync.Pool{New: func() any { return new(Tensor3) }}
+// GetTensor3 returns an ni×nj×nk Score tensor with unspecified contents,
+// drawing its backing array from the arena. It panics on negative
+// dimensions or int overflow, matching NewTensor3.
+func GetTensor3(ni, nj, nk int) *Tensor3 { return GetTensor3Of[Score](ni, nj, nk) }
 
-// GetTensor3 returns an ni×nj×nk tensor with unspecified contents, drawing
-// its backing array from the arena. It panics on negative dimensions or int
-// overflow, matching NewTensor3.
-func GetTensor3(ni, nj, nk int) *Tensor3 {
+// GetTensor3Of is GetTensor3 at an arbitrary cell width — the entry point
+// width-negotiated lattices allocate through.
+func GetTensor3Of[T Cell](ni, nj, nk int) *Tensor3Of[T] {
 	n := checkTensorDims(ni, nj, nk)
-	t := tensorPool.Get().(*Tensor3)
+	t, _ := tensorPools[poolIndex[T]()].Get().(*Tensor3Of[T])
+	if t == nil {
+		t = new(Tensor3Of[T])
+	}
 	t.ni, t.nj, t.nk = ni, nj, nk
 	t.strideI = nj * nk
-	t.data = GetScores(n)
+	t.data = GetCells[T](n)
 	return t
 }
 
 // PutTensor3 returns a tensor and its backing array to the arena. The
 // caller must not use t — or any Lane slice obtained from it — after the
 // call. A nil tensor is a no-op.
-func PutTensor3(t *Tensor3) {
+func PutTensor3(t *Tensor3) { PutTensor3Of(t) }
+
+// PutTensor3Of is PutTensor3 at an arbitrary cell width.
+func PutTensor3Of[T Cell](t *Tensor3Of[T]) {
 	if t == nil {
 		return
 	}
-	PutScores(t.data)
+	PutCells(t.data)
 	t.data = nil
 	t.ni, t.nj, t.nk, t.strideI = 0, 0, 0, 0
-	tensorPool.Put(t)
+	tensorPools[poolIndex[T]()].Put(t)
 }

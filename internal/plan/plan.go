@@ -169,6 +169,13 @@ type Request struct {
 	// Parallel selects the intra-alignment parallel variants on automatic
 	// requests (false when an outer batch supplies the parallelism).
 	Parallel bool
+	// MaxAbsColumn bounds the absolute SP score of a single alignment
+	// column under the request's scheme (core.MaxAbsColumn). Together with
+	// the shape it lets the planner negotiate the lattice cell width: when
+	// (NA+NB+NC)·MaxAbsColumn provably fits int16, width-aware kernels run
+	// on 16-bit cells and their byte estimates halve. Zero (unknown bound)
+	// keeps every plan at 32-bit cells.
+	MaxAbsColumn int64
 }
 
 // ExecutionPlan is the planner's answer: the kernel that will run and the
@@ -185,8 +192,13 @@ type ExecutionPlan struct {
 	TileDims [3]int `json:"tile_dims"`
 	// EstCells is the predicted DP cell count (saturating).
 	EstCells uint64 `json:"est_cells"`
-	// EstBytes is the predicted peak lattice allocation (saturating).
+	// EstBytes is the predicted peak lattice allocation (saturating),
+	// already adjusted for the negotiated cell width.
 	EstBytes uint64 `json:"est_bytes"`
+	// CellWidthBits is the negotiated lattice cell width: 16 when the
+	// kernel is width-aware and the request's score bound proves every
+	// lattice value fits int16, else 32.
+	CellWidthBits int `json:"cell_width_bits"`
 	// EstMcellsPerSec is the calibrated throughput prediction.
 	EstMcellsPerSec float64 `json:"est_mcells_per_s"`
 	// EstDuration is EstCells / EstMcellsPerSec.
@@ -229,7 +241,7 @@ func Resolve(req Request) (*ExecutionPlan, *KernelSpec, error) {
 		}
 		spec = s
 	} else {
-		spec, downgrades = autoSpec(req.Shape, gap, req.Parallel, autoBudget(req))
+		spec, downgrades = autoSpec(req, gap, autoBudget(req))
 	}
 
 	if fpDowngrade.Fire() {
@@ -242,32 +254,37 @@ func Resolve(req Request) (*ExecutionPlan, *KernelSpec, error) {
 	}
 
 	// The soft budget walks the downgrade ladder until the estimate fits.
+	// Width-aware kernels are judged by their negotiated-width footprint, so
+	// a lattice that fits only at 16 bits stays on the fast kernel instead
+	// of downgrading.
 	if req.MaxMemoryBytes > 0 {
 		budget := uint64(req.MaxMemoryBytes)
-		for spec.EstBytes(req.Shape) > budget {
+		for planEstBytes(spec, req) > budget {
 			next := spec.Downgrade
 			if next == "" {
 				if !spec.Exact {
 					return nil, nil, fmt.Errorf(
 						"plan: no kernel fits the %s memory budget (cheapest %q needs %s): %w",
-						fmtBytes(budget), spec.Name, fmtBytes(spec.EstBytes(req.Shape)), core.ErrTooLarge)
+						fmtBytes(budget), spec.Name, fmtBytes(planEstBytes(spec, req)), core.ErrTooLarge)
 				}
 				next = lastResort
 				degraded = true
 			}
 			to := kernels[next]
-			downgrades = append(downgrades, downgradeEntry(spec, to, req.Shape, budget))
+			downgrades = append(downgrades, downgradeEntry(spec, to, req, budget))
 			spec = to
 		}
 	}
 
+	width := negotiatedWidth(spec, req)
 	pl := &ExecutionPlan{
-		Algorithm:  spec.Name,
-		Workers:    1,
-		EstCells:   spec.estCells(req.Shape),
-		EstBytes:   spec.EstBytes(req.Shape),
-		Downgrades: downgrades,
-		Degraded:   degraded,
+		Algorithm:     spec.Name,
+		Workers:       1,
+		EstCells:      spec.estCells(req.Shape),
+		EstBytes:      planEstBytes(spec, req),
+		CellWidthBits: width,
+		Downgrades:    downgrades,
+		Degraded:      degraded,
 	}
 	if spec.Parallel {
 		pl.Workers = workers
@@ -276,14 +293,47 @@ func Resolve(req Request) (*ExecutionPlan, *KernelSpec, error) {
 		if req.BlockSize > 0 {
 			pl.TileDims = [3]int{req.BlockSize, req.BlockSize, req.BlockSize}
 		} else {
+			bpc := spec.BytesPerCell
+			if width == 16 {
+				// Half-width cells halve the per-tile working set, so the
+				// adaptive heuristic may pick proportionally larger tiles.
+				bpc /= 2
+			}
 			ti, tj, tk := core.AdaptiveTileDims(
-				req.Shape.NA+1, req.Shape.NB+1, req.Shape.NC+1, workers, spec.BytesPerCell)
+				req.Shape.NA+1, req.Shape.NB+1, req.Shape.NC+1, workers, bpc)
 			pl.TileDims = [3]int{ti, tj, tk}
 		}
 	}
 	pl.EstMcellsPerSec = rateFor(spec, pl.Workers)
 	pl.EstDuration = estDuration(pl.EstCells, pl.EstMcellsPerSec)
 	return pl, spec, nil
+}
+
+// negotiatedWidth is the lattice cell width (in bits) the kernel will run
+// at: 16 when the kernel honors core.Options.CellWidth and the request's
+// column bound proves every lattice value — |score| ≤ total·MaxAbsColumn —
+// fits int16; 32 otherwise. The same Int16SafeBound predicate gates the
+// kernels themselves (core.Options.CellWidth is a hint, never trusted), so
+// plan and execution cannot disagree.
+func negotiatedWidth(spec *KernelSpec, req Request) int {
+	if !spec.WidthAware || req.MaxAbsColumn <= 0 {
+		return 32
+	}
+	total := addSat(addSat(uint64(req.Shape.NA), uint64(req.Shape.NB)), uint64(req.Shape.NC))
+	if core.Int16SafeBound(total, uint64(req.MaxAbsColumn)) {
+		return 16
+	}
+	return 32
+}
+
+// planEstBytes is the width-adjusted footprint estimate: half the 32-bit
+// model when the kernel would run 16-bit cells.
+func planEstBytes(spec *KernelSpec, req Request) uint64 {
+	b := spec.EstBytes(req.Shape)
+	if negotiatedWidth(spec, req) == 16 {
+		b /= 2
+	}
+	return b
 }
 
 // autoBudget is the byte limit automatic selection steers against: the
@@ -303,31 +353,33 @@ func autoBudget(req Request) uint64 {
 // autoSpec picks the kernel for an automatic request: the gap model's
 // primary (parallel or sequential per the split), downgraded once to its
 // linear-space sibling when the primary's lattice exceeds the budget —
-// the selection rule the old resolveAlgorithm switch hard-coded.
-func autoSpec(s Shape, gap GapModel, parallel bool, budget uint64) (*KernelSpec, []string) {
+// the selection rule the old resolveAlgorithm switch hard-coded. Linear-gap
+// requests get the lane-packed primaries; they compute the same optimum as
+// the legacy kernels on a several-times-faster interior.
+func autoSpec(req Request, gap GapModel, budget uint64) (*KernelSpec, []string) {
 	var primary string
 	switch {
-	case gap == GapAffine && parallel:
+	case gap == GapAffine && req.Parallel:
 		primary = "affine-parallel"
 	case gap == GapAffine:
 		primary = "affine"
-	case parallel:
-		primary = "parallel"
+	case req.Parallel:
+		primary = "parallel-packed"
 	default:
-		primary = "full"
+		primary = "full-packed"
 	}
 	spec := kernels[primary]
-	if spec.EstBytes(s) <= budget {
+	if planEstBytes(spec, req) <= budget {
 		return spec, nil
 	}
 	next := kernels[spec.Downgrade]
-	return next, []string{downgradeEntry(spec, next, s, budget)}
+	return next, []string{downgradeEntry(spec, next, req, budget)}
 }
 
 // downgradeEntry formats one ladder step for ExecutionPlan.Downgrades.
-func downgradeEntry(from, to *KernelSpec, s Shape, budget uint64) string {
+func downgradeEntry(from, to *KernelSpec, req Request, budget uint64) string {
 	return fmt.Sprintf("%s→%s: est %s over %s budget",
-		from.Name, to.Name, fmtBytes(from.EstBytes(s)), fmtBytes(budget))
+		from.Name, to.Name, fmtBytes(planEstBytes(from, req)), fmtBytes(budget))
 }
 
 // ParseDowngrade splits a Downgrades entry back into the kernel names it

@@ -10,12 +10,12 @@ import (
 	"repro/internal/core"
 )
 
-// TestRegistryComplete pins the registry to the public algorithm list: 13
+// TestRegistryComplete pins the registry to the public algorithm list: 15
 // kernels, each with a working estimator and a run function.
 func TestRegistryComplete(t *testing.T) {
 	ks := Kernels()
-	if len(ks) != 13 {
-		t.Fatalf("registry has %d kernels, want 13", len(ks))
+	if len(ks) != 15 {
+		t.Fatalf("registry has %d kernels, want 15", len(ks))
 	}
 	s := Shape{NA: 10, NB: 11, NC: 12}
 	for _, k := range ks {
@@ -145,8 +145,9 @@ func TestShapeOverflowSaturates(t *testing.T) {
 	}
 }
 
-// TestAutoMatchesLegacyHeuristic pins automatic selection to the exact
-// decision table of the old resolveAlgorithm switch in tsa.go.
+// TestAutoMatchesLegacyHeuristic pins automatic selection to the decision
+// table of the old resolveAlgorithm switch in tsa.go, updated deliberately
+// for the lane-packed linear-gap primaries.
 func TestAutoMatchesLegacyHeuristic(t *testing.T) {
 	small := Shape{NA: 10, NB: 10, NC: 10}
 	big := Shape{NA: 200, NB: 200, NC: 200} // full lattice ≈ 32 MiB
@@ -158,8 +159,8 @@ func TestAutoMatchesLegacyHeuristic(t *testing.T) {
 		maxBytes int64
 		want     string
 	}{
-		{"linear-parallel", small, GapLinear, true, 0, "parallel"},
-		{"linear-sequential", small, GapLinear, false, 0, "full"},
+		{"linear-parallel", small, GapLinear, true, 0, "parallel-packed"},
+		{"linear-sequential", small, GapLinear, false, 0, "full-packed"},
 		{"affine-parallel", small, GapAffine, true, 0, "affine-parallel"},
 		{"affine-sequential", small, GapAffine, false, 0, "affine"},
 		{"capped-linear-parallel", big, GapLinear, true, 1 << 20, "parallel-linear"},
@@ -292,7 +293,7 @@ func TestTileDims(t *testing.T) {
 
 // TestParseDowngrade round-trips the entry format.
 func TestParseDowngrade(t *testing.T) {
-	entry := downgradeEntry(kernels["parallel"], kernels["parallel-linear"], Shape{NA: 100, NB: 100, NC: 100}, 1<<20)
+	entry := downgradeEntry(kernels["parallel"], kernels["parallel-linear"], Request{Shape: Shape{NA: 100, NB: 100, NC: 100}}, 1<<20)
 	from, to, ok := ParseDowngrade(entry)
 	if !ok || from != "parallel" || to != "parallel-linear" {
 		t.Fatalf("ParseDowngrade(%q) = %q, %q, %v", entry, from, to, ok)

@@ -41,6 +41,10 @@ type KernelSpec struct {
 	// Blocked3D reports that the kernel runs the blocked 3D wavefront
 	// schedule and therefore negotiates TileDims through the planner.
 	Blocked3D bool
+	// WidthAware reports that the kernel honors core.Options.CellWidth:
+	// the planner may negotiate 16-bit lattice cells for it (halving the
+	// byte estimate) when the request's score bound allows.
+	WidthAware bool
 	// BytesPerCell is the lattice cost per DP cell for blocked kernels
 	// (4 for the single linear-gap tensor, 28 for the seven affine ones);
 	// it parameterizes the adaptive tile heuristic.
@@ -161,17 +165,34 @@ func pairCells(s Shape) uint64 { return s.PairCells() }
 func init() {
 	register(&KernelSpec{
 		Name: "full", Gaps: GapLinear, Space: SpaceLattice,
-		Exact: true, Traceback: true, BytesPerCell: 4,
+		Exact: true, Traceback: true, WidthAware: true, BytesPerCell: 4,
 		RateKey: "full", RateScale: 1,
 		Downgrade: "linear", EstBytes: latticeBytes(4),
 		Run: wrap(core.AlignFull),
 	})
 	register(&KernelSpec{
 		Name: "parallel", Gaps: GapLinear, Space: SpaceLattice,
-		Parallel: true, Exact: true, Traceback: true, Blocked3D: true, BytesPerCell: 4,
+		Parallel: true, Exact: true, Traceback: true, Blocked3D: true, WidthAware: true, BytesPerCell: 4,
 		RateKey: "parallel", RateScale: 1,
 		Downgrade: "parallel-linear", EstBytes: latticeBytes(4),
 		Run: wrap(core.AlignParallel),
+	})
+	register(&KernelSpec{
+		// The lane-packed sequential fill: same lattice, same optimum, with
+		// the k-lane interior vectorized (AVX2 two-pass max-plus scan where
+		// the host has it, unrolled bounds-check-free windows elsewhere).
+		Name: "full-packed", Gaps: GapLinear, Space: SpaceLattice,
+		Exact: true, Traceback: true, WidthAware: true, BytesPerCell: 4,
+		RateKey: "full-packed", RateScale: 1,
+		Downgrade: "linear", EstBytes: latticeBytes(4),
+		Run: wrap(core.AlignFullPacked),
+	})
+	register(&KernelSpec{
+		Name: "parallel-packed", Gaps: GapLinear, Space: SpaceLattice,
+		Parallel: true, Exact: true, Traceback: true, Blocked3D: true, WidthAware: true, BytesPerCell: 4,
+		RateKey: "parallel-packed", RateScale: 1,
+		Downgrade: "parallel-linear", EstBytes: latticeBytes(4),
+		Run: wrap(core.AlignParallelPacked),
 	})
 	register(&KernelSpec{
 		Name: "linear", Gaps: GapLinear, Space: SpacePlanes,
@@ -257,8 +278,12 @@ func init() {
 
 	// Registry self-check: every downgrade edge must exist and move down
 	// (or stay level in) the space-class ladder, or the budget loop in
-	// Resolve could cycle or dead-end on a typo.
+	// Resolve could cycle or dead-end on a typo; every rate key must have a
+	// calibration row, or duration predictions silently go to zero.
 	for _, k := range Kernels() {
+		if _, ok := Calibration[k.RateKey]; !ok {
+			panic("plan: " + k.Name + " has no calibration entry for rate key " + k.RateKey)
+		}
 		if k.Downgrade == "" {
 			continue
 		}

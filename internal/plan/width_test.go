@@ -1,0 +1,121 @@
+package plan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// widthRequest builds an explicit full-packed request so the property
+// exercises only the width negotiation, not kernel selection.
+func widthRequest(na, nb, nc int, maxAbsColumn int64) Request {
+	return Request{
+		Shape:        Shape{NA: na, NB: nb, NC: nc},
+		Algorithm:    "full-packed",
+		MaxAbsColumn: maxAbsColumn,
+	}
+}
+
+// TestWidthNegotiationProperty drives Resolve with shapes and column
+// bounds randomly straddling the int16 limit and asserts the planner
+// chooses 16-bit cells exactly when total·maxAbsColumn provably fits
+// int16 — and that the check itself never wraps into a false 16.
+func TestWidthNegotiationProperty(t *testing.T) {
+	prop := func(na, nb, nc uint16, mc uint16) bool {
+		// Bias the draw toward the boundary: sequence totals up to
+		// ~196k residues and per-column bounds up to 64 cover both
+		// sides of total·mc ≤ MaxInt16.
+		bound := int64(mc%64) + 1
+		a, b, c := int(na), int(nb), int(nc)
+		pl, _, err := Resolve(widthRequest(a, b, c, bound))
+		if err != nil {
+			t.Fatalf("Resolve(%d,%d,%d,mc=%d): %v", a, b, c, bound, err)
+		}
+		total := uint64(a) + uint64(b) + uint64(c)
+		wantWidth := 32
+		if core.Int16SafeBound(total, uint64(bound)) {
+			wantWidth = 16
+		}
+		if pl.CellWidthBits != wantWidth {
+			t.Errorf("shape (%d,%d,%d) mc=%d: width %d, want %d (total·mc=%d)",
+				a, b, c, bound, pl.CellWidthBits, wantWidth, total*uint64(bound))
+			return false
+		}
+		// Footprint accounting must match the negotiated width: a 16-bit
+		// plan reports exactly half the 32-bit estimate of the same
+		// shape (well under the 55% acceptance ceiling), and a 32-bit
+		// plan reports the unscaled estimate.
+		wide, _, err := Resolve(widthRequest(a, b, c, 0))
+		if err != nil {
+			t.Fatalf("Resolve wide: %v", err)
+		}
+		if wide.CellWidthBits != 32 {
+			t.Errorf("MaxAbsColumn=0 must keep 32-bit cells, got %d", wide.CellWidthBits)
+			return false
+		}
+		switch wantWidth {
+		case 16:
+			if pl.EstBytes != wide.EstBytes/2 {
+				t.Errorf("int16 EstBytes %d, want half of %d", pl.EstBytes, wide.EstBytes)
+				return false
+			}
+		case 32:
+			if pl.EstBytes != wide.EstBytes {
+				t.Errorf("int32 EstBytes %d, want %d", pl.EstBytes, wide.EstBytes)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWidthNegotiationBoundary pins the exact int16 cliff and the
+// saturation backstops that keep adversarial inputs from wrapping the
+// predicate into an unsafe 16-bit plan.
+func TestWidthNegotiationBoundary(t *testing.T) {
+	cases := []struct {
+		name      string
+		na        int
+		mc        int64
+		wantWidth int
+	}{
+		// MaxInt16 = 32767. With mc=1 the boundary sits at total=32767.
+		{"at-limit", 32767, 1, 16},
+		{"one-past", 32768, 1, 32},
+		// mc=7: 32767/7 = 4681 columns fit; 4682 do not.
+		{"divided-at", 4681, 7, 16},
+		{"divided-past", 4682, 7, 32},
+		// A bound alone past MaxInt16 can never fit, whatever the shape.
+		{"huge-bound", 1, math.MaxInt16 + 1, 32},
+		// MaxInt64 bound must not wrap the division-based check.
+		{"maxint64-bound", 1, math.MaxInt64, 32},
+		// Zero/negative bounds mean "unknown": stay wide.
+		{"zero-bound", 4, 0, 32},
+		{"negative-bound", 4, -3, 32},
+	}
+	for _, tc := range cases {
+		pl, _, err := Resolve(widthRequest(tc.na, 0, 0, tc.mc))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if pl.CellWidthBits != tc.wantWidth {
+			t.Errorf("%s: na=%d mc=%d: width %d, want %d",
+				tc.name, tc.na, tc.mc, pl.CellWidthBits, tc.wantWidth)
+		}
+	}
+	// Width-unaware kernels ignore the bound entirely.
+	pl, _, err := Resolve(Request{
+		Shape: Shape{NA: 8, NB: 8, NC: 8}, Algorithm: "linear", MaxAbsColumn: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CellWidthBits != 32 {
+		t.Errorf("width-unaware kernel negotiated %d-bit cells", pl.CellWidthBits)
+	}
+}

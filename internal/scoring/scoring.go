@@ -153,6 +153,30 @@ func (s *Scheme) WithGaps(gapOpen, gapExtend int) (*Scheme, error) {
 	return &c, nil
 }
 
+// MapSub returns a scheme named name over the same alphabet whose
+// substitution entries are f applied pointwise to s's and whose gap model
+// is (gapOpen, gapExtend). Unlike New it copies the flat table directly —
+// no [][]int staging — so per-alignment scheme derivation (e.g. the
+// Hirschberg pairwise reduction) costs two allocations, not Size()+3.
+// A pointwise f preserves symmetry by construction.
+func (s *Scheme) MapSub(name string, f func(mat.Score) mat.Score, gapOpen, gapExtend mat.Score) (*Scheme, error) {
+	if gapOpen > 0 || gapExtend > 0 {
+		return nil, fmt.Errorf("scoring: %s: gap penalties must be non-positive (open=%d extend=%d)", name, gapOpen, gapExtend)
+	}
+	c := &Scheme{
+		name:      name,
+		alpha:     s.alpha,
+		size:      s.size,
+		sub:       make([]mat.Score, len(s.sub)),
+		gapOpen:   gapOpen,
+		gapExtend: gapExtend,
+	}
+	for i, v := range s.sub {
+		c.sub[i] = f(v)
+	}
+	return c, nil
+}
+
 // Name returns the scheme's name.
 func (s *Scheme) Name() string { return s.name }
 
@@ -203,6 +227,23 @@ func (s *Scheme) SPColumn(x, y, z int8) mat.Score {
 func (s *Scheme) MaxSub() mat.Score {
 	best := s.sub[0]
 	for _, v := range s.sub {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MaxAbsSub returns the largest absolute substitution score in the table.
+// Together with the gap penalties it bounds the score contribution of one
+// alignment column, which is what the planner's cell-width negotiation
+// needs to prove an int16 lattice cannot overflow.
+func (s *Scheme) MaxAbsSub() mat.Score {
+	var best mat.Score
+	for _, v := range s.sub {
+		if v < 0 {
+			v = -v
+		}
 		if v > best {
 			best = v
 		}

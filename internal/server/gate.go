@@ -3,9 +3,12 @@ package server
 import (
 	"context"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro"
 )
 
 // gate is the two-stage admission control: a non-blocking bounded
@@ -81,6 +84,8 @@ type stats struct {
 
 	estBytesInFlight  atomic.Int64 // planner-estimated bytes of executing alignments
 	plannedDowngrades atomic.Int64 // downgrade steps recorded by served plans
+	plannedInt16      atomic.Int64 // served plans that negotiated 16-bit lattice cells
+	plannedPacked     atomic.Int64 // served plans that selected a lane-packed kernel
 
 	panicsContained     atomic.Int64 // panics recovered instead of crashing the process
 	retriesObserved     atomic.Int64 // requests arriving with an X-Retry-Attempt header
@@ -90,6 +95,21 @@ type stats struct {
 }
 
 func newStats() *stats { return &stats{latency: latencyRing{buf: make([]time.Duration, 1024)}} }
+
+// recordPlan folds one served execution plan into the planner counters:
+// downgrade steps, negotiated 16-bit widths, and lane-packed kernel picks.
+func (st *stats) recordPlan(pl *repro.Plan) {
+	if pl == nil {
+		return
+	}
+	st.plannedDowngrades.Add(int64(len(pl.Downgrades)))
+	if pl.CellWidthBits == 16 {
+		st.plannedInt16.Add(1)
+	}
+	if strings.HasSuffix(pl.Algorithm, "-packed") {
+		st.plannedPacked.Add(1)
+	}
+}
 
 // latencyRing records the most recent request latencies in a fixed ring;
 // quantiles sorts a snapshot. 1024 samples keep the p99 meaningful while

@@ -164,9 +164,7 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	if res.Degraded {
 		s.stats.degraded.Add(1)
 	}
-	if res.Plan != nil {
-		s.stats.plannedDowngrades.Add(int64(len(res.Plan.Downgrades)))
-	}
+	s.stats.recordPlan(res.Plan)
 	writeJSON(w, http.StatusOK, response(res, coalesced))
 }
 
@@ -309,9 +307,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if res.Result.Degraded {
 			s.stats.degraded.Add(1)
 		}
-		if res.Result.Plan != nil {
-			s.stats.plannedDowngrades.Add(int64(len(res.Result.Plan.Downgrades)))
-		}
+		s.stats.recordPlan(res.Result.Plan)
 		out.Results[i].Result = response(res.Result, false)
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -238,6 +238,12 @@ type Statsz struct {
 	// downgrade steps the planner recorded across all served requests.
 	EstBytesInFlight  int64 `json:"est_bytes_in_flight"`
 	PlannedDowngrades int64 `json:"planned_downgrades"`
+	// PlannedInt16 counts served plans whose lattice cell width was
+	// negotiated down to 16 bits; PlannedPacked counts plans that selected
+	// a lane-packed kernel. Together they show how often the fast paths
+	// actually serve traffic.
+	PlannedInt16  int64 `json:"planned_int16"`
+	PlannedPacked int64 `json:"planned_packed"`
 
 	// Robustness counters. PanicsContained counts panics the serving and
 	// scheduling layers recovered instead of crashing (contained kernel
@@ -281,6 +287,8 @@ func (s *Server) snapshot() Statsz {
 	st.CoalescedRequests = s.stats.coalescedRequests.Load()
 	st.EstBytesInFlight = s.stats.estBytesInFlight.Load()
 	st.PlannedDowngrades = s.stats.plannedDowngrades.Load()
+	st.PlannedInt16 = s.stats.plannedInt16.Load()
+	st.PlannedPacked = s.stats.plannedPacked.Load()
 	st.PanicsContained = s.stats.panicsContained.Load()
 	st.RetriesObserved = s.stats.retriesObserved.Load()
 	st.MemPressureDegraded = s.stats.memPressureDegraded.Load()

@@ -18,7 +18,10 @@ import (
 	"repro/internal/plan"
 )
 
-// legacyResolveAlgorithm is the pre-planner auto heuristic, verbatim.
+// legacyResolveAlgorithm is the pre-planner auto heuristic — updated
+// deliberately for two selection-semantics changes the planner made since:
+// linear-gap primaries are the lane-packed kernels, and the lattice
+// estimate halves when the scheme's score bound admits 16-bit cells.
 func legacyResolveAlgorithm(tr Triple, sch *Scheme, opt Options, parallel bool) Algorithm {
 	if opt.Algorithm != AlgorithmAuto {
 		return opt.Algorithm
@@ -26,6 +29,10 @@ func legacyResolveAlgorithm(tr Triple, sch *Scheme, opt Options, parallel bool) 
 	maxB := opt.MaxBytes
 	if maxB <= 0 {
 		maxB = core.DefaultMaxBytes
+	}
+	lattice := core.FullMatrixBytes(tr)
+	if !sch.Affine() && core.Int16Safe(tr, sch) {
+		lattice /= 2
 	}
 	switch {
 	case sch.Affine() && 7*core.FullMatrixBytes(tr) <= maxB:
@@ -35,11 +42,11 @@ func legacyResolveAlgorithm(tr Triple, sch *Scheme, opt Options, parallel bool) 
 		return AlgorithmAffine
 	case sch.Affine():
 		return AlgorithmAffineLinear
-	case core.FullMatrixBytes(tr) <= maxB:
+	case lattice <= maxB:
 		if parallel {
-			return AlgorithmParallel
+			return AlgorithmParallelPacked
 		}
-		return AlgorithmFull
+		return AlgorithmFullPacked
 	default:
 		if parallel {
 			return AlgorithmParallelLinear
@@ -53,8 +60,12 @@ func legacyRunAlgorithm(ctx context.Context, algo Algorithm, tr Triple, sch *Sch
 	switch algo {
 	case AlgorithmFull:
 		aln, err = core.AlignFull(ctx, tr, sch, copt)
+	case AlgorithmFullPacked:
+		aln, err = core.AlignFullPacked(ctx, tr, sch, copt)
 	case AlgorithmParallel:
 		aln, err = core.AlignParallel(ctx, tr, sch, copt)
+	case AlgorithmParallelPacked:
+		aln, err = core.AlignParallelPacked(ctx, tr, sch, copt)
 	case AlgorithmLinear:
 		aln, err = core.AlignLinear(ctx, tr, sch, copt)
 	case AlgorithmParallelLinear:

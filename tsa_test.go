@@ -21,8 +21,8 @@ func TestAlignDefaultOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Algorithm != AlgorithmParallel {
-		t.Errorf("auto algorithm = %q, want parallel", res.Algorithm)
+	if res.Algorithm != AlgorithmParallelPacked {
+		t.Errorf("auto algorithm = %q, want parallel-packed", res.Algorithm)
 	}
 	if err := res.Validate(); err != nil {
 		t.Fatal(err)
@@ -85,8 +85,21 @@ func TestAlignUnknownAlgorithm(t *testing.T) {
 func TestAlignAutoFallsBackToLinear(t *testing.T) {
 	g := NewGenerator(DNA, 5)
 	tr := g.RelatedTriple(64, MutationModel{SubstitutionRate: 0.1})
-	// Cap memory below the full lattice but above the linear planes.
-	res, err := Align(tr, Options{MaxBytes: 1 << 20})
+	// At 1 MiB the 32-bit lattice (~1.1 MB) no longer fits, but the
+	// negotiated 16-bit lattice (~0.55 MB) does: the planner keeps the
+	// packed lattice kernel at half width instead of downgrading.
+	narrow, err := Align(tr, Options{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Algorithm != AlgorithmParallelPacked {
+		t.Fatalf("auto with an int16-fitting cap chose %q", narrow.Algorithm)
+	}
+	if narrow.Plan == nil || narrow.Plan.CellWidthBits != 16 {
+		t.Fatalf("auto with an int16-fitting cap planned width %+v, want 16", narrow.Plan)
+	}
+	// Cap memory below even the 16-bit lattice but above the linear planes.
+	res, err := Align(tr, Options{MaxBytes: 1 << 19})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,8 +185,8 @@ func TestSchemeByName(t *testing.T) {
 
 func TestAlgorithmsList(t *testing.T) {
 	list := Algorithms()
-	if len(list) != 13 {
-		t.Fatalf("Algorithms() has %d entries, want 13", len(list))
+	if len(list) != 15 {
+		t.Fatalf("Algorithms() has %d entries, want 15", len(list))
 	}
 	tr := mustTriple(t, "ACGT", "ACG", "AGT")
 	for _, algo := range list {
