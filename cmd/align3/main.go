@@ -300,6 +300,10 @@ func printPlan(w io.Writer, pl *repro.Plan) {
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "estimate: %d cells   %d bytes   %.1f Mcells/s   ~%s\n",
 		pl.EstCells, pl.EstBytes, pl.EstMcellsPerSec, pl.EstDuration.Round(pl.EstDuration/100+1))
+	if pl.EstEvaluatedCells > 0 {
+		fmt.Fprintf(w, "est_evaluated_cells: %d (Carrillo–Lipman bounded search; work and memory scale with these, not the lattice)\n",
+			pl.EstEvaluatedCells)
+	}
 	for _, d := range pl.Downgrades {
 		fmt.Fprintf(w, "downgrade: %s\n", d)
 	}

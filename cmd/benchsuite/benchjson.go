@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/msa"
 	"repro/internal/pairwise"
 	"repro/internal/scoring"
 	"repro/internal/seq"
@@ -42,6 +43,15 @@ type kernelMetric struct {
 	Steals           int64   `json:"steals,omitempty"`
 	Keeps            int64   `json:"keeps,omitempty"`
 	TileDims         string  `json:"tile_dims,omitempty"`
+	// EvaluatedFraction is the measured fraction of lattice cells a
+	// Carrillo–Lipman bounded-search kernel evaluated on its workload;
+	// zero for full-lattice kernels. Note the Cells convention: the
+	// calibration rows ("bounded", "astar") report Cells = evaluated cells
+	// (so McellsPerS is the honest per-evaluated-cell rate the planner
+	// calibrates against), while the similarity-sweep rows
+	// ("bounded-idNN") report Cells = the whole lattice (so McellsPerS is
+	// the effective throughput comparable to the "full" row).
+	EvaluatedFraction float64 `json:"evaluated_fraction,omitempty"`
 }
 
 // benchReport is the top-level BENCH_<rev>.json document.
@@ -191,57 +201,139 @@ func writeBenchJSON(path string, cfg config) error {
 
 	pairCells := int64(nPair+1) * int64(nPair+1)
 	lattice := func(t seq.Triple) int64 { return core.FullMatrixBytes(t) }
+
+	// Bounded-search workloads: the calibration rows run at 80% identity
+	// (the regime the planner targets); the sweep rows cover 60/80/95%.
+	// Mutations follow seq.Uniform (indel rate = substitution/4) so the
+	// admissible band has realistic width — the near-indel-free default
+	// workload makes it degenerate, and the per-evaluated-cell rate would
+	// measure the O(n²) projection overhead instead of the band fill.
+	// Evaluated-cell counts are measured up front with one seeded run so
+	// each row can carry its fraction and the calibration rows can report
+	// Cells = evaluated.
+	nB := pick(cfg.quick, 96, 160)
+	type boundedLoad struct {
+		tr    seq.Triple
+		seed  int32
+		stats core.PruneStats
+	}
+	boundedFor := func(genSeed int64, subRate float64) (boundedLoad, error) {
+		g := seq.NewGenerator(seq.DNA, genSeed)
+		t := g.RelatedTriple(nB, seq.Uniform(subRate))
+		s, err := msa.CenterStarRefined(t, sch)
+		if err != nil {
+			return boundedLoad{}, err
+		}
+		_, st, err := core.AlignBounded(ctx, t, sch, core.Options{}, s.Score)
+		if err != nil {
+			return boundedLoad{}, err
+		}
+		return boundedLoad{tr: t, seed: s.Score, stats: st}, nil
+	}
+	b60, err := boundedFor(14060, 0.4)
+	if err != nil {
+		return err
+	}
+	b80, err := boundedFor(14080, 0.2)
+	if err != nil {
+		return err
+	}
+	b95, err := boundedFor(14095, 0.05)
+	if err != nil {
+		return err
+	}
+	_, stA60, err := core.AlignAStar(ctx, b60.tr, sch, core.Options{}, b60.seed)
+	if err != nil {
+		return err
+	}
+	runBoundedRow := func(l boundedLoad) func() {
+		return func() {
+			s := mustAlign(msa.CenterStarRefined(l.tr, sch))
+			if _, _, err := core.AlignBounded(ctx, l.tr, sch, core.Options{}, s.Score); err != nil {
+				panic(err)
+			}
+		}
+	}
+
 	kernels := []struct {
 		name  string
 		n     int
 		peak  int64
 		run   func()
 		cells int64
-		sched bool // goes through the wavefront block scheduler
+		frac  float64 // evaluated fraction (bounded-search rows only)
+		sched bool    // goes through the wavefront block scheduler
 	}{
 		{"full", n, lattice(tr), func() {
 			mustAlign(core.AlignFull(ctx, tr, sch, core.Options{}))
-		}, cells(tr), false},
+		}, cells(tr), 0, false},
 		{"full-packed", n, lattice(tr), func() {
 			mustAlign(core.AlignFullPacked(ctx, tr, sch, core.Options{}))
-		}, cells(tr), false},
+		}, cells(tr), 0, false},
 		{"full-packed-w16", n, lattice(tr) / 2, func() {
 			mustAlign(core.AlignFullPacked(ctx, tr, sch, core.Options{CellWidth: 16}))
-		}, cells(tr), false},
+		}, cells(tr), 0, false},
 		{"parallel", n, lattice(tr), func() {
 			mustAlign(core.AlignParallel(ctx, tr, sch, core.Options{}))
-		}, cells(tr), true},
+		}, cells(tr), 0, true},
 		{"parallel-packed", n, lattice(tr), func() {
 			mustAlign(core.AlignParallelPacked(ctx, tr, sch, core.Options{}))
-		}, cells(tr), true},
+		}, cells(tr), 0, true},
 		{"parallel-packed-w16", n, lattice(tr) / 2, func() {
 			mustAlign(core.AlignParallelPacked(ctx, tr, sch, core.Options{CellWidth: 16}))
-		}, cells(tr), true},
+		}, cells(tr), 0, true},
 		{"score", n, 2 * int64(tr.B.Len()+1) * int64(tr.C.Len()+1) * 4, func() {
 			if _, err := core.Score(ctx, tr, sch, core.Options{}); err != nil {
 				panic(err)
 			}
-		}, cells(tr), false},
+		}, cells(tr), 0, false},
 		{"linear", n, core.LinearBytes(tr), func() {
 			mustAlign(core.AlignLinear(ctx, tr, sch, core.Options{}))
-		}, cells(tr), false},
+		}, cells(tr), 0, false},
 		{"pruned", n, lattice(tr), func() {
 			if _, _, err := core.AlignPruned(ctx, tr, sch, core.Options{}); err != nil {
 				panic(err)
 			}
-		}, cells(tr), false},
+		}, cells(tr), 0, false},
 		{"diagonal", n, lattice(tr), func() {
 			mustAlign(core.AlignDiagonal(ctx, tr, sch, core.Options{}))
-		}, cells(tr), false},
+		}, cells(tr), 0, false},
 		{"affine7", nAff, 7 * lattice(trAff), func() {
 			mustAlign(core.AlignAffine(ctx, trAff, affSch, core.Options{}))
-		}, cells(trAff), false},
+		}, cells(trAff), 0, false},
 		{"pairwise-global", nPair, pairCells * 4, func() {
 			pairwise.Global(pa, pb, sch)
-		}, pairCells, false},
+		}, pairCells, 0, false},
 		{"pairwise-gotoh", nPair, 3 * pairCells * 4, func() {
 			pairwise.GlobalAffine(pa, pb, affSch)
-		}, pairCells, false},
+		}, pairCells, 0, false},
+		// Calibration rows: Cells = evaluated cells, so McellsPerS is the
+		// per-evaluated-cell rate plan.Calibration["bounded"/"astar"] pins.
+		// The seed score is precomputed and the workload is the 60%-identity
+		// triple: that band is wide enough that band fill dominates the
+		// O(n²) projection planes, so the measured rate is the asymptotic
+		// per-cell cost a cells/rate model can extrapolate. (At 80-95%
+		// identity the band is a few thousand cells and the "rate" would
+		// just be plane time divided by a near-zero cell count.)
+		{"bounded", nB, b60.stats.EvaluatedCells * 4, func() {
+			if _, _, err := core.AlignBounded(ctx, b60.tr, sch, core.Options{}, b60.seed); err != nil {
+				panic(err)
+			}
+		}, b60.stats.EvaluatedCells, b60.stats.Fraction(), false},
+		{"astar", nB, stA60.EvaluatedCells * 64, func() {
+			if _, _, err := core.AlignAStar(ctx, b60.tr, sch, core.Options{}, b60.seed); err != nil {
+				panic(err)
+			}
+		}, stA60.EvaluatedCells, stA60.Fraction(), false},
+		// Similarity sweep: Cells = whole lattice, so McellsPerS is the
+		// effective throughput comparable to the "full" row. CI asserts the
+		// 80%-identity row beats "full" and evaluates ≤25% of the lattice.
+		{"bounded-id60", nB, b60.stats.EvaluatedCells * 4, runBoundedRow(b60),
+			b60.stats.TotalCells, b60.stats.Fraction(), false},
+		{"bounded-id80", nB, b80.stats.EvaluatedCells * 4, runBoundedRow(b80),
+			b80.stats.TotalCells, b80.stats.Fraction(), false},
+		{"bounded-id95", nB, b95.stats.EvaluatedCells * 4, runBoundedRow(b95),
+			b95.stats.TotalCells, b95.stats.Fraction(), false},
 	}
 
 	rep := benchReport{
@@ -255,13 +347,14 @@ func writeBenchJSON(path string, cfg config) error {
 		before := wavefront.Stats()
 		mean, bytesPerOp, allocsPerOp := measureKernel(cfg.reps, k.run)
 		m := kernelMetric{
-			Kernel:           k.name,
-			N:                k.n,
-			Cells:            k.cells,
-			NsPerOp:          mean.Nanoseconds(),
-			AllocsPerOp:      allocsPerOp,
-			BytesPerOp:       bytesPerOp,
-			PeakLatticeBytes: k.peak,
+			Kernel:            k.name,
+			N:                 k.n,
+			Cells:             k.cells,
+			NsPerOp:           mean.Nanoseconds(),
+			AllocsPerOp:       allocsPerOp,
+			BytesPerOp:        bytesPerOp,
+			PeakLatticeBytes:  k.peak,
+			EvaluatedFraction: k.frac,
 		}
 		if mean > 0 {
 			m.McellsPerS = float64(k.cells) / mean.Seconds() / 1e6

@@ -80,6 +80,7 @@ var experiments = []experiment{
 	{"f6", "F6: blocked vs plane-synchronized schedule", runF6},
 	{"f7", "F7: simulated cluster speedup under alpha-beta communication", runF7},
 	{"f8", "F8: work-stealing scheduler behaviour vs workers", runF8},
+	{"f9", "F9: Carrillo-Lipman bounded search vs identity", runF9},
 }
 
 func main() {
@@ -93,7 +94,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		expFlag   = fs.String("exp", "all", "comma-separated experiment ids (t1,t2,f1,f2,f3,t3,f4,t4,f5,t5,f6,f7,f8) or 'all'")
+		expFlag   = fs.String("exp", "all", "comma-separated experiment ids (t1,t2,f1,f2,f3,t3,f4,t4,f5,t5,f6,f7,f8,f9) or 'all'")
 		quick     = fs.Bool("quick", false, "reduced sizes and repetitions")
 		reps      = fs.Int("reps", 3, "repetitions per configuration")
 		csvOut    = fs.Bool("csv", false, "emit CSV instead of text tables")
@@ -524,6 +525,42 @@ func runF8(cfg config) error {
 		}
 		tab.AddRowf(w, fmt.Sprintf("%dx%dx%d", ti, tj, tk), t.Mean,
 			d.Blocks, d.Keeps, d.Steals, fmt.Sprintf("%.1f%%", 100*stealRate))
+	}
+	return cfg.render(tab)
+}
+
+func runF9(cfg config) error {
+	n := pick(cfg.quick, 96, 160)
+	tab := bench.NewTable(fmt.Sprintf("F9: Carrillo-Lipman bounded search vs identity (n=%d, center-star-refined seed)", n),
+		"identity", "evaluated", "total", "fraction", "bounded time", "astar time", "full time")
+	tab.Caption = "expected: evaluated fraction and bounded time collapse as identity rises;\n" +
+		"the band beats the full fill from ~80% identity, the A* frontier joins\n" +
+		"once the fraction drops into the single percents"
+	for _, id := range []float64{0.6, 0.8, 0.95} {
+		// seq.Uniform mutations (indel = substitution/4): the default
+		// near-indel-free triple() makes the admissible band degenerate,
+		// which would overstate the pruning the planner can expect.
+		g := seq.NewGenerator(seq.DNA, 14000+int64(id*100))
+		tr := g.RelatedTriple(n, seq.Uniform(1-id))
+		seed := mustAlign(msa.CenterStarRefined(tr, dnaSch()))
+		var st core.PruneStats
+		tBounded := bench.Measure(cfg.reps, func() {
+			_, stats, err := core.AlignBounded(context.Background(), tr, dnaSch(), core.Options{}, seed.Score)
+			if err != nil {
+				panic(err)
+			}
+			st = stats
+		})
+		tAStar := bench.Measure(cfg.reps, func() {
+			if _, _, err := core.AlignAStar(context.Background(), tr, dnaSch(), core.Options{}, seed.Score); err != nil {
+				panic(err)
+			}
+		})
+		tFull := bench.Measure(cfg.reps, func() {
+			mustAlign(core.AlignFull(context.Background(), tr, dnaSch(), core.Options{}))
+		})
+		tab.AddRowf(fmt.Sprintf("%.0f%%", id*100), st.EvaluatedCells, st.TotalCells,
+			st.Fraction(), tBounded.Mean, tAStar.Mean, tFull.Mean)
 	}
 	return cfg.render(tab)
 }

@@ -59,8 +59,8 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.id)
 		}
 	}
-	if len(experiments) != 13 {
-		t.Errorf("expected 13 experiments, found %d", len(experiments))
+	if len(experiments) != 14 {
+		t.Errorf("expected 14 experiments, found %d", len(experiments))
 	}
 }
 
@@ -87,7 +87,13 @@ func TestBenchJSON(t *testing.T) {
 	want := map[string]bool{"full": false, "full-packed": false, "full-packed-w16": false,
 		"parallel": false, "parallel-packed": false, "parallel-packed-w16": false,
 		"score": false, "linear": false, "pruned": false, "diagonal": false, "affine7": false,
-		"pairwise-global": false, "pairwise-gotoh": false}
+		"pairwise-global": false, "pairwise-gotoh": false,
+		"bounded": false, "astar": false,
+		"bounded-id60": false, "bounded-id80": false, "bounded-id95": false}
+	// The bounded-search rows carry an evaluated fraction; every one of
+	// them must report a meaningful band (0 < fraction <= 1).
+	fractional := map[string]bool{"bounded": true, "astar": true,
+		"bounded-id60": true, "bounded-id80": true, "bounded-id95": true}
 	for _, k := range rep.Kernels {
 		if _, ok := want[k.Kernel]; !ok {
 			t.Errorf("unexpected kernel %q", k.Kernel)
@@ -96,6 +102,9 @@ func TestBenchJSON(t *testing.T) {
 		want[k.Kernel] = true
 		if k.McellsPerS <= 0 || k.NsPerOp <= 0 || k.Cells <= 0 || k.PeakLatticeBytes <= 0 {
 			t.Errorf("kernel %q has degenerate metrics: %+v", k.Kernel, k)
+		}
+		if fractional[k.Kernel] != (k.EvaluatedFraction > 0 && k.EvaluatedFraction <= 1) {
+			t.Errorf("kernel %q has evaluated_fraction %v", k.Kernel, k.EvaluatedFraction)
 		}
 	}
 	for name, seen := range want {

@@ -32,6 +32,8 @@ func TestKernelsPreCancelled(t *testing.T) {
 		{"diagonal", func() error { _, err := AlignDiagonal(ctx, tr, dnaSch, Options{}); return err }},
 		{"pruned", func() error { _, _, err := AlignPruned(ctx, tr, dnaSch, Options{}, -1000); return err }},
 		{"pruned-parallel", func() error { _, _, err := AlignPrunedParallel(ctx, tr, dnaSch, Options{}, -1000); return err }},
+		{"bounded", func() error { _, _, err := AlignBounded(ctx, tr, dnaSch, Options{}, -1000); return err }},
+		{"astar", func() error { _, _, err := AlignAStar(ctx, tr, dnaSch, Options{}, -1000); return err }},
 		{"affine", func() error { _, err := AlignAffine(ctx, tr, affSch, Options{}); return err }},
 		{"affine-linear", func() error { _, err := AlignAffineLinear(ctx, tr, affSch, Options{}); return err }},
 		{"affine-parallel", func() error { _, err := AlignAffineParallel(ctx, tr, affSch, Options{}); return err }},

@@ -124,8 +124,8 @@ func BenchmarkKernelFillRangePackedInterior16(b *testing.B) {
 func BenchmarkKernelPrunedInterior(b *testing.B) {
 	ca, cb, cc := benchCodes(64)
 	sch := scoring.DNADefault()
-	pc := newPruneCtx(ca, cb, cc, sch, mat.NegInf/4)
-	defer pc.release()
+	bc := newBoundCtx(ca, cb, cc, sch, mat.NegInf/4)
+	defer bc.release()
 	st := newScoreTables(ca, cb, cc, sch)
 	defer st.release()
 	t := mat.GetTensor3(len(ca)+1, len(cb)+1, len(cc)+1)
@@ -136,7 +136,7 @@ func BenchmarkKernelPrunedInterior(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fillRangePruned(t, st, pc, ge2, si, sj, sk)
+		fillRangePruned(t, st, bc, ge2, si, sj, sk)
 	}
 	b.StopTimer() // exclude the metric bookkeeping from the alloc count
 	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")

@@ -106,8 +106,8 @@ func AlignPruned(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Op
 		}
 	}
 
-	pc := newPruneCtx(ca, cb, cc, sch, bound)
-	defer pc.release()
+	bc := newBoundCtx(ca, cb, cc, sch, bound)
+	defer bc.release()
 	n, m, p := len(ca), len(cb), len(cc)
 	st := newScoreTables(ca, cb, cc, sch)
 	defer st.release()
@@ -121,7 +121,7 @@ func AlignPruned(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt Op
 		if err := checkCtx(ctx); err != nil {
 			return nil, stats, err
 		}
-		stats.EvaluatedCells += fillRangePruned(t, st, pc, ge2,
+		stats.EvaluatedCells += fillRangePruned(t, st, bc, ge2,
 			wavefront.Span{Lo: i, Hi: i + 1}, sj, sk)
 	}
 

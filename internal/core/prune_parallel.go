@@ -7,91 +7,47 @@ import (
 
 	"repro/internal/alignment"
 	"repro/internal/mat"
-	"repro/internal/pairwise"
 	"repro/internal/scoring"
 	"repro/internal/seq"
 	"repro/internal/wavefront"
 )
-
-// pruneCtx carries the Carrillo–Lipman admissibility data shared by the
-// sequential and parallel pruned aligners.
-type pruneCtx struct {
-	fAB, fAC, fBC *mat.Plane
-	bAB, bAC, bBC *mat.Plane
-	bound         mat.Score
-}
-
-func newPruneCtx(ca, cb, cc []int8, sch *scoring.Scheme, bound mat.Score) *pruneCtx {
-	return &pruneCtx{
-		fAB:   pairwise.Forward(ca, cb, sch),
-		fAC:   pairwise.Forward(ca, cc, sch),
-		fBC:   pairwise.Forward(cb, cc, sch),
-		bAB:   pairwise.Backward(ca, cb, sch),
-		bAC:   pairwise.Backward(ca, cc, sch),
-		bBC:   pairwise.Backward(cb, cc, sch),
-		bound: bound,
-	}
-}
-
-// release returns the six projection planes to the arena.
-func (pc *pruneCtx) release() {
-	mat.PutPlane(pc.fAB)
-	mat.PutPlane(pc.fAC)
-	mat.PutPlane(pc.fBC)
-	mat.PutPlane(pc.bAB)
-	mat.PutPlane(pc.bAC)
-	mat.PutPlane(pc.bBC)
-	pc.fAB, pc.fAC, pc.fBC = nil, nil, nil
-	pc.bAB, pc.bAC, pc.bBC = nil, nil, nil
-}
-
-// admissible reports whether any alignment through (i, j, k) can reach the
-// lower bound, by the pairwise projection upper bound.
-func (pc *pruneCtx) admissible(i, j, k int) bool {
-	ub := pc.fAB.At(i, j) + pc.bAB.At(i, j) +
-		pc.fAC.At(i, k) + pc.bAC.At(i, k) +
-		pc.fBC.At(j, k) + pc.bBC.At(j, k)
-	return ub >= pc.bound
-}
 
 // fillRangePruned is fillRange with per-cell admissibility: pruned cells
 // are stored as NegInf without evaluating the recurrence. It returns the
 // number of evaluated cells in the box. Like fillRange it peels boundary
 // passes off a table-driven interior loop; unlike fillRange every max chain
 // keeps the NegInf seed, because pruned predecessors hold NegInf and the
-// original kernel clamped the best value there.
-func fillRangePruned(t *mat.Tensor3, st *scoreTables, pc *pruneCtx, ge2 mat.Score, si, sj, sk wavefront.Span) int64 {
+// original kernel clamped the best value there. Admissibility reads the
+// three precomputed through-planes (boundCtx) — three loads per cell where
+// the pre-change kernel summed six forward/backward planes.
+func fillRangePruned(t *mat.Tensor3, st *scoreTables, bc *boundCtx, ge2 mat.Score, si, sj, sk wavefront.Span) int64 {
 	var evaluated int64
 	if si.Lo == 0 {
-		evaluated += prunedBoundaryI0(t, st, pc, ge2, sj, sk)
+		evaluated += prunedBoundaryI0(t, st, bc, ge2, sj, sk)
 	}
 	for i := max(si.Lo, 1); i < si.Hi; i++ {
 		abRow := st.ab.Row(i)
 		acRow := st.ac.Row(i)
-		facRow := pc.fAC.Row(i)
-		bacRow := pc.bAC.Row(i)
-		abF := pc.fAB.Row(i)
-		abB := pc.bAB.Row(i)
+		tacRow := bc.tAC.Row(i)
+		tabRow := bc.tAB.Row(i)
 		if sj.Lo == 0 {
-			evaluated += prunedBoundaryJ0(t, pc, ge2, i, acRow, abF[0]+abB[0], facRow, bacRow, sk)
+			evaluated += prunedBoundaryJ0(t, bc, ge2, i, acRow, tabRow[0], tacRow, sk)
 		}
 		for j := max(sj.Lo, 1); j < sj.Hi; j++ {
-			abPart := abF[j] + abB[j]
+			abPart := tabRow[j]
 			hi := sk.Hi
 			sAB := abRow[j]
 			ac := acRow[:hi]
 			bcRow := st.bc.Row(j)[:hi]
-			fac := facRow[:hi]
-			bac := bacRow[:hi]
-			fbc := pc.fBC.Row(j)[:hi]
-			bbc := pc.bBC.Row(j)[:hi]
+			tac := tacRow[:hi]
+			tbc := bc.tBC.Row(j)[:hi]
 			cur := t.Lane(i, j)[:hi:hi]
 			lane11 := t.Lane(i-1, j-1)[:hi]
 			lane10 := t.Lane(i-1, j)[:hi]
 			lane01 := t.Lane(i, j-1)[:hi]
 			lo := sk.Lo
 			if lo < 1 {
-				if abPart+fac[0]+bac[0]+fbc[0]+bbc[0] < pc.bound {
+				if abPart+tac[0]+tbc[0] < bc.bound {
 					cur[0] = mat.NegInf
 				} else {
 					evaluated++
@@ -103,9 +59,9 @@ func fillRangePruned(t *mat.Tensor3, st *scoreTables, pc *pruneCtx, ge2 mat.Scor
 			// which frees the admissibility test — the path taken for every
 			// k — of bounds checks. Evaluated cells keep one check on the
 			// first k-1 lane read; the rest piggyback on it.
-			_ = fac[:lo]
+			_ = tac[:lo]
 			for k := lo; k < hi; k++ {
-				if abPart+fac[k]+bac[k]+fbc[k]+bbc[k] < pc.bound {
+				if abPart+tac[k]+tbc[k] < bc.bound {
 					cur[k] = mat.NegInf
 					continue
 				}
@@ -128,19 +84,16 @@ func fillRangePruned(t *mat.Tensor3, st *scoreTables, pc *pruneCtx, ge2 mat.Scor
 }
 
 // prunedBoundaryI0 fills the admissible cells of the i == 0 plane portion.
-func prunedBoundaryI0(t *mat.Tensor3, st *scoreTables, pc *pruneCtx, ge2 mat.Score, sj, sk wavefront.Span) int64 {
+func prunedBoundaryI0(t *mat.Tensor3, st *scoreTables, bc *boundCtx, ge2 mat.Score, sj, sk wavefront.Span) int64 {
 	var evaluated int64
-	facRow := pc.fAC.Row(0)
-	bacRow := pc.bAC.Row(0)
-	abF := pc.fAB.Row(0)
-	abB := pc.bAB.Row(0)
+	tacRow := bc.tAC.Row(0)
+	tabRow := bc.tAB.Row(0)
 	for j := sj.Lo; j < sj.Hi; j++ {
 		cur := t.Lane(0, j)
-		abPart := abF[j] + abB[j]
-		fbc := pc.fBC.Row(j)
-		bbc := pc.bBC.Row(j)
+		abPart := tabRow[j]
+		tbc := bc.tBC.Row(j)
 		admissible := func(k int) bool {
-			return abPart+facRow[k]+bacRow[k]+fbc[k]+bbc[k] >= pc.bound
+			return abPart+tacRow[k]+tbc[k] >= bc.bound
 		}
 		if j == 0 {
 			k := sk.Lo
@@ -185,14 +138,13 @@ func prunedBoundaryI0(t *mat.Tensor3, st *scoreTables, pc *pruneCtx, ge2 mat.Sco
 
 // prunedBoundaryJ0 fills the admissible cells of the j == 0 row of plane
 // i ≥ 1.
-func prunedBoundaryJ0(t *mat.Tensor3, pc *pruneCtx, ge2 mat.Score, i int, acRow []mat.Score, abPart mat.Score, facRow, bacRow []mat.Score, sk wavefront.Span) int64 {
+func prunedBoundaryJ0(t *mat.Tensor3, bc *boundCtx, ge2 mat.Score, i int, acRow []mat.Score, abPart mat.Score, tacRow []mat.Score, sk wavefront.Span) int64 {
 	var evaluated int64
 	cur := t.Lane(i, 0)
 	prev := t.Lane(i-1, 0)
-	fbc := pc.fBC.Row(0)
-	bbc := pc.bBC.Row(0)
+	tbc := bc.tBC.Row(0)
 	admissible := func(k int) bool {
-		return abPart+facRow[k]+bacRow[k]+fbc[k]+bbc[k] >= pc.bound
+		return abPart+tacRow[k]+tbc[k] >= bc.bound
 	}
 	k := sk.Lo
 	if k == 0 {
@@ -240,8 +192,8 @@ func AlignPrunedParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme
 			bound = l
 		}
 	}
-	pc := newPruneCtx(ca, cb, cc, sch, bound)
-	defer pc.release()
+	bc := newBoundCtx(ca, cb, cc, sch, bound)
+	defer bc.release()
 
 	n, m, p := len(ca), len(cb), len(cc)
 	st := newScoreTables(ca, cb, cc, sch)
@@ -259,7 +211,7 @@ func AlignPrunedParallel(ctx context.Context, tr seq.Triple, sch *scoring.Scheme
 		LowerBound: bound,
 	}
 	if err := wavefront.Run3DContext(ctx, len(si), len(sj), len(sk), opt.workers(), func(bi, bj, bk int) {
-		evaluated.Add(fillRangePruned(t, st, pc, ge2, si[bi], sj[bj], sk[bk]))
+		evaluated.Add(fillRangePruned(t, st, bc, ge2, si[bi], sj[bj], sk[bk]))
 	}); err != nil {
 		stats.EvaluatedCells = evaluated.Load()
 		return nil, stats, err

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/alignment"
 	"repro/internal/mat"
+	"repro/internal/pairwise"
 	"repro/internal/scoring"
 	"repro/internal/wavefront"
 )
@@ -150,8 +151,39 @@ func refFillPlaneRange(cur, prev *mat.Plane, ai int8, cb, cc []int8, sch *scorin
 	}
 }
 
+// refPruneCtx is the pre-change pruneCtx: six separate forward/backward
+// projection planes, summed per cell. The production kernels now read
+// three precomputed through-planes (boundCtx); the diff suite pins both
+// forms to identical admission decisions and lattices.
+type refPruneCtx struct {
+	fAB, fAC, fBC *mat.Plane
+	bAB, bAC, bBC *mat.Plane
+	bound         mat.Score
+}
+
+func newRefPruneCtx(ca, cb, cc []int8, sch *scoring.Scheme, bound mat.Score) *refPruneCtx {
+	return &refPruneCtx{
+		fAB:   pairwise.Forward(ca, cb, sch),
+		fAC:   pairwise.Forward(ca, cc, sch),
+		fBC:   pairwise.Forward(cb, cc, sch),
+		bAB:   pairwise.Backward(ca, cb, sch),
+		bAC:   pairwise.Backward(ca, cc, sch),
+		bBC:   pairwise.Backward(cb, cc, sch),
+		bound: bound,
+	}
+}
+
+func (pc *refPruneCtx) release() {
+	mat.PutPlane(pc.fAB)
+	mat.PutPlane(pc.fAC)
+	mat.PutPlane(pc.fBC)
+	mat.PutPlane(pc.bAB)
+	mat.PutPlane(pc.bAC)
+	mat.PutPlane(pc.bBC)
+}
+
 // refFillRangePruned is the pre-change fillRangePruned.
-func refFillRangePruned(t *mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme, pc *pruneCtx, si, sj, sk wavefront.Span) int64 {
+func refFillRangePruned(t *mat.Tensor3, ca, cb, cc []int8, sch *scoring.Scheme, pc *refPruneCtx, si, sj, sk wavefront.Span) int64 {
 	ge2 := 2 * sch.GapExtend()
 	var evaluated int64
 	for i := si.Lo; i < si.Hi; i++ {

@@ -201,7 +201,8 @@ func TestFillRangePrunedMatchesReference(t *testing.T) {
 		// and the exact optimum prunes hardest while staying valid.
 		for _, bound := range []mat.Score{mat.NegInf / 4, trivial.Score, opt} {
 			n, m, p := len(ca), len(cb), len(cc)
-			pc := newPruneCtx(ca, cb, cc, sch, bound)
+			pc := newRefPruneCtx(ca, cb, cc, sch, bound)
+			bc := newBoundCtx(ca, cb, cc, sch, bound)
 			si := wavefront.Span{Lo: 0, Hi: n + 1}
 			sj := wavefront.Span{Lo: 0, Hi: m + 1}
 			sk := wavefront.Span{Lo: 0, Hi: p + 1}
@@ -211,7 +212,7 @@ func TestFillRangePrunedMatchesReference(t *testing.T) {
 			st := newScoreTables(ca, cb, cc, sch)
 			ge2 := 2 * sch.GapExtend()
 			got := mat.NewTensor3(n+1, m+1, p+1)
-			gotEval := fillRangePruned(got, st, pc, ge2, si, sj, sk)
+			gotEval := fillRangePruned(got, st, bc, ge2, si, sj, sk)
 			if gotEval != wantEval {
 				t.Fatalf("bound %d: evaluated %d cells, want %d", bound, gotEval, wantEval)
 			}
@@ -220,7 +221,7 @@ func TestFillRangePrunedMatchesReference(t *testing.T) {
 			blocked := mat.NewTensor3(n+1, m+1, p+1)
 			var blockedEval int64
 			runBlocked3D(n, m, p, 3, func(si, sj, sk wavefront.Span) {
-				blockedEval += fillRangePruned(blocked, st, pc, ge2, si, sj, sk)
+				blockedEval += fillRangePruned(blocked, st, bc, ge2, si, sj, sk)
 			})
 			if blockedEval != wantEval {
 				t.Fatalf("bound %d: blocked evaluated %d cells, want %d", bound, blockedEval, wantEval)
@@ -228,6 +229,7 @@ func TestFillRangePrunedMatchesReference(t *testing.T) {
 			wantTensorsEqual(t, blocked, want)
 			st.release()
 			pc.release()
+			bc.release()
 		}
 	}
 }

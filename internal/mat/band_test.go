@@ -1,0 +1,79 @@
+package mat
+
+import "testing"
+
+// buildTestBand stores a small hand-made band:
+//
+//	row 0: hull j ∈ [0,2): lane (0,0) k ∈ [0,3), lane (0,1) k ∈ [1,2)
+//	row 1: hull j ∈ [1,3): lane (1,1) k ∈ [0,0) (empty), lane (1,2) k ∈ [2,4)
+func buildTestBand() *BandTensor3 {
+	return NewBandTensor3(2, 3, 4,
+		[]int32{0, 1}, []int32{2, 3},
+		[]int32{0, 1, 0, 2}, []int32{3, 2, 0, 4})
+}
+
+func TestBandTensor3StoresIntervals(t *testing.T) {
+	b := buildTestBand()
+	defer b.Release()
+	if ni, nj, nk := b.Dims(); ni != 2 || nj != 3 || nk != 4 {
+		t.Fatalf("Dims = %d,%d,%d", ni, nj, nk)
+	}
+	if b.Cells() != 3+1+0+2 {
+		t.Fatalf("Cells = %d, want 6", b.Cells())
+	}
+	want := BandTensor3Bytes(6, 4, 2)
+	if b.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", b.Bytes(), want)
+	}
+
+	// Every stored cell round-trips through Set/At and Lane.
+	v := Score(1)
+	for _, c := range [][3]int{{0, 0, 0}, {0, 0, 1}, {0, 0, 2}, {0, 1, 1}, {1, 2, 2}, {1, 2, 3}} {
+		b.Set(c[0], c[1], c[2], v)
+		if got := b.At(c[0], c[1], c[2]); got != v {
+			t.Fatalf("At(%v) = %d, want %d", c, got, v)
+		}
+		v++
+	}
+	lane, kLo, ok := b.Lane(0, 0)
+	if !ok || kLo != 0 || len(lane) != 3 || lane[2] != 3 {
+		t.Fatalf("Lane(0,0) = %v lo %d ok %v", lane, kLo, ok)
+	}
+	lane, kLo, ok = b.Lane(1, 2)
+	if !ok || kLo != 2 || len(lane) != 2 || lane[0] != 5 {
+		t.Fatalf("Lane(1,2) = %v lo %d ok %v", lane, kLo, ok)
+	}
+}
+
+func TestBandTensor3OutsideReadsAreNegInf(t *testing.T) {
+	b := buildTestBand()
+	defer b.Release()
+	outside := [][3]int{
+		{-1, 0, 0}, {2, 0, 0}, // i off the ends
+		{0, 2, 0}, {1, 0, 0}, // j outside the row hull
+		{0, 0, 3}, {0, 1, 0}, {0, 1, 2}, // k outside the lane interval
+		{1, 1, 0}, // empty lane
+	}
+	for _, c := range outside {
+		if got := b.At(c[0], c[1], c[2]); got != NegInf {
+			t.Fatalf("At(%v) = %d, want NegInf", c, got)
+		}
+	}
+	if lane, _, ok := b.Lane(1, 1); ok || lane != nil {
+		t.Fatal("empty lane reported ok")
+	}
+	if lane, _, ok := b.Lane(0, 2); ok || lane != nil {
+		t.Fatal("out-of-hull lane reported ok")
+	}
+}
+
+func TestBandTensor3SetOutsidePanics(t *testing.T) {
+	b := buildTestBand()
+	defer b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-band Set did not panic")
+		}
+	}()
+	b.Set(1, 1, 0, 9)
+}

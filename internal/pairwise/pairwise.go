@@ -160,6 +160,29 @@ func reverseCodes(s []int8) []int8 {
 	return out
 }
 
+// Through returns the projection plane T[i][j] = Forward[i][j] +
+// Backward[i][j]: the score of the best global alignment of a with b
+// constrained to pass through the cut (i, j). It is the per-pair term of
+// the Carrillo–Lipman bound — T[i][j] < L − (other pairs' ceilings) proves
+// no alignment through (i, j) can reach the lower bound L — and every cell
+// of the plane satisfies T[i][j] ≤ T[n][m] = the unconstrained optimum,
+// with equality exactly on the optimal paths. The plane is drawn from the
+// mat arena; release it with mat.PutPlane.
+func Through(a, b []int8, sch *scoring.Scheme) *mat.Plane {
+	t := Forward(a, b, sch)
+	bw := Backward(a, b, sch)
+	n, m := len(a), len(b)
+	for i := 0; i <= n; i++ {
+		row := t.Row(i)[: m+1 : m+1]
+		brow := bw.Row(i)[: m+1 : m+1]
+		for j := 0; j <= m; j++ {
+			row[j] += brow[j]
+		}
+	}
+	mat.PutPlane(bw)
+	return t
+}
+
 // Global computes an optimal global alignment under the linear gap model
 // (Needleman–Wunsch) with full-matrix traceback.
 func Global(a, b []int8, sch *scoring.Scheme) Result {

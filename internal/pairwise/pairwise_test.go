@@ -146,6 +146,33 @@ func TestForwardBackwardDuality(t *testing.T) {
 	}
 }
 
+func TestThroughMatchesForwardPlusBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		a := randomCodes(rng, rng.Intn(24))
+		b := randomCodes(rng, rng.Intn(24))
+		f := Forward(a, b, dnaScheme)
+		bw := Backward(a, b, dnaScheme)
+		th := Through(a, b, dnaScheme)
+		opt := f.At(len(a), len(b))
+		for i := 0; i <= len(a); i++ {
+			for j := 0; j <= len(b); j++ {
+				want := f.At(i, j) + bw.At(i, j)
+				if got := th.At(i, j); got != want {
+					t.Fatalf("trial %d: Through(%d,%d) = %d, F+B = %d", trial, i, j, got, want)
+				}
+			}
+		}
+		// The corner cells are unconstrained, so they hold the optimum.
+		if th.At(0, 0) != opt || th.At(len(a), len(b)) != opt {
+			t.Fatalf("trial %d: corners %d/%d, optimum %d", trial, th.At(0, 0), th.At(len(a), len(b)), opt)
+		}
+		mat.PutPlane(f)
+		mat.PutPlane(bw)
+		mat.PutPlane(th)
+	}
+}
+
 func TestHirschbergEqualsGlobal(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 60; trial++ {

@@ -81,6 +81,12 @@ const (
 	SpacePairwise SpaceClass = iota
 	// SpacePlanes is O(m·p) sweep planes — the linear-space exact kernels.
 	SpacePlanes
+	// SpaceBand is the Carrillo–Lipman admissible band: O(f·n·m·p) for the
+	// data-dependent evaluated fraction f, plus the O(n²) projection planes.
+	// It sits between the sweep planes and the full lattice because f is
+	// bounded only by the data — near-identical triples make it tiny,
+	// unrelated ones make it the whole lattice.
+	SpaceBand
 	// SpaceLattice is the O(n·m·p) full lattice.
 	SpaceLattice
 )
@@ -91,6 +97,8 @@ func (c SpaceClass) String() string {
 		return "O(n²)"
 	case SpacePlanes:
 		return "O(m·p)"
+	case SpaceBand:
+		return "O(f·n·m·p)"
 	case SpaceLattice:
 		return "O(n·m·p)"
 	}
@@ -176,6 +184,14 @@ type Request struct {
 	// on 16-bit cells and their byte estimates halve. Zero (unknown bound)
 	// keeps every plan at 32-bit cells.
 	MaxAbsColumn int64
+	// EvalFraction, when in (0, 1], is the predicted fraction of lattice
+	// cells the Carrillo–Lipman bound will admit (typically
+	// EvalFractionForIdentity over a k-mer identity probe). It makes the
+	// bounded-search kernels eligible for automatic selection and scales
+	// their byte and duration estimates. Zero means no prediction: the
+	// bounded kernels are planned at the full lattice and automatic
+	// selection ignores them.
+	EvalFraction float64
 }
 
 // ExecutionPlan is the planner's answer: the kernel that will run and the
@@ -190,8 +206,16 @@ type ExecutionPlan struct {
 	// TileDims is the blocked-wavefront tile shape (ti, tj, tk); all-zero
 	// for kernels that do not run the blocked 3D schedule.
 	TileDims [3]int `json:"tile_dims"`
-	// EstCells is the predicted DP cell count (saturating).
+	// EstCells is the predicted DP cell count (saturating). For the
+	// bounded-search kernels this is the predicted *evaluated* count — the
+	// cells the Carrillo–Lipman bound is expected to admit — since that is
+	// what their calibrated rate and footprint scale with.
 	EstCells uint64 `json:"est_cells"`
+	// EstEvaluatedCells, for the bounded-search kernels, is the predicted
+	// number of lattice cells the Carrillo–Lipman bound admits (equal to
+	// EstCells for those kernels); zero for kernels that evaluate the full
+	// lattice.
+	EstEvaluatedCells uint64 `json:"est_evaluated_cells,omitempty"`
 	// EstBytes is the predicted peak lattice allocation (saturating),
 	// already adjusted for the negotiated cell width.
 	EstBytes uint64 `json:"est_bytes"`
@@ -260,6 +284,17 @@ func Resolve(req Request) (*ExecutionPlan, *KernelSpec, error) {
 	if req.MaxMemoryBytes > 0 {
 		budget := uint64(req.MaxMemoryBytes)
 		for planEstBytes(spec, req) > budget {
+			// A full-lattice kernel over budget tries the Carrillo–Lipman
+			// band before surrendering exactness to the sweep planes or the
+			// heuristic: when the request carries an identity-probe
+			// prediction and the predicted band fits, the ladder lands on a
+			// still-exact, still-traceback kernel.
+			if cand := boundedCandidate(req, gap); cand != nil &&
+				cand.Space < spec.Space && planEstBytes(cand, req) <= budget {
+				downgrades = append(downgrades, downgradeEntry(spec, cand, req, budget))
+				spec = cand
+				continue
+			}
 			next := spec.Downgrade
 			if next == "" {
 				if !spec.Exact {
@@ -280,11 +315,14 @@ func Resolve(req Request) (*ExecutionPlan, *KernelSpec, error) {
 	pl := &ExecutionPlan{
 		Algorithm:     spec.Name,
 		Workers:       1,
-		EstCells:      spec.estCells(req.Shape),
+		EstCells:      planEstCells(spec, req),
 		EstBytes:      planEstBytes(spec, req),
 		CellWidthBits: width,
 		Downgrades:    downgrades,
 		Degraded:      degraded,
+	}
+	if spec.RateOnEvaluated {
+		pl.EstEvaluatedCells = pl.EstCells
 	}
 	if spec.Parallel {
 		pl.Workers = workers
@@ -327,13 +365,41 @@ func negotiatedWidth(spec *KernelSpec, req Request) int {
 }
 
 // planEstBytes is the width-adjusted footprint estimate: half the 32-bit
-// model when the kernel would run 16-bit cells.
+// model when the kernel would run 16-bit cells. Kernels with a
+// fraction-aware byte model are judged by it whenever the request carries
+// an evaluated-fraction prediction.
 func planEstBytes(spec *KernelSpec, req Request) uint64 {
-	b := spec.EstBytes(req.Shape)
+	var b uint64
+	if spec.EstBytesFrac != nil && req.EvalFraction > 0 {
+		b = spec.EstBytesFrac(req.Shape, req.EvalFraction)
+	} else {
+		b = spec.EstBytes(req.Shape)
+	}
 	if negotiatedWidth(spec, req) == 16 {
 		b /= 2
 	}
 	return b
+}
+
+// planEstCells is the cell-count estimate: the predicted evaluated count
+// for fraction-aware kernels when the request carries a prediction, the
+// spec's own model otherwise.
+func planEstCells(spec *KernelSpec, req Request) uint64 {
+	if spec.EstCellsFrac != nil && req.EvalFraction > 0 {
+		return spec.EstCellsFrac(req.Shape, req.EvalFraction)
+	}
+	return spec.estCells(req.Shape)
+}
+
+// predictedDuration is the wall-clock estimate automatic selection
+// compares kernels by: predicted cells over the calibrated rate at the
+// worker count the kernel would actually use.
+func predictedDuration(spec *KernelSpec, req Request) time.Duration {
+	w := 1
+	if spec.Parallel {
+		w = wavefront.Workers(req.Workers)
+	}
+	return estDuration(planEstCells(spec, req), rateFor(spec, w))
 }
 
 // autoBudget is the byte limit automatic selection steers against: the
@@ -369,8 +435,23 @@ func autoSpec(req Request, gap GapModel, budget uint64) (*KernelSpec, []string) 
 		primary = "full-packed"
 	}
 	spec := kernels[primary]
+	cand := boundedCandidate(req, gap)
 	if planEstBytes(spec, req) <= budget {
+		// The primary fits; the Carrillo–Lipman band still wins the slot
+		// when the identity probe predicts it strictly faster — evaluating
+		// a thin admissible band beats filling the whole lattice even at a
+		// lower per-cell rate.
+		if cand != nil && planEstBytes(cand, req) <= budget &&
+			predictedDuration(cand, req) < predictedDuration(spec, req) {
+			return cand, nil
+		}
 		return spec, nil
+	}
+	// Over budget: a fitting bounded kernel is the preferred downgrade —
+	// it keeps exactness and the preference-ordered traceback, unlike the
+	// sweep planes' divide-and-conquer.
+	if cand != nil && planEstBytes(cand, req) <= budget {
+		return cand, []string{downgradeEntry(spec, cand, req, budget)}
 	}
 	next := kernels[spec.Downgrade]
 	return next, []string{downgradeEntry(spec, next, req, budget)}

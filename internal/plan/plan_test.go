@@ -10,12 +10,12 @@ import (
 	"repro/internal/core"
 )
 
-// TestRegistryComplete pins the registry to the public algorithm list: 15
+// TestRegistryComplete pins the registry to the public algorithm list: 17
 // kernels, each with a working estimator and a run function.
 func TestRegistryComplete(t *testing.T) {
 	ks := Kernels()
-	if len(ks) != 15 {
-		t.Fatalf("registry has %d kernels, want 15", len(ks))
+	if len(ks) != 17 {
+		t.Fatalf("registry has %d kernels, want 17", len(ks))
 	}
 	s := Shape{NA: 10, NB: 11, NC: 12}
 	for _, k := range ks {
@@ -261,6 +261,140 @@ func TestExplicitAlgorithmIdentity(t *testing.T) {
 	}
 	if _, _, err := Resolve(Request{Shape: shape, Algorithm: "nonsense"}); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestEvalFractionForIdentity pins the estimator's shape: monotone
+// non-increasing in identity, clamped to [0.01, 1], and anchored at the
+// calibrated sweep points.
+func TestEvalFractionForIdentity(t *testing.T) {
+	if got := EvalFractionForIdentity(0.3); got != 1 {
+		t.Errorf("identity 0.3: frac %v, want 1 (unrelated data admits everything)", got)
+	}
+	if got := EvalFractionForIdentity(1.0); got != 0.01 {
+		t.Errorf("identity 1.0: frac %v, want 0.01", got)
+	}
+	if got := EvalFractionForIdentity(math.NaN()); got != 1 {
+		t.Errorf("NaN identity: frac %v, want the conservative 1", got)
+	}
+	if got := EvalFractionForIdentity(0.8); got != 0.25 {
+		t.Errorf("identity 0.8: frac %v, want the anchored 0.25", got)
+	}
+	prev := math.Inf(1)
+	for id := 0.0; id <= 1.5; id += 0.01 {
+		f := EvalFractionForIdentity(id)
+		if f < 0.01 || f > 1 {
+			t.Fatalf("identity %.2f: frac %v out of [0.01, 1]", id, f)
+		}
+		if f > prev {
+			t.Fatalf("identity %.2f: frac %v > %v — not monotone non-increasing", id, f, prev)
+		}
+		prev = f
+	}
+}
+
+// TestBoundedAutoSelection covers the identity-probe selection paths:
+// a thin predicted band wins the automatic slot outright, no prediction
+// (or a short triple) keeps the legacy choice, and a sequential request
+// with a very thin band prefers the A* frontier once the lattice kernels
+// are priced out.
+func TestBoundedAutoSelection(t *testing.T) {
+	big := Shape{NA: 300, NB: 300, NC: 300}
+	// Thin band, everything fits: bounded is predicted faster than the
+	// packed lattice primary (0.05·cells at the bounded rate beats the full
+	// lattice even at the packed kernels' higher per-cell rate).
+	pl, spec, err := Resolve(Request{Shape: big, Parallel: true, EvalFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Algorithm != "bounded" {
+		t.Fatalf("thin-band auto request planned %s, want bounded", pl.Algorithm)
+	}
+	if !spec.Exact || len(pl.Downgrades) != 0 || pl.Degraded {
+		t.Fatalf("bounded plan not a clean exact selection: %+v", pl)
+	}
+	if pl.EstEvaluatedCells == 0 || pl.EstEvaluatedCells != pl.EstCells {
+		t.Fatalf("EstEvaluatedCells %d / EstCells %d, want equal and non-zero",
+			pl.EstEvaluatedCells, pl.EstCells)
+	}
+	want := fracCells(big, 0.05)
+	if pl.EstCells != want {
+		t.Fatalf("EstCells %d, want predicted evaluated count %d", pl.EstCells, want)
+	}
+
+	// No prediction: the legacy primary keeps the slot and no evaluated-cell
+	// estimate is surfaced.
+	pl, _, err = Resolve(Request{Shape: big, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Algorithm != "parallel-packed" || pl.EstEvaluatedCells != 0 {
+		t.Fatalf("prediction-free request planned %s (est_evaluated=%d), want parallel-packed/0",
+			pl.Algorithm, pl.EstEvaluatedCells)
+	}
+
+	// Short triple: band planning is pure overhead below MinBoundedLen.
+	small := Shape{NA: 96, NB: 96, NC: 96}
+	pl, _, err = Resolve(Request{Shape: small, Parallel: true, EvalFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Algorithm != "parallel-packed" {
+		t.Fatalf("short triple planned %s, want parallel-packed", pl.Algorithm)
+	}
+
+	// Sequential, very thin band, lattice priced out by the hard cap: the
+	// A* frontier is the preferred downgrade.
+	// (24 MiB cap: prices out the ~109 MB lattice while admitting the A*
+	// node estimate — ~64 B per expanded cell at fraction 0.01 ≈ 20 MB.)
+	pl, _, err = Resolve(Request{Shape: big, EvalFraction: 0.01, MaxBytes: 24 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Algorithm != "astar" {
+		t.Fatalf("sequential thin-band capped request planned %s, want astar", pl.Algorithm)
+	}
+	if len(pl.Downgrades) != 1 {
+		t.Fatalf("expected one recorded downgrade, got %v", pl.Downgrades)
+	}
+	if from, to, ok := ParseDowngrade(pl.Downgrades[0]); !ok || from != "full-packed" || to != "astar" {
+		t.Fatalf("downgrade entry %q, want full-packed→astar", pl.Downgrades[0])
+	}
+}
+
+// TestBoundedBudgetLadderRung checks the soft-budget rung: a full-lattice
+// kernel over budget lands on the Carrillo–Lipman band — still exact,
+// still preference-ordered traceback — before falling to the sweep planes.
+func TestBoundedBudgetLadderRung(t *testing.T) {
+	shape := Shape{NA: 300, NB: 300, NC: 300} // lattice ≈ 109 MB
+	budget := int64(32 << 20)
+	pl, spec, err := Resolve(Request{
+		Shape: shape, Algorithm: "full", EvalFraction: 0.12, MaxMemoryBytes: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Algorithm != "bounded" || !spec.Exact || pl.Degraded {
+		t.Fatalf("ladder landed on %s (exact=%v degraded=%v), want bounded", pl.Algorithm, spec.Exact, pl.Degraded)
+	}
+	if len(pl.Downgrades) != 1 {
+		t.Fatalf("downgrades %v, want exactly the full→bounded rung", pl.Downgrades)
+	}
+	if from, to, ok := ParseDowngrade(pl.Downgrades[0]); !ok || from != "full" || to != "bounded" {
+		t.Fatalf("downgrade entry %q, want full→bounded", pl.Downgrades[0])
+	}
+	if pl.EstBytes > uint64(budget) {
+		t.Fatalf("EstBytes %d over budget %d", pl.EstBytes, budget)
+	}
+
+	// Without the prediction the same request must skip the rung and fall
+	// through to the sweep planes as before.
+	pl, _, err = Resolve(Request{Shape: shape, Algorithm: "full", MaxMemoryBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Algorithm != "linear" {
+		t.Fatalf("prediction-free ladder landed on %s, want linear", pl.Algorithm)
 	}
 }
 

@@ -53,6 +53,13 @@ type KernelSpec struct {
 	// table: predicted rate = Calibration[RateKey] × RateScale.
 	RateKey   string
 	RateScale float64
+	// RateOnEvaluated marks the calibrated rate (and EstCellsFrac) as
+	// per-*evaluated*-cell rather than per-lattice-cell: the bounded-search
+	// kernels' throughput is measured over the cells the bound admits, so
+	// their duration estimate must multiply by the predicted evaluated
+	// count, never the full lattice. Plans for such kernels surface the
+	// prediction as EstEvaluatedCells.
+	RateOnEvaluated bool
 	// Downgrade names the next kernel down the memory ladder, or "" when
 	// only the heuristic last resort (exact kernels) or nothing (heuristics)
 	// remains.
@@ -64,6 +71,14 @@ type KernelSpec struct {
 	// Shape.Cells (linear-space kernels still fill every lattice cell —
 	// their saving is space, not work).
 	EstCells func(Shape) uint64
+	// EstBytesFrac, when non-nil, refines EstBytes with a predicted
+	// evaluated fraction (Request.EvalFraction); the planner uses it
+	// whenever the request carries a prediction. EstBytes stays the
+	// conservative fraction-1 model for requests without one.
+	EstBytesFrac func(Shape, float64) uint64
+	// EstCellsFrac is the fraction-aware companion of EstCells; for the
+	// bounded kernels it predicts the evaluated cell count.
+	EstCellsFrac func(Shape, float64) uint64
 	// Run executes the kernel.
 	Run RunFunc
 }
@@ -138,6 +153,31 @@ func runPruned(parallel bool) RunFunc {
 			aln, st, err = core.AlignPrunedParallel(ctx, tr, sch, opt, bound.Score)
 		} else {
 			aln, st, err = core.AlignPruned(ctx, tr, sch, opt, bound.Score)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return aln, &st, nil
+	}
+}
+
+// runBounded runs a Carrillo–Lipman bounded-search kernel — the contiguous
+// band fill or the A* frontier — seeded with the center-star-refined lower
+// bound, surfacing its PruneStats.
+func runBounded(frontier bool) RunFunc {
+	return func(ctx context.Context, tr seq.Triple, sch *scoring.Scheme, opt core.Options) (*alignment.Alignment, *core.PruneStats, error) {
+		bound, err := msa.CenterStarRefined(tr, sch)
+		if err != nil {
+			return nil, nil, err
+		}
+		var (
+			aln *alignment.Alignment
+			st  core.PruneStats
+		)
+		if frontier {
+			aln, st, err = core.AlignAStar(ctx, tr, sch, opt, bound.Score)
+		} else {
+			aln, st, err = core.AlignBounded(ctx, tr, sch, opt, bound.Score)
 		}
 		if err != nil {
 			return nil, nil, err
@@ -228,6 +268,32 @@ func init() {
 		RateKey: "pruned", RateScale: 1,
 		Downgrade: "parallel-linear", EstBytes: latticeBytes(4),
 		Run: runPruned(true),
+	})
+	register(&KernelSpec{
+		// The Carrillo–Lipman contiguous band: allocates only the cells the
+		// three-way bound admits, so memory and work scale with the
+		// evaluated fraction. Exact and bit-identical to the full kernel's
+		// traceback; the rate and cell estimates are per evaluated cell.
+		Name: "bounded", Gaps: GapLinear, Space: SpaceBand,
+		Parallel: true, Exact: true, Traceback: true, BytesPerCell: 4,
+		RateKey: "bounded", RateScale: 1, RateOnEvaluated: true,
+		Downgrade:    "parallel-linear",
+		EstBytes:     func(s Shape) uint64 { return bandBytes(s, 1) },
+		EstBytesFrac: bandBytes, EstCellsFrac: fracCells,
+		Run: runBounded(false),
+	})
+	register(&KernelSpec{
+		// The A* frontier (Schroedl): best-first over the lattice with the
+		// pairwise suffix heuristic. No lattice-shaped allocation at all —
+		// memory is per expanded node — which wins on very similar triples
+		// whose admissible region is a thin tube, at a steep per-node cost.
+		Name: "astar", Gaps: GapLinear, Space: SpaceBand,
+		Exact: true, Traceback: true, BytesPerCell: 4,
+		RateKey: "astar", RateScale: 1, RateOnEvaluated: true,
+		Downgrade:    "linear",
+		EstBytes:     func(s Shape) uint64 { return astarBytes(s, 1) },
+		EstBytesFrac: astarBytes, EstCellsFrac: fracCells,
+		Run: runBounded(true),
 	})
 	register(&KernelSpec{
 		Name: "affine", Gaps: GapAffine, Space: SpaceLattice,

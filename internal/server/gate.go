@@ -82,10 +82,12 @@ type stats struct {
 	coalescedBatches  atomic.Int64 // coalesced flushes submitted
 	coalescedRequests atomic.Int64 // requests served through a coalesced flush
 
-	estBytesInFlight  atomic.Int64 // planner-estimated bytes of executing alignments
-	plannedDowngrades atomic.Int64 // downgrade steps recorded by served plans
-	plannedInt16      atomic.Int64 // served plans that negotiated 16-bit lattice cells
-	plannedPacked     atomic.Int64 // served plans that selected a lane-packed kernel
+	estBytesInFlight   atomic.Int64 // planner-estimated bytes of executing alignments
+	plannedDowngrades  atomic.Int64 // downgrade steps recorded by served plans
+	plannedInt16       atomic.Int64 // served plans that negotiated 16-bit lattice cells
+	plannedPacked      atomic.Int64 // served plans that selected a lane-packed kernel
+	plannedBounded     atomic.Int64 // served plans that selected a bounded-search kernel
+	prunedCellsSkipped atomic.Int64 // lattice cells the Carrillo–Lipman kernels never evaluated
 
 	panicsContained     atomic.Int64 // panics recovered instead of crashing the process
 	retriesObserved     atomic.Int64 // requests arriving with an X-Retry-Attempt header
@@ -108,6 +110,21 @@ func (st *stats) recordPlan(pl *repro.Plan) {
 	}
 	if strings.HasSuffix(pl.Algorithm, "-packed") {
 		st.plannedPacked.Add(1)
+	}
+	if pl.Algorithm == "bounded" || pl.Algorithm == "astar" {
+		st.plannedBounded.Add(1)
+	}
+}
+
+// recordPrune folds one result's Carrillo–Lipman statistics into the
+// skipped-cells counter: the lattice cells the bound let the kernel never
+// evaluate. Nil (a kernel without pruning) is a no-op.
+func (st *stats) recordPrune(p *repro.PruneStats) {
+	if p == nil {
+		return
+	}
+	if skipped := p.TotalCells - p.EvaluatedCells; skipped > 0 {
+		st.prunedCellsSkipped.Add(skipped)
 	}
 }
 

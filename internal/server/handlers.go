@@ -165,6 +165,7 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		s.stats.degraded.Add(1)
 	}
 	s.stats.recordPlan(res.Plan)
+	s.stats.recordPrune(res.Prune)
 	writeJSON(w, http.StatusOK, response(res, coalesced))
 }
 
@@ -308,6 +309,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.stats.degraded.Add(1)
 		}
 		s.stats.recordPlan(res.Result.Plan)
+		s.stats.recordPrune(res.Result.Prune)
 		out.Results[i].Result = response(res.Result, false)
 	}
 	writeJSON(w, http.StatusOK, out)

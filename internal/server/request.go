@@ -67,6 +67,11 @@ type AlignResponse struct {
 	// shape, workers, footprint and duration estimates, and any
 	// budget-driven downgrades.
 	Plan *repro.Plan `json:"plan,omitempty"`
+	// EvaluatedCells is the number of lattice cells a Carrillo–Lipman
+	// kernel actually evaluated (the plan's est_evaluated_cells is the
+	// prediction; this is the measurement). Zero for kernels that fill the
+	// whole lattice.
+	EvaluatedCells int64 `json:"evaluated_cells,omitempty"`
 }
 
 // BatchResponse is the wire form of /v1/align/batch: one entry per item in
@@ -193,6 +198,9 @@ func response(res *repro.Result, coalesced bool) *AlignResponse {
 		Rows:      [3]string{ra, rb, rc},
 		Coalesced: coalesced,
 		Plan:      res.Plan,
+	}
+	if res.Prune != nil {
+		out.EvaluatedCells = res.Prune.EvaluatedCells
 	}
 	if res.Degraded {
 		out.Degraded = true

@@ -244,6 +244,12 @@ type Statsz struct {
 	// actually serve traffic.
 	PlannedInt16  int64 `json:"planned_int16"`
 	PlannedPacked int64 `json:"planned_packed"`
+	// PlannedBounded counts served plans that selected a Carrillo–Lipman
+	// bounded-search kernel (bounded or astar); PrunedCellsSkipped sums the
+	// lattice cells those kernels (and the dense pruned ones) never
+	// evaluated — the work the bound saved across all served traffic.
+	PlannedBounded     int64 `json:"planned_bounded"`
+	PrunedCellsSkipped int64 `json:"pruned_cells_skipped"`
 
 	// Robustness counters. PanicsContained counts panics the serving and
 	// scheduling layers recovered instead of crashing (contained kernel
@@ -289,6 +295,8 @@ func (s *Server) snapshot() Statsz {
 	st.PlannedDowngrades = s.stats.plannedDowngrades.Load()
 	st.PlannedInt16 = s.stats.plannedInt16.Load()
 	st.PlannedPacked = s.stats.plannedPacked.Load()
+	st.PlannedBounded = s.stats.plannedBounded.Load()
+	st.PrunedCellsSkipped = s.stats.prunedCellsSkipped.Load()
 	st.PanicsContained = s.stats.panicsContained.Load()
 	st.RetriesObserved = s.stats.retriesObserved.Load()
 	st.MemPressureDegraded = s.stats.memPressureDegraded.Load()

@@ -78,17 +78,22 @@ func legacyRunAlgorithm(ctx context.Context, algo Algorithm, tr Triple, sch *Sch
 		aln, err = core.AlignAffineLinear(ctx, tr, sch, copt)
 	case AlgorithmAffineParallel:
 		aln, err = core.AlignAffineParallel(ctx, tr, sch, copt)
-	case AlgorithmPruned, AlgorithmPrunedParallel:
+	case AlgorithmPruned, AlgorithmPrunedParallel, AlgorithmBounded, AlgorithmAStar:
 		var bound *Alignment
 		bound, err = msa.CenterStarRefined(tr, sch)
 		if err != nil {
 			break
 		}
 		var st core.PruneStats
-		if algo == AlgorithmPruned {
+		switch algo {
+		case AlgorithmPruned:
 			aln, st, err = core.AlignPruned(ctx, tr, sch, copt, bound.Score)
-		} else {
+		case AlgorithmPrunedParallel:
 			aln, st, err = core.AlignPrunedParallel(ctx, tr, sch, copt, bound.Score)
+		case AlgorithmBounded:
+			aln, st, err = core.AlignBounded(ctx, tr, sch, copt, bound.Score)
+		case AlgorithmAStar:
+			aln, st, err = core.AlignAStar(ctx, tr, sch, copt, bound.Score)
 		}
 		if err == nil {
 			prune = &st

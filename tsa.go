@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"repro/internal/alignment"
@@ -69,9 +70,9 @@ type StallError = wavefront.StallError
 // Algorithm selects the alignment strategy.
 type Algorithm string
 
-// The available algorithms. The first five are exact (identical optimal
-// linear-gap SP scores); AlgorithmAffine is exact under the affine
-// objective; the last two are fast heuristics.
+// The available algorithms. Every linear-gap kernel through AlgorithmAStar
+// is exact (identical optimal linear-gap SP scores); the affine kernels are
+// exact under the affine objective; the last three are fast heuristics.
 const (
 	// AlgorithmAuto matches the scheme's gap model: AlgorithmParallelPacked
 	// for linear gaps or AlgorithmAffineParallel for affine schemes, falling
@@ -105,6 +106,17 @@ const (
 	// AlgorithmPrunedParallel combines Carrillo–Lipman pruning with the
 	// blocked-wavefront parallel schedule.
 	AlgorithmPrunedParallel Algorithm = "pruned-parallel"
+	// AlgorithmBounded is true Carrillo–Lipman bounded search: it allocates
+	// only the admissible band (memory scales with the cells the bound
+	// admits, not the lattice), so exact alignment of similar triples runs
+	// far past the full-matrix memory ceiling. Exact, with the same
+	// preference-ordered traceback as AlgorithmFull.
+	AlgorithmBounded Algorithm = "bounded"
+	// AlgorithmAStar is the best-first (A*) frontier variant of bounded
+	// search: no lattice-shaped allocation at all, memory per expanded
+	// node. The kernel of choice for very similar triples whose admissible
+	// region is a thin tube. Exact.
+	AlgorithmAStar Algorithm = "astar"
 	// AlgorithmAffine optimizes the quasi-natural affine SP objective.
 	AlgorithmAffine Algorithm = "affine"
 	// AlgorithmAffineLinear is AlgorithmAffine in O(m·p) working memory
@@ -128,6 +140,7 @@ func Algorithms() []Algorithm {
 		AlgorithmFull, AlgorithmFullPacked, AlgorithmParallel, AlgorithmParallelPacked,
 		AlgorithmLinear, AlgorithmParallelLinear,
 		AlgorithmDiagonal, AlgorithmPruned, AlgorithmPrunedParallel,
+		AlgorithmBounded, AlgorithmAStar,
 		AlgorithmAffine, AlgorithmAffineLinear, AlgorithmAffineParallel,
 		AlgorithmCenterStar, AlgorithmCenterStarRefined, AlgorithmProgressive,
 	}
@@ -218,7 +231,10 @@ type Result struct {
 	Algorithm Algorithm
 	// Elapsed is the wall-clock alignment time.
 	Elapsed time.Duration
-	// Prune carries Carrillo–Lipman statistics when AlgorithmPruned ran.
+	// Prune carries Carrillo–Lipman statistics when one of the pruned or
+	// bounded-search kernels ran (AlgorithmPruned, AlgorithmPrunedParallel,
+	// AlgorithmBounded, AlgorithmAStar): the lattice size, the cells
+	// actually evaluated, and the bounds.
 	Prune *PruneStats
 	// Plan is the execution plan that produced this result: the planner's
 	// kernel choice with its footprint and duration estimates, including
@@ -316,6 +332,50 @@ func gapModel(sch *Scheme) plan.GapModel {
 	return plan.GapLinear
 }
 
+// evalFractionProbeK is the k-mer size of the identity probe feeding the
+// planner's bounded-search estimator: long enough that random DNA shares
+// few k-mers, short enough that 80%-identity relatives still share most.
+const evalFractionProbeK = 6
+
+// evalFractionProbe predicts the fraction of lattice cells Carrillo–Lipman
+// bounded search would evaluate for this triple, or 0 when the prediction
+// is not worth making: affine schemes (the bounded kernels are linear-gap)
+// and triples below plan.MinBoundedLen (where band planning is pure
+// overhead). The probe is alignment-free — mean pairwise k-mer identity
+// mapped through the calibrated identity→fraction curve — so it costs
+// O(n) on data the alignment will read anyway.
+func evalFractionProbe(tr Triple, sch *Scheme) float64 {
+	if sch.Affine() {
+		return 0
+	}
+	min := tr.A.Len()
+	if tr.B.Len() < min {
+		min = tr.B.Len()
+	}
+	if tr.C.Len() < min {
+		min = tr.C.Len()
+	}
+	if min < plan.MinBoundedLen {
+		return 0
+	}
+	id := kmerIdentity(tr.A, tr.B) + kmerIdentity(tr.A, tr.C) + kmerIdentity(tr.B, tr.C)
+	return plan.EvalFractionForIdentity(id / 3)
+}
+
+// kmerIdentity estimates pairwise sequence identity from the normalized
+// k-mer distance. A point substitution destroys up to k overlapping
+// k-mers, so the shared fraction scales like identity^k; inverting gives
+// identity ≈ (1 − distance)^(1/k). The estimate degrades gracefully: at
+// distance 1 (nothing shared) it reports identity 0, well below the
+// curve's 50 % floor, and the fraction prediction saturates at 1.
+func kmerIdentity(a, b *Sequence) float64 {
+	d := seq.KmerDistance(a, b, evalFractionProbeK)
+	if d >= 1 {
+		return 0
+	}
+	return math.Pow(1-d, 1.0/evalFractionProbeK)
+}
+
 // planRequest translates a triple and Options into a planner request. The
 // parallel flag selects the intra-alignment parallel variants on automatic
 // requests (the single-call default); a wide outer batch clears it because
@@ -331,6 +391,7 @@ func planRequest(tr Triple, sch *Scheme, opt Options, parallel bool) plan.Reques
 		MaxMemoryBytes: opt.MaxMemoryBytes,
 		Parallel:       parallel,
 		MaxAbsColumn:   core.MaxAbsColumn(sch),
+		EvalFraction:   evalFractionProbe(tr, sch),
 	}
 }
 

@@ -185,8 +185,8 @@ func TestSchemeByName(t *testing.T) {
 
 func TestAlgorithmsList(t *testing.T) {
 	list := Algorithms()
-	if len(list) != 15 {
-		t.Fatalf("Algorithms() has %d entries, want 15", len(list))
+	if len(list) != 17 {
+		t.Fatalf("Algorithms() has %d entries, want 17", len(list))
 	}
 	tr := mustTriple(t, "ACGT", "ACG", "AGT")
 	for _, algo := range list {
