@@ -19,7 +19,11 @@
 // a second identical request is issued and the first response wins. POST
 // /v1/align is idempotent (aligning the same triple twice computes the
 // same answer; the cost is one duplicated alignment), so hedging trades
-// duplicate work for tail latency.
+// duplicate work for tail latency. Against a server with the result cache
+// enabled even that cost disappears: the hedge carries the same content
+// address as the primary, so the server collapses the pair into one
+// computation (the response's Cache field reports "collapsed" or "hit"
+// instead of a second kernel run).
 package client
 
 import (

@@ -163,6 +163,9 @@ func runAlign(args []string, stdout io.Writer, planOnly bool) error {
 	if res.Coalesced {
 		fmt.Fprint(stdout, " coalesced")
 	}
+	if res.Cache != "" {
+		fmt.Fprintf(stdout, " cache=%s", res.Cache)
+	}
 	if res.Degraded {
 		fmt.Fprintf(stdout, " DEGRADED (%s)", res.DegradedCause)
 	}

@@ -23,6 +23,17 @@
 // 413 before taking a queue slot; /statsz reports est_bytes_in_flight and
 // planned_downgrades so the cap can be sized from observed pressure.
 //
+// With -cache-bytes set, exact results are cached by content address:
+// repeated identical requests answer from the cache without queueing,
+// concurrent identical requests collapse into one computation, and
+// near-duplicate requests (within -cache-neardup-identity k-mer identity
+// of a cached triple) are served by a verified seeded re-align that is
+// bit-identical to a full alignment. Responses on the cached path carry
+// an X-Cache header (hit, miss, near-dup, or collapsed) and /statsz
+// grows cache_* counters. Caching changes observable shedding behavior
+// (collapsed duplicates no longer consume queue slots), so it is off by
+// default.
+//
 // On SIGTERM (or SIGINT) alignd drains: /readyz flips to 503 immediately,
 // new alignment requests are refused with 503, the -drain-grace window
 // lets load balancers observe the flip, in-flight requests run to
@@ -72,6 +83,9 @@ func run(args []string, logw io.Writer) error {
 		maxLattice   = fs.Int64("max-lattice-bytes", 0, "planner-estimated lattice byte cap per alignment; larger requests shed with 413 before queueing (0 = no cap)")
 		memSoft      = fs.Int64("mem-soft-limit", 0, "heap soft limit in bytes: approaching it degrades new admissions through the planner's downgrade ladder, exceeding it sheds with 429 (0 disables the pressure guard)")
 		memFrac      = fs.Float64("mem-degrade-fraction", 0.85, "fraction of -mem-soft-limit at which admissions start degrading")
+		cacheBytes   = fs.Int64("cache-bytes", 0, "result cache byte budget: identical requests answer from the cache and concurrent identical requests collapse into one computation (0 disables)")
+		cacheMinCost = fs.Duration("cache-min-cost", 0, "only cache results whose planner-estimated duration is at least this (0 = cache everything admitted)")
+		cacheNearDup = fs.Float64("cache-neardup-identity", 0.90, "minimum k-mer identity for serving a near-duplicate request via a verified seeded re-align (outside (0,1) disables the prescreen)")
 		drainGrace   = fs.Duration("drain-grace", time.Second, "pause between flipping /readyz and closing the listener")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "bound on waiting for in-flight requests during drain")
 		cpuProf      = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -100,6 +114,14 @@ func run(args []string, logw io.Writer) error {
 		MaxLatticeBytes:    *maxLattice,
 		MemSoftLimitBytes:  *memSoft,
 		MemDegradeFraction: *memFrac,
+		CacheBytes:         *cacheBytes,
+		CacheMinCost:       *cacheMinCost,
+		CacheNearDupIdentity: func() float64 {
+			if *cacheNearDup <= 0 || *cacheNearDup >= 1 {
+				return -1 // explicit off: withDefaults would re-default 0
+			}
+			return *cacheNearDup
+		}(),
 	})
 	if armed := faultpoint.Armed(); len(armed) > 0 {
 		logger.Printf("fault points armed via %s: %v", faultpoint.EnvVar, armed)

@@ -1,0 +1,91 @@
+package resultcache
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// Candidate is one near-duplicate prescreen match: a cached triple whose
+// sketch identity to the probe met the threshold, carrying the cached
+// score the patch-up uses as its seed.
+type Candidate struct {
+	// Score is the cached triple's optimal alignment score.
+	Score mat.Score
+	// Identity is the estimated positionwise identity between the probe
+	// triple and the cached one, in [0, 1].
+	Identity float64
+}
+
+// Nearest scans the cache for the entry most similar to the probe sketch
+// among entries with the same Meta — the same scoring scheme and algorithm
+// request, because a cached score only seeds a valid bound under identical
+// scoring semantics. Entries below minIdentity (or without a sketch, or
+// with a sketch of a different k) are ignored.
+//
+// The scan is linear over the cache and costs one profile comparison per
+// candidate; at serving-cache sizes (thousands of entries) that is
+// microseconds against the milliseconds-to-seconds alignment it may save.
+// Correctness never depends on the answer: the prescreen only proposes a
+// seed, and the bounded re-align either proves it or the caller falls back
+// to a full plan — so Nearest deliberately skips checksum verification,
+// since even a corrupted score cannot produce a wrong alignment, only a
+// failed or wasteful patch-up.
+func (c *Cache) Nearest(sk *seq.TripleSketch, meta Meta, minIdentity float64) (Candidate, bool) {
+	if c == nil || sk == nil {
+		return Candidate{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best := Candidate{Identity: -1}
+	found := false
+	for _, e := range c.entries {
+		if e.meta != meta || e.sketch == nil || e.sketch.K() != sk.K() {
+			continue
+		}
+		id := sk.Identity(e.sketch)
+		if id >= minIdentity && id > best.Identity {
+			best = Candidate{Score: e.res.Score, Identity: id}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// SeedBound turns a near-duplicate candidate into a lower bound for the
+// bounded re-align: the cached score minus a margin covering the mutations
+// the identity estimate implies. Each point mutation in a three-sequence
+// SP alignment shifts the score by at most 4·MaxAbsSub (two pairs touch
+// the mutated residue, each by up to twice the largest substitution
+// magnitude); indels additionally pay gap columns, folded in via
+// |GapExtend|. Two extra mutations of slack absorb the k-mer estimate's
+// noise.
+//
+// The bound's validity is checked, not assumed: a bound above the true
+// optimum makes the seeded re-align fail (the optimal path falls outside
+// the admissible band and the traceback reports it), after which the
+// caller runs a full plan. A bound below the optimum merely widens the
+// band. Exactness therefore never depends on this formula — only the
+// patch-up's hit rate and cost do.
+func SeedBound(cached mat.Score, identity float64, totalResidues int, sch *scoring.Scheme) mat.Score {
+	maxSub := int64(sch.MaxAbsSub())
+	ge := int64(sch.GapExtend())
+	if ge < 0 {
+		ge = -ge
+	}
+	perMutation := 4 * (maxSub + ge)
+	if identity < 0 {
+		identity = 0
+	}
+	if identity > 1 {
+		identity = 1
+	}
+	mutations := int64(math.Ceil((1-identity)*float64(totalResidues))) + 2
+	lo := int64(cached) - mutations*perMutation
+	if lo < math.MinInt32 {
+		lo = math.MinInt32
+	}
+	return mat.Score(lo)
+}

@@ -1,0 +1,196 @@
+package resultcache
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	repro "repro"
+	"repro/internal/alignment"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// randSeq draws a random DNA sequence of length in [1, 24].
+func randSeq(rng *rand.Rand, name string) string {
+	n := 1 + rng.Intn(24)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte("ACGT"[rng.Intn(4)])
+	}
+	_ = name
+	return b.String()
+}
+
+// randScheme draws a random linear match/mismatch scheme.
+func randScheme(rng *rand.Rand) *scoring.Scheme {
+	match := 1 + rng.Intn(4)
+	mismatch := -1 - rng.Intn(4)
+	gap := -1 - rng.Intn(4)
+	sch, err := scoring.MatchMismatch(seq.DNA, match, mismatch, gap)
+	if err != nil {
+		panic(err)
+	}
+	return sch
+}
+
+// TestQuickCacheKeyCanonicalAndInjective is the key-derivation property
+// suite: for random requests the key must be (a) invariant over the
+// spellings of one semantic request — algorithm casing, whitespace, and
+// the empty-means-auto default — and (b) distinct whenever the residues,
+// names, sequence order, scheme scores, or algorithm genuinely differ.
+func TestQuickCacheKeyCanonicalAndInjective(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randSeq(rng, "a"), randSeq(rng, "b"), randSeq(rng, "c")
+		tr, err := repro.NewTriple(a, b, c, seq.DNA)
+		if err != nil {
+			return false
+		}
+		sch := randScheme(rng)
+
+		// Canonicalization: one semantics, many spellings, one key.
+		k1, m1 := KeyFor(tr, sch, "")
+		k2, m2 := KeyFor(tr, sch, "auto")
+		k3, m3 := KeyFor(tr, sch, "  AUTO ")
+		if k1 != k2 || k2 != k3 || m1 != m2 || m2 != m3 {
+			t.Logf("seed %d: auto spellings diverged", seed)
+			return false
+		}
+		// Determinism across calls, and the hex rendering round-trips the
+		// digest length.
+		if k, _ := KeyFor(tr, sch, ""); k != k1 {
+			return false
+		}
+		if len(k1.String()) != 2*len(k1) {
+			return false
+		}
+
+		// Injectivity: flip one residue.
+		mutA := []byte(a)
+		mutA[rng.Intn(len(mutA))] ^= 'A' ^ 'C' // A<->C, C<->A, G<->?, T<->?
+		if !strings.ContainsRune("ACGT", rune(mutA[0])) {
+			mutA[0] = 'G'
+		}
+		if mut := string(mutA); mut != a {
+			trMut, err := repro.NewTriple(mut, b, c, seq.DNA)
+			if err == nil {
+				if kMut, _ := KeyFor(trMut, sch, ""); kMut == k1 {
+					t.Logf("seed %d: residue flip kept the key", seed)
+					return false
+				}
+			}
+		}
+
+		// Injectivity: a different algorithm request changes key and meta.
+		kAlg, mAlg := KeyFor(tr, sch, "full")
+		if kAlg == k1 || mAlg == m1 {
+			return false
+		}
+
+		// Injectivity: a different scheme changes key and meta; sequence
+		// content leaves meta alone.
+		sch2, err := scoring.MatchMismatch(seq.DNA, 9, -9, -9)
+		if err != nil {
+			return false
+		}
+		kSch, mSch := KeyFor(tr, sch2, "")
+		if kSch == k1 || mSch == m1 {
+			return false
+		}
+		other, err := repro.NewTriple(c, a, b, seq.DNA)
+		if err != nil {
+			return false
+		}
+		kOrd, mOrd := KeyFor(other, sch, "")
+		if mOrd != m1 {
+			t.Logf("seed %d: sequence content leaked into meta", seed)
+			return false
+		}
+		// Reordering the sequences is a different request (rows come back
+		// in request order) unless the triple is order-symmetric.
+		if a != b || b != c {
+			if kOrd == k1 {
+				t.Logf("seed %d: sequence reorder kept the key", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCacheNameChangesKey: names ride in the response rows, so two
+// requests differing only in a sequence name are distinct cache entries.
+func TestQuickCacheNameChangesKey(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		res := randSeq(rng, "x")
+		s1 := seq.MustNew("a", res, seq.DNA)
+		s2 := seq.MustNew("a2", res, seq.DNA)
+		o := seq.MustNew("o", randSeq(rng, "o"), seq.DNA)
+		k1, _ := KeyFor(seq.Triple{A: s1, B: o, C: o}, scoring.DNADefault(), "")
+		k2, _ := KeyFor(seq.Triple{A: s2, B: o, C: o}, scoring.DNADefault(), "")
+		return k1 != k2
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickResult fabricates a small syntactically valid result for eviction
+// stress without paying for a real alignment per iteration.
+func quickResult(rng *rand.Rand, tr seq.Triple) *repro.Result {
+	moves := make([]alignment.Move, tr.A.Len())
+	for i := range moves {
+		moves[i] = alignment.MoveXXX
+	}
+	return &repro.Result{
+		Alignment: &alignment.Alignment{Triple: tr, Moves: moves, Score: int32(rng.Intn(1000))},
+		Algorithm: repro.AlgorithmFull,
+	}
+}
+
+// TestQuickCacheEvictionUnderBudget is the budget invariant: whatever the
+// random put sequence (sizes, costs, duplicate keys), the bytes gauge
+// never exceeds the configured budget, entries stay consistent with the
+// gauge, and every admitted entry remains retrievable or was evicted —
+// never silently wedged.
+func TestQuickCacheEvictionUnderBudget(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		budget := int64(2048 + rng.Intn(4096))
+		c := New(budget)
+		for i := 0; i < 60; i++ {
+			a, b, cc := randSeq(rng, "a"), randSeq(rng, "b"), randSeq(rng, "c")
+			tr, err := repro.NewTriple(a, b, cc, seq.DNA)
+			if err != nil {
+				return false
+			}
+			res := quickResult(rng, tr)
+			key, meta := KeyFor(tr, scoring.DNADefault(), "")
+			var sk *seq.TripleSketch
+			if rng.Intn(2) == 0 {
+				sk = seq.SketchTriple(tr, repro.ProbeK)
+			}
+			c.Put(key, meta, res, time.Duration(rng.Intn(1000))*time.Microsecond, sk)
+			if got := c.Bytes(); got > budget || got < 0 {
+				t.Logf("seed %d: bytes %d outside [0, %d] after put %d", seed, got, budget, i)
+				return false
+			}
+			st := c.Stats()
+			if st.Bytes != c.Bytes() || st.Entries != int64(c.Len()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,9 @@
 package seq
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // KmerProfile is a sparse k-mer occurrence count vector. Alignment-free
 // k-mer distances are the standard cheap prefilter before exact alignment:
@@ -63,8 +66,63 @@ func (p *KmerProfile) Distance(q *KmerProfile) float64 {
 	return float64(diff) / float64(p.total+q.total)
 }
 
+// Identity estimates the pairwise sequence identity behind the normalized
+// k-mer distance to q. A point substitution destroys up to k overlapping
+// k-mers, so the shared fraction scales like identity^k; inverting gives
+// identity ≈ (1 − distance)^(1/k). The estimate degrades gracefully: at
+// distance 1 (nothing shared) it reports identity 0.
+func (p *KmerProfile) Identity(q *KmerProfile) float64 {
+	d := p.Distance(q)
+	if d >= 1 {
+		return 0
+	}
+	return math.Pow(1-d, 1.0/float64(p.k))
+}
+
 // KmerDistance is a convenience wrapper: the normalized k-mer distance
 // between two sequences.
 func KmerDistance(a, b *Sequence, k int) float64 {
 	return Kmers(a, k).Distance(Kmers(b, k))
+}
+
+// TripleSketch is the per-sequence k-mer profiles of one triple, built
+// once and reused everywhere a request needs an identity estimate: the
+// planner's bounded-search eval-fraction probe and the serving layer's
+// near-duplicate prescreen both read the same sketch instead of
+// re-sketching the sequences per use.
+type TripleSketch struct {
+	k       int
+	A, B, C *KmerProfile
+}
+
+// SketchTriple builds the triple's k-mer sketch: three profiles, one pass
+// over each sequence.
+func SketchTriple(t Triple, k int) *TripleSketch {
+	return &TripleSketch{k: k, A: Kmers(t.A, k), B: Kmers(t.B, k), C: Kmers(t.C, k)}
+}
+
+// K returns the sketch's k-mer size.
+func (s *TripleSketch) K() int { return s.k }
+
+// MeanIdentity is the mean pairwise identity estimate within the triple —
+// the signal the planner's EvalFractionForIdentity curve consumes.
+func (s *TripleSketch) MeanIdentity() float64 {
+	return (s.A.Identity(s.B) + s.A.Identity(s.C) + s.B.Identity(s.C)) / 3
+}
+
+// Identity is the positionwise mean identity estimate between two triples
+// (A vs A', B vs B', C vs C') — the near-duplicate prescreen's similarity
+// measure. Sketches of different k are incomparable and panic (via
+// KmerProfile.Distance).
+func (s *TripleSketch) Identity(o *TripleSketch) float64 {
+	return (s.A.Identity(o.A) + s.B.Identity(o.B) + s.C.Identity(o.C)) / 3
+}
+
+// Bytes is a coarse estimate of the sketch's heap footprint, used by
+// byte-budgeted caches that retain sketches alongside entries: each
+// distinct k-mer costs its string key plus map bookkeeping.
+func (s *TripleSketch) Bytes() int64 {
+	per := int64(s.k) + 48 // key bytes + approximate map entry overhead
+	n := int64(len(s.A.counts) + len(s.B.counts) + len(s.C.counts))
+	return n*per + 96
 }

@@ -95,3 +95,71 @@ func TestKmerDistanceEmpty(t *testing.T) {
 		t.Fatalf("vs empty = %v, want 1", d)
 	}
 }
+
+func TestKmerIdentityTracksSubstitutionRate(t *testing.T) {
+	g := NewGenerator(DNA, 21)
+	anc := g.Random("anc", 400)
+	if id := Kmers(anc, 6).Identity(Kmers(anc, 6)); id != 1 {
+		t.Fatalf("self identity = %v, want 1", id)
+	}
+	near := g.Mutate("near", anc, MutationModel{SubstitutionRate: 0.02})
+	far := g.Mutate("far", anc, MutationModel{SubstitutionRate: 0.30})
+	idNear := Kmers(anc, 6).Identity(Kmers(near, 6))
+	idFar := Kmers(anc, 6).Identity(Kmers(far, 6))
+	if !(idNear > idFar) {
+		t.Fatalf("2%% divergence identity %v not above 30%% divergence %v", idNear, idFar)
+	}
+	if idNear < 0.9 || idNear > 1 {
+		t.Fatalf("2%% divergence identity %v outside (0.9, 1]", idNear)
+	}
+	// Disjoint sequences: distance 1 must degrade to identity 0, not NaN.
+	disjoint := MustNew("d", "CCCCCCCCCC", DNA)
+	all := MustNew("a", "AAAAAAAAAA", DNA)
+	if id := Kmers(all, 6).Identity(Kmers(disjoint, 6)); id != 0 {
+		t.Fatalf("disjoint identity = %v, want 0", id)
+	}
+}
+
+func TestTripleSketchIdentities(t *testing.T) {
+	g := NewGenerator(DNA, 33)
+	tr := g.RelatedTriple(300, MutationModel{SubstitutionRate: 0.05})
+	sk := SketchTriple(tr, 6)
+	if sk.K() != 6 {
+		t.Fatalf("K() = %d, want 6", sk.K())
+	}
+	if id := sk.MeanIdentity(); id <= 0.5 || id > 1 {
+		t.Fatalf("related-triple mean identity %v outside (0.5, 1]", id)
+	}
+	if id := sk.Identity(sk); id != 1 {
+		t.Fatalf("self sketch identity %v, want 1", id)
+	}
+	// A positionwise mutated copy scores below 1 but close; an unrelated
+	// triple scores clearly lower.
+	mut := Triple{
+		A: g.Mutate(tr.A.Name(), tr.A, MutationModel{SubstitutionRate: 0.03}),
+		B: tr.B,
+		C: tr.C,
+	}
+	skMut := SketchTriple(mut, 6)
+	if id := sk.Identity(skMut); id >= 1 || id < 0.8 {
+		t.Fatalf("1-sequence mutated sketch identity %v outside [0.8, 1)", id)
+	}
+	other := Triple{A: g.Random("x", 300), B: g.Random("y", 300), C: g.Random("z", 300)}
+	if near, far := sk.Identity(skMut), sk.Identity(SketchTriple(other, 6)); near <= far {
+		t.Fatalf("mutated identity %v not above unrelated %v", near, far)
+	}
+	if sk.Bytes() <= 0 {
+		t.Fatal("sketch bytes estimate must be positive")
+	}
+}
+
+func TestTripleSketchMismatchedKPanics(t *testing.T) {
+	g := NewGenerator(DNA, 5)
+	tr := g.RelatedTriple(50, MutationModel{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched sketch k accepted")
+		}
+	}()
+	SketchTriple(tr, 4).Identity(SketchTriple(tr, 6))
+}

@@ -82,6 +82,10 @@ type stats struct {
 	coalescedBatches  atomic.Int64 // coalesced flushes submitted
 	coalescedRequests atomic.Int64 // requests served through a coalesced flush
 
+	cacheFills     atomic.Int64 // flight-leader computations on the cached path
+	cacheCollapsed atomic.Int64 // requests that piggybacked on a leader's computation
+	cacheNearDup   atomic.Int64 // misses served by a verified near-duplicate patch-up
+
 	estBytesInFlight   atomic.Int64 // planner-estimated bytes of executing alignments
 	plannedDowngrades  atomic.Int64 // downgrade steps recorded by served plans
 	plannedInt16       atomic.Int64 // served plans that negotiated 16-bit lattice cells

@@ -101,10 +101,11 @@ func estGauge(estBytes uint64) int64 {
 	return int64(estBytes)
 }
 
-// handleAlign serves POST /v1/align: parse, plan (shedding over-cap
-// lattices with 413 before queueing), admit or shed, then execute —
-// through the coalescer for small requests, on a dedicated run slot
-// otherwise.
+// handleAlign serves POST /v1/align: parse, then route to the cached path
+// (cache.go) when the result cache is enabled, or straight to the
+// classic pipeline — plan (shedding over-cap lattices with 413 before
+// queueing), admit or shed, then execute through the coalescer for small
+// requests or a dedicated run slot otherwise.
 func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, errDraining)
@@ -127,6 +128,15 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorStatus(err), err)
 		return
 	}
+	if s.cache != nil {
+		s.alignCached(w, r, item, &req)
+		return
+	}
+	s.alignUncached(w, r, item)
+}
+
+// alignUncached is the classic (cache-disabled) /v1/align pipeline.
+func (s *Server) alignUncached(w http.ResponseWriter, r *http.Request, item repro.BatchItem) {
 	// Pressure routing happens before planning so an imposed degrade
 	// budget shapes the plan (and its downgrade ladder) rather than
 	// second-guessing it afterwards.
@@ -152,7 +162,7 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	est := estGauge(pl.EstBytes)
 	s.stats.estBytesInFlight.Add(est)
 	start := time.Now()
-	res, coalesced, err := s.execute(r, item)
+	res, coalesced, err := s.executeCtx(r.Context(), item)
 	s.stats.latency.record(time.Since(start))
 	s.stats.estBytesInFlight.Add(-est)
 	if err != nil {
@@ -192,30 +202,6 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, pl)
-}
-
-// execute runs one admitted item: coalesced when eligible, else directly
-// on a run slot under the request's context.
-func (s *Server) execute(r *http.Request, item repro.BatchItem) (res *repro.Result, coalesced bool, err error) {
-	if s.coal.eligible(item) {
-		if p := s.coal.submit(item); p != nil {
-			select {
-			case d := <-p.done:
-				return d.res, true, d.err
-			case <-r.Context().Done():
-				// The client is gone; the flush still runs (under the
-				// server's base context) and its result is discarded.
-				return nil, true, r.Context().Err()
-			}
-		}
-		// Coalescer closed mid-drain: fall through to the direct path.
-	}
-	if err := s.gate.acquireRun(r.Context()); err != nil {
-		return nil, false, err
-	}
-	defer s.gate.releaseRun()
-	res, err = repro.AlignContext(r.Context(), item.Triple, item.Opt)
-	return res, false, err
 }
 
 // handleBatch serves POST /v1/align/batch: one admission slot and one run

@@ -47,6 +47,7 @@ import (
 
 	repro "repro"
 	"repro/internal/faultpoint"
+	"repro/internal/resultcache"
 	"repro/internal/wavefront"
 )
 
@@ -106,6 +107,25 @@ type Config struct {
 	// MemSampleInterval is the heap sampling period; non-positive means
 	// 100ms.
 	MemSampleInterval time.Duration
+	// CacheBytes, when positive, enables the content-addressed result
+	// cache (internal/resultcache) with that byte budget: identical
+	// /v1/align requests are answered from the cache without taking an
+	// admission slot, and concurrent identical misses collapse onto one
+	// computation. 0 disables caching (the default — the cache changes
+	// observable shedding behavior, so operators opt in).
+	CacheBytes int64
+	// CacheMinCost is the admission-by-cost floor: only results whose
+	// execution plan estimated at least this duration are cached, so the
+	// budget is spent on the entries that save real compute. 0 caches
+	// every successful exact result.
+	CacheMinCost time.Duration
+	// CacheNearDupIdentity is the k-mer identity threshold for the
+	// near-duplicate prescreen: a miss whose triple matches a cached one
+	// at or above this estimated identity is served by a cheap bounded
+	// re-align seeded with the cached score (verified — a failed seed
+	// falls through to the full plan). Zero means the 0.90 default when
+	// the cache is enabled; values outside (0, 1) disable the prescreen.
+	CacheNearDupIdentity float64
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -138,6 +158,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 256
 	}
+	if c.CacheBytes > 0 && c.CacheNearDupIdentity == 0 {
+		c.CacheNearDupIdentity = 0.90
+	}
 	return c
 }
 
@@ -150,6 +173,11 @@ type Server struct {
 	coal     *coalescer
 	stats    *stats
 	pressure *pressureGuard // nil when MemSoftLimitBytes is unset
+	// cache is the content-addressed result cache (nil when CacheBytes is
+	// unset); flight collapses concurrent identical misses onto one
+	// computation.
+	cache  *resultcache.Cache
+	flight resultcache.Group[cacheFill]
 
 	draining atomic.Bool
 	// base outlives individual requests: coalesced batches run under it so
@@ -171,6 +199,7 @@ func New(cfg Config) *Server {
 		gate:     newGate(cfg.QueueDepth, cfg.MaxInFlight),
 		stats:    newStats(),
 		pressure: newPressureGuard(cfg.MemSoftLimitBytes, cfg.MemDegradeFraction, cfg.MemSampleInterval),
+		cache:    resultcache.New(cfg.CacheBytes),
 		base:     base,
 		stopBase: stop,
 		started:  time.Now(),
@@ -232,6 +261,24 @@ type Statsz struct {
 	CoalescedBatches  int64 `json:"coalesced_batches"`
 	CoalescedRequests int64 `json:"coalesced_requests"`
 
+	// Result-cache counters (all zero while CacheBytes is unset). Hits
+	// are requests answered from the cache without touching admission;
+	// Misses count cache lookups that missed (every member of a collapsed
+	// flight missed individually); Fills count leader computations — the
+	// kernel runs actually executed on the cached path; Collapsed counts
+	// requests that piggybacked on another request's in-flight
+	// computation; NearDupPatched counts misses served by a verified
+	// bounded re-align seeded from a near-duplicate's cached score.
+	CacheHits           int64 `json:"cache_hits"`
+	CacheMisses         int64 `json:"cache_misses"`
+	CacheFills          int64 `json:"cache_fills"`
+	CacheCollapsed      int64 `json:"cache_collapsed"`
+	CacheNearDupPatched int64 `json:"cache_near_dup_patched"`
+	CacheEvictions      int64 `json:"cache_evictions"`
+	CacheCorruptDropped int64 `json:"cache_corrupt_dropped"`
+	CacheBytes          int64 `json:"cache_bytes"`
+	CacheEntries        int64 `json:"cache_entries"`
+
 	// EstBytesInFlight sums the planner-estimated lattice bytes of the
 	// alignments currently executing — the budget-pressure gauge behind
 	// MaxLatticeBytes sizing. PlannedDowngrades counts individual
@@ -291,6 +338,16 @@ func (s *Server) snapshot() Statsz {
 	st.Degraded = s.stats.degraded.Load()
 	st.CoalescedBatches = s.stats.coalescedBatches.Load()
 	st.CoalescedRequests = s.stats.coalescedRequests.Load()
+	cs := s.cache.Stats()
+	st.CacheHits = cs.Hits
+	st.CacheMisses = cs.Misses
+	st.CacheEvictions = cs.Evictions
+	st.CacheCorruptDropped = cs.CorruptDropped
+	st.CacheBytes = cs.Bytes
+	st.CacheEntries = cs.Entries
+	st.CacheFills = s.stats.cacheFills.Load()
+	st.CacheCollapsed = s.stats.cacheCollapsed.Load()
+	st.CacheNearDupPatched = s.stats.cacheNearDup.Load()
 	st.EstBytesInFlight = s.stats.estBytesInFlight.Load()
 	st.PlannedDowngrades = s.stats.plannedDowngrades.Load()
 	st.PlannedInt16 = s.stats.plannedInt16.Load()

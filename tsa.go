@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"time"
 
 	"repro/internal/alignment"
@@ -44,6 +43,11 @@ type (
 	// carries the plan that produced it, and PlanAlign returns one without
 	// aligning.
 	Plan = plan.ExecutionPlan
+	// TripleSketch is a per-sequence k-mer sketch of a triple (see
+	// SketchTriple): the shared identity-probe input behind the planner's
+	// bounded-search estimate and the serving layer's near-duplicate
+	// prescreen.
+	TripleSketch = seq.TripleSketch
 )
 
 // Standard alphabets.
@@ -221,6 +225,13 @@ type Options struct {
 	// Result is marked Degraded instead of returning the error. Fallback
 	// never triggers when the caller's own context is already done.
 	Fallback bool
+	// Sketch is an optional precomputed k-mer sketch of the triple (from
+	// SketchTriple). When set with the facade's ProbeK, the planner's
+	// bounded-search identity probe reads it instead of re-sketching the
+	// sequences — callers that already sketched the request (the serving
+	// layer's near-duplicate prescreen) pay for the profiles exactly once.
+	// A sketch built with a different k is ignored.
+	Sketch *TripleSketch
 }
 
 // Result is a completed alignment plus execution metadata.
@@ -250,6 +261,12 @@ type Result struct {
 	// is set; it wraps ErrTooLarge, context.DeadlineExceeded, or
 	// context.Canceled and satisfies errors.Is for them.
 	DegradedCause error
+	// CacheHit reports that this result was served from a serving-layer
+	// result cache rather than computed for this call. Score, rows, and
+	// Plan describe the original computation; Elapsed is the time this
+	// serve took (a cache lookup, not a kernel run). The library itself
+	// never sets it — the alignd serving tier does.
+	CacheHit bool
 }
 
 // DefaultScheme returns the default scoring scheme for an alphabet:
@@ -332,19 +349,36 @@ func gapModel(sch *Scheme) plan.GapModel {
 	return plan.GapLinear
 }
 
-// evalFractionProbeK is the k-mer size of the identity probe feeding the
-// planner's bounded-search estimator: long enough that random DNA shares
-// few k-mers, short enough that 80%-identity relatives still share most.
-const evalFractionProbeK = 6
+// ProbeK is the k-mer size of the facade's identity probe: long enough
+// that random DNA shares few k-mers, short enough that 80%-identity
+// relatives still share most. SketchTriple builds sketches at this k, and
+// Options.Sketch is honored only when built with it.
+const ProbeK = 6
+
+// SketchTriple builds the triple's k-mer sketch at ProbeK — one profile
+// pass per sequence. Pass it through Options.Sketch (and to any
+// near-duplicate screening the caller runs) so the sequences are sketched
+// exactly once per request.
+func SketchTriple(tr Triple) *TripleSketch { return seq.SketchTriple(tr, ProbeK) }
+
+// sketchFor returns the request's sketch: the caller's precomputed one
+// when it matches ProbeK, else a fresh sketch.
+func sketchFor(tr Triple, opt Options) *TripleSketch {
+	if opt.Sketch != nil && opt.Sketch.K() == ProbeK {
+		return opt.Sketch
+	}
+	return SketchTriple(tr)
+}
 
 // evalFractionProbe predicts the fraction of lattice cells Carrillo–Lipman
 // bounded search would evaluate for this triple, or 0 when the prediction
 // is not worth making: affine schemes (the bounded kernels are linear-gap)
 // and triples below plan.MinBoundedLen (where band planning is pure
-// overhead). The probe is alignment-free — mean pairwise k-mer identity
-// mapped through the calibrated identity→fraction curve — so it costs
-// O(n) on data the alignment will read anyway.
-func evalFractionProbe(tr Triple, sch *Scheme) float64 {
+// overhead). The probe is alignment-free — the sketch's mean pairwise
+// k-mer identity mapped through the calibrated identity→fraction curve —
+// so it costs O(n) on data the alignment will read anyway, and nothing at
+// all when the caller supplies Options.Sketch.
+func evalFractionProbe(tr Triple, sch *Scheme, opt Options) float64 {
 	if sch.Affine() {
 		return 0
 	}
@@ -358,22 +392,7 @@ func evalFractionProbe(tr Triple, sch *Scheme) float64 {
 	if min < plan.MinBoundedLen {
 		return 0
 	}
-	id := kmerIdentity(tr.A, tr.B) + kmerIdentity(tr.A, tr.C) + kmerIdentity(tr.B, tr.C)
-	return plan.EvalFractionForIdentity(id / 3)
-}
-
-// kmerIdentity estimates pairwise sequence identity from the normalized
-// k-mer distance. A point substitution destroys up to k overlapping
-// k-mers, so the shared fraction scales like identity^k; inverting gives
-// identity ≈ (1 − distance)^(1/k). The estimate degrades gracefully: at
-// distance 1 (nothing shared) it reports identity 0, well below the
-// curve's 50 % floor, and the fraction prediction saturates at 1.
-func kmerIdentity(a, b *Sequence) float64 {
-	d := seq.KmerDistance(a, b, evalFractionProbeK)
-	if d >= 1 {
-		return 0
-	}
-	return math.Pow(1-d, 1.0/evalFractionProbeK)
+	return plan.EvalFractionForIdentity(sketchFor(tr, opt).MeanIdentity())
 }
 
 // planRequest translates a triple and Options into a planner request. The
@@ -391,7 +410,7 @@ func planRequest(tr Triple, sch *Scheme, opt Options, parallel bool) plan.Reques
 		MaxMemoryBytes: opt.MaxMemoryBytes,
 		Parallel:       parallel,
 		MaxAbsColumn:   core.MaxAbsColumn(sch),
-		EvalFraction:   evalFractionProbe(tr, sch),
+		EvalFraction:   evalFractionProbe(tr, sch, opt),
 	}
 }
 
@@ -533,4 +552,71 @@ func alignWith(ctx context.Context, tr Triple, opt Options, parallel bool) (*Res
 			opt.MaxMemoryBytes, pl.Algorithm, ErrTooLarge)
 	}
 	return res, nil
+}
+
+// AlignSeeded runs the Carrillo–Lipman bounded kernel seeded with a
+// caller-supplied lower bound on the triple's optimal SP score — the
+// verified patch-up behind near-duplicate result caching. A tight seed
+// (for example the cached score of a near-identical triple, minus a
+// mutation-cost margin) makes the admissible band thin, so the re-align
+// costs a small fraction of a full plan while staying exact: AlignBounded
+// either returns the true optimum with a full preference-ordered
+// traceback, or fails — a seed above the optimum excludes the optimal
+// path from the band and the traceback reports it — in which case the
+// caller falls back to a full plan. A seed below the kernel's built-in
+// trivial bound is simply ignored, so any int32 is safe to pass.
+//
+// The scheme must be linear-gap (the bounded kernels are); affine schemes
+// fail immediately. Options.Fallback and MaxMemoryBytes do not apply —
+// degradation policy belongs to the caller's fallback path.
+func AlignSeeded(ctx context.Context, tr Triple, opt Options, lower int32) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("repro: align: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	sch, err := resolveScheme(tr, opt)
+	if err != nil {
+		return nil, err
+	}
+	if sch.Affine() {
+		return nil, fmt.Errorf("repro: AlignSeeded: scheme %q is affine; the bounded kernel is linear-gap", sch.Name())
+	}
+	// Resolve an honest plan for the bounded kernel so the Result carries
+	// real footprint estimates; the soft budget is cleared because its
+	// downgrade ladder could swap the plan away from the kernel that will
+	// actually run.
+	popt := opt
+	popt.Algorithm = AlgorithmBounded
+	popt.MaxMemoryBytes = 0
+	pl, _, err := resolvePlan(tr, sch, popt, true)
+	if err != nil {
+		return nil, err
+	}
+	copt := core.Options{
+		Workers:   opt.Workers,
+		BlockSize: opt.BlockSize,
+		MaxBytes:  opt.MaxBytes,
+		TileDims:  pl.TileDims,
+		CellWidth: pl.CellWidthBits,
+	}
+	runCtx := ctx
+	if opt.Deadline > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	aln, prune, err := core.AlignBounded(runCtx, tr, sch, copt, lower)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Alignment: aln,
+		Algorithm: AlgorithmBounded,
+		Elapsed:   time.Since(start),
+		Prune:     &prune,
+		Plan:      pl,
+	}, nil
 }
