@@ -57,10 +57,16 @@ type (
 	BatchResponse = server.BatchResponse
 	// BatchItemResponse is one batch item's outcome.
 	BatchItemResponse = server.BatchItemResponse
+	// MsaRequest is the POST /v1/msa (and /v1/msa/plan) request body.
+	MsaRequest = server.MsaRequest
+	// MsaResponse is one progressive MSA result.
+	MsaResponse = server.MsaResponse
 	// Statsz is the GET /statsz document.
 	Statsz = server.Statsz
 	// Plan is the execution plan returned by POST /v1/plan.
 	Plan = repro.Plan
+	// MSAPlan is the progressive plan returned by POST /v1/msa/plan.
+	MSAPlan = repro.MSAPlan
 )
 
 // retryAttemptHeader marks attempt n of a retried call; the server counts
@@ -190,6 +196,27 @@ func (c *Client) Align(ctx context.Context, req *AlignRequest) (*AlignResponse, 
 func (c *Client) AlignBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
 	var out BatchResponse
 	if err := c.call(ctx, "/v1/align/batch", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Msa submits one N-sequence progressive alignment. MSA requests are
+// never hedged: unlike /v1/align they are heavyweight by construction, so
+// a duplicate costs a whole progressive run.
+func (c *Client) Msa(ctx context.Context, req *MsaRequest) (*MsaResponse, error) {
+	var out MsaResponse
+	if err := c.call(ctx, "/v1/msa", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MsaPlan asks the server for the progressive plan it would run for req —
+// a dry run, like Plan.
+func (c *Client) MsaPlan(ctx context.Context, req *MsaRequest) (*MSAPlan, error) {
+	var out MSAPlan
+	if err := c.call(ctx, "/v1/msa/plan", req, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil

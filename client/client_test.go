@@ -341,3 +341,38 @@ func TestStatszDecodes(t *testing.T) {
 		}
 	}
 }
+
+// TestMsaRoundTrip drives /v1/msa and /v1/msa/plan through the typed
+// client against a real server, including retry masking of an injected
+// admission fault.
+func TestMsaRoundTrip(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	if err := faultpoint.Arm("server.admit", "first:1"); err != nil {
+		t.Fatal(err)
+	}
+	ts := newAlignd(t, server.Config{})
+	c := fastClient(t, ts.URL, 3)
+	g := repro.NewGenerator(repro.DNA, 9)
+	fam := g.RelatedFamily(5, 30, repro.MutationModel{SubstitutionRate: 0.15, InsertionRate: 0.03, DeletionRate: 0.03})
+	req := &MsaRequest{}
+	for _, s := range fam {
+		req.Sequences = append(req.Sequences, s.String())
+	}
+	pl, err := c.MsaPlan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumSequences != 5 || len(pl.Merges) == 0 {
+		t.Fatalf("plan = %+v", pl)
+	}
+	res, err := c.Msa(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumSequences != 5 || len(res.Rows) != 5 {
+		t.Fatalf("msa response: %d sequences, %d rows", res.NumSequences, len(res.Rows))
+	}
+	if res.OptimalityGap < 0 {
+		t.Fatalf("score %d beats bound %d", res.Score, res.UpperBound)
+	}
+}

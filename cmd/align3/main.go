@@ -9,6 +9,8 @@
 //	align3 -in triple.fasta -timeout 30s -fallback
 //	align3 -in triple.fasta -explain
 //	align3 -in triple.fasta -max-mem 64000000
+//	align3 -msa -in family.fasta
+//	align3 -msa -in family.fasta -explain
 //
 // Exact algorithms: full, parallel, linear, parallel-linear, diagonal,
 // pruned, pruned-parallel, affine, affine-linear, affine-parallel.
@@ -16,6 +18,14 @@
 // Formats: pretty (default), clustal, fasta, stats, json, quiet.
 // Gzip-compressed input is detected automatically; -both-strands also
 // tries the third sequence's reverse complement.
+//
+// -msa switches align3 from exactly three records to 2–64: a guide tree
+// groups the family into triples, each triple is merged by the exact
+// 3-way engine on profile consensus rows, and the result reports the
+// Carrillo–Lipman optimality gap. With -explain the guide tree and each
+// merge's execution plan are printed instead of aligning. -format
+// supports pretty, fasta, json, and quiet in this mode; three-sequence
+// MSA input produces exactly the alignment the default mode computes.
 //
 // Interrupting align3 (Ctrl-C / SIGTERM) cancels the alignment
 // cooperatively: the worker pool drains, a "cancelled" error is printed,
@@ -110,6 +120,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		fallback  = fs.Bool("fallback", false, "degrade to center-star-refined when the exact algorithm exceeds -timeout or the memory cap")
 		maxMem    = fs.Int64("max-mem", 0, "soft memory budget in bytes: plan a smaller-memory kernel instead of rejecting (0 = none)")
 		explain   = fs.Bool("explain", false, "print the execution plan and exit without aligning")
+		msaMode   = fs.Bool("msa", false, "progressive MSA mode: accept 2-64 FASTA records instead of exactly 3")
+		guideK    = fs.Int("guide-k", 0, "MSA guide-tree k-mer size (0 = default)")
+		refineN   = fs.Int("refine-rounds", 0, "MSA refinement rounds (0 = default, negative disables)")
+		serialMrg = fs.Bool("serial-merges", false, "run MSA merges serially instead of fanning through the batch scheduler")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -139,11 +153,6 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	if err != nil {
 		return err
 	}
-	tr, err := repro.ReadTripleFASTA(r, alpha)
-	if err != nil {
-		return err
-	}
-
 	opt := repro.Options{
 		Algorithm:      repro.Algorithm(*algorithm),
 		Workers:        *workers,
@@ -178,6 +187,21 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		if err != nil {
 			return err
 		}
+	}
+
+	if *msaMode {
+		mo := repro.MSAOptions{
+			Options:      opt,
+			GuideK:       *guideK,
+			RefineRounds: *refineN,
+			SerialMerges: *serialMrg,
+		}
+		return runMsaMode(ctx, stdout, r, alpha, mo, *format, *width, *explain)
+	}
+
+	tr, err := repro.ReadTripleFASTA(r, alpha)
+	if err != nil {
+		return err
 	}
 
 	if *explain {
@@ -310,6 +334,91 @@ func printPlan(w io.Writer, pl *repro.Plan) {
 	if pl.Degraded {
 		fmt.Fprintln(w, "degraded: no exact kernel fits the budget; the planned score is a heuristic lower bound")
 	}
+}
+
+// runMsaMode reads 2-64 FASTA records and runs the guide-tree progressive
+// MSA. With explain it prints the guide tree and each merge's execution
+// plan instead of aligning.
+func runMsaMode(ctx context.Context, stdout io.Writer, r io.Reader, alpha *seq.Alphabet, opt repro.MSAOptions, format string, width int, explain bool) error {
+	seqs, err := repro.ReadFASTA(r, alpha)
+	if err != nil {
+		return err
+	}
+	if explain {
+		mp, err := repro.PlanMSA(seqs, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, mp.Tree.String())
+		for _, m := range mp.Merges {
+			fmt.Fprintf(stdout, "merge level=%d members=%v out=%d n_way=%d est_bytes=%d\n",
+				m.Level, m.Members, m.Out, m.NWay, m.EstBytes)
+			if m.Plan != nil {
+				printPlan(stdout, m.Plan)
+			}
+		}
+		fmt.Fprintf(stdout, "peak_level_bytes=%d total_est_cells=%d\n", mp.PeakLevelBytes, mp.TotalEstCells)
+		return nil
+	}
+	res, err := repro.AlignMSA(ctx, seqs, opt)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "quiet":
+		fmt.Fprintln(stdout, res.Score)
+	case "json":
+		return writeMsaJSON(stdout, res)
+	case "fasta":
+		return repro.WriteAlignedFASTAMulti(stdout, res.Profile, width)
+	case "pretty":
+		fmt.Fprintf(stdout, "sequences: %d   elapsed: %s   score: %d   upper bound: %d   gap: %d\n\n",
+			res.Profile.NumRows(), res.Elapsed.Round(res.Elapsed/100+1), res.Score, res.UpperBound, res.OptimalityGap)
+		if err := res.Profile.Format(stdout, width); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stdout, "merges: %d (%d batched)   columns: %d\n",
+			len(res.Merges), res.BatchedMerges, res.Profile.Columns())
+		if res.Degraded {
+			fmt.Fprintln(stdout, "degraded: one or more merges fell back to a heuristic; the score is not certified")
+		}
+	default:
+		return fmt.Errorf("align3: format %q not supported in -msa mode (want pretty, fasta, json, or quiet)", format)
+	}
+	return nil
+}
+
+// msaJSONReport is the machine-readable output of -msa -format json.
+type msaJSONReport struct {
+	NumSequences  int      `json:"num_sequences"`
+	Score         int32    `json:"score"`
+	UpperBound    int32    `json:"upper_bound"`
+	OptimalityGap int32    `json:"optimality_gap"`
+	ElapsedMS     float64  `json:"elapsed_ms"`
+	Columns       int      `json:"columns"`
+	Names         []string `json:"names"`
+	Rows          []string `json:"rows"`
+	BatchedMerges int      `json:"batched_merges"`
+	Degraded      bool     `json:"degraded,omitempty"`
+}
+
+func writeMsaJSON(w io.Writer, res *repro.MSAResult) error {
+	rep := msaJSONReport{
+		NumSequences:  res.Profile.NumRows(),
+		Score:         res.Score,
+		UpperBound:    res.UpperBound,
+		OptimalityGap: res.OptimalityGap,
+		ElapsedMS:     float64(res.Elapsed.Microseconds()) / 1000,
+		Columns:       res.Profile.Columns(),
+		Names:         res.Profile.Names(),
+		Rows:          res.Profile.RowStrings(),
+		BatchedMerges: res.BatchedMerges,
+		Degraded:      res.Degraded,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func alphabetByName(name string) (*seq.Alphabet, error) {

@@ -295,3 +295,63 @@ func TestExitCodes(t *testing.T) {
 		}
 	}
 }
+
+const testFamily6 = ">f1\nACGTACGTAC\n>f2\nACGTACGAAC\n>f3\nACGGACGTAC\n>f4\nACGTACCTAC\n>f5\nAGGTACGTAC\n>f6\nACGTACGTCC\n"
+
+func TestRunMsaPretty(t *testing.T) {
+	out := runCLI(t, []string{"-msa"}, testFamily6)
+	for _, want := range []string{"sequences: 6", "score:", "upper bound:", "merges:", "f1", "f6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("msa output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMsaTripleMatchesDefault(t *testing.T) {
+	// Three records through -msa produce exactly the default mode's score.
+	direct := strings.TrimSpace(runCLI(t, []string{"-format", "quiet"}, testFASTA))
+	viaMsa := strings.TrimSpace(runCLI(t, []string{"-msa", "-format", "quiet"}, testFASTA))
+	if direct != viaMsa {
+		t.Fatalf("-msa score %s != default score %s", viaMsa, direct)
+	}
+}
+
+func TestRunMsaFormats(t *testing.T) {
+	fasta := runCLI(t, []string{"-msa", "-format", "fasta"}, testFamily6)
+	if strings.Count(fasta, ">") != 6 {
+		t.Errorf("msa fasta output should have 6 records:\n%s", fasta)
+	}
+	var rep struct {
+		NumSequences int      `json:"num_sequences"`
+		Rows         []string `json:"rows"`
+		UpperBound   int32    `json:"upper_bound"`
+		Score        int32    `json:"score"`
+	}
+	jsonOut := runCLI(t, []string{"-msa", "-format", "json"}, testFamily6)
+	if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
+		t.Fatalf("msa json: %v\n%s", err, jsonOut)
+	}
+	if rep.NumSequences != 6 || len(rep.Rows) != 6 || rep.Score > rep.UpperBound {
+		t.Fatalf("msa json report wrong: %+v", rep)
+	}
+}
+
+func TestRunMsaExplain(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-msa", "-explain"}, strings.NewReader(testFamily6), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"guide tree over 6 leaves", "merge level=", "peak_level_bytes="} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("msa explain missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunMsaSerialMerges(t *testing.T) {
+	fanned := strings.TrimSpace(runCLI(t, []string{"-msa", "-format", "quiet"}, testFamily6))
+	serial := strings.TrimSpace(runCLI(t, []string{"-msa", "-format", "quiet", "-serial-merges"}, testFamily6))
+	if fanned != serial {
+		t.Fatalf("serial merges changed the score: %s vs %s", serial, fanned)
+	}
+}

@@ -9,6 +9,8 @@
 //	alignctl align -addr http://localhost:8080 -a ACGT -b ACGT -c AGGT
 //	alignctl align -fasta triple.fa -algorithm affine -deadline 2s
 //	alignctl plan  -a ACGT -b ACGT -c AGGT -max-memory-bytes 1048576
+//	alignctl msa   -fasta family.fa -explain
+//	alignctl msa   -seqs ACGT,ACGA,AGGT,ACTT -serial
 //	alignctl stats
 //	alignctl ready
 //
@@ -16,6 +18,7 @@
 //
 //	align   submit one alignment and print the aligned rows and score
 //	plan    dry-run the request and print the server's execution plan
+//	msa     submit an N-sequence progressive MSA (-plan for a dry run)
 //	stats   print the /statsz document
 //	ready   exit 0 when the server accepts work, 1 while it drains
 //
@@ -31,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/client"
@@ -42,7 +46,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		fmt.Fprintln(stderr, "alignctl: give a command: align, plan, stats, or ready")
+		fmt.Fprintln(stderr, "alignctl: give a command: align, plan, msa, stats, or ready")
 		return 2
 	}
 	cmd, rest := args[0], args[1:]
@@ -52,15 +56,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = runAlign(rest, stdout, false)
 	case "plan":
 		err = runAlign(rest, stdout, true)
+	case "msa":
+		err = runMsa(rest, stdout)
 	case "stats":
 		err = runStats(rest, stdout)
 	case "ready":
 		err = runReady(rest, stdout)
 	case "-h", "-help", "--help", "help":
-		fmt.Fprintln(stdout, "usage: alignctl <align|plan|stats|ready> [flags]")
+		fmt.Fprintln(stdout, "usage: alignctl <align|plan|msa|stats|ready> [flags]")
 		return 0
 	default:
-		fmt.Fprintf(stderr, "alignctl: unknown command %q (want align, plan, stats, or ready)\n", cmd)
+		fmt.Fprintf(stderr, "alignctl: unknown command %q (want align, plan, msa, stats, or ready)\n", cmd)
 		return 2
 	}
 	if err != nil {
@@ -170,6 +176,96 @@ func runAlign(args []string, stdout io.Writer, planOnly bool) error {
 		fmt.Fprintf(stdout, " DEGRADED (%s)", res.DegradedCause)
 	}
 	fmt.Fprintln(stdout)
+	return nil
+}
+
+// runMsa submits an N-sequence progressive MSA, or with -plan prints the
+// server's dry-run merge schedule.
+func runMsa(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("alignctl msa", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	mk := clientFlags(fs)
+	var (
+		seqs      = fs.String("seqs", "", "comma-separated residue strings (2-64 sequences)")
+		fasta     = fs.String("fasta", "", "multi-record FASTA file (\"-\" for stdin) instead of -seqs")
+		alphabet  = fs.String("alphabet", "", "dna, rna, or protein (server default: dna)")
+		scheme    = fs.String("scheme", "", "scoring scheme name (server default for the alphabet)")
+		algorithm = fs.String("algorithm", "", "3-way merge algorithm (empty = server auto)")
+		deadline  = fs.Duration("deadline", 0, "server-side deadline for the whole progressive run (0 = server default)")
+		maxMem    = fs.Int64("max-memory-bytes", 0, "request-level planning budget split across concurrent merges (0 = none)")
+		guideK    = fs.Int("guide-k", 0, "guide-tree k-mer size (0 = server default)")
+		refine    = fs.Int("refine-rounds", 0, "refinement rounds after the progressive pass (negative disables)")
+		serial    = fs.Bool("serial", false, "run merges serially instead of fanning through the batch scheduler")
+		explain   = fs.Bool("explain", false, "print the guide tree and per-merge plans with the alignment")
+		planOnly  = fs.Bool("plan", false, "dry-run: print the merge schedule without aligning")
+		asJSON    = fs.Bool("json", false, "print the raw response document")
+	)
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("msa: %w", err)
+	}
+	req := client.MsaRequest{
+		Alphabet:       *alphabet,
+		Scheme:         *scheme,
+		Algorithm:      *algorithm,
+		DeadlineMS:     int64(*deadline / time.Millisecond),
+		MaxMemoryBytes: *maxMem,
+		GuideK:         *guideK,
+		RefineRounds:   *refine,
+		SerialMerges:   *serial,
+		Explain:        *explain,
+	}
+	if *seqs != "" {
+		req.Sequences = strings.Split(*seqs, ",")
+	}
+	if *fasta != "" {
+		var doc []byte
+		var err error
+		if *fasta == "-" {
+			doc, err = io.ReadAll(os.Stdin)
+		} else {
+			doc, err = os.ReadFile(*fasta)
+		}
+		if err != nil {
+			return fmt.Errorf("msa: reading fasta: %w", err)
+		}
+		req.FASTA = string(doc)
+	}
+	cl, ctx, cancel := mk()
+	defer cancel()
+	if *planOnly {
+		pl, err := cl.MsaPlan(ctx, &req)
+		if err != nil {
+			return err
+		}
+		return printJSON(stdout, pl)
+	}
+	res, err := cl.Msa(ctx, &req)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(stdout, res)
+	}
+	for i, row := range res.Rows {
+		fmt.Fprintf(stdout, "%-10s %s\n", res.Names[i], row)
+	}
+	fmt.Fprintf(stdout, "score=%d upper_bound=%d gap=%d sequences=%d columns=%d batched_merges=%d elapsed_ms=%.3f",
+		res.Score, res.UpperBound, res.OptimalityGap, res.NumSequences, res.Columns, res.BatchedMerges, res.ElapsedMS)
+	if res.Degraded {
+		fmt.Fprint(stdout, " DEGRADED")
+	}
+	fmt.Fprintln(stdout)
+	if *explain {
+		fmt.Fprint(stdout, res.GuideTree)
+		for _, m := range res.Merges {
+			fmt.Fprintf(stdout, "merge level=%d members=%v out=%d n_way=%d batch_size=%d",
+				m.Level, m.Members, m.Out, m.NWay, m.BatchSize)
+			if m.Algorithm != "" {
+				fmt.Fprintf(stdout, " algorithm=%s", m.Algorithm)
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
 	return nil
 }
 

@@ -141,3 +141,51 @@ func TestCtlFASTAFixtureValid(t *testing.T) {
 		t.Fatalf("test fixture invalid: %v", err)
 	}
 }
+
+const testFamilyFASTA = ">f1\nACGTACGTAC\n>f2\nACGTACGAAC\n>f3\nACGGACGTAC\n>f4\nACGTACCTAC\n>f5\nAGGTACGTAC\n>f6\nACGTACGTCC\n"
+
+func TestCtlMsa(t *testing.T) {
+	ts := newAlignd(t)
+	code, out, errOut := runCtl(t, "msa", "-addr", ts.URL,
+		"-seqs", "ACGTACGT,ACGACGT,ACGTACG,AGGTACGT")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"score=", "upper_bound=", "gap=", "sequences=4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("msa output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != 5 {
+		t.Errorf("want 4 aligned rows + 1 summary line, got %d lines:\n%s", lines, out)
+	}
+}
+
+func TestCtlMsaFASTAExplain(t *testing.T) {
+	ts := newAlignd(t)
+	path := filepath.Join(t.TempDir(), "family.fa")
+	if err := os.WriteFile(path, []byte(testFamilyFASTA), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCtl(t, "msa", "-addr", ts.URL, "-fasta", path, "-explain")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"guide tree over 6 leaves", "merge level=", "batch_size="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCtlMsaPlan(t *testing.T) {
+	ts := newAlignd(t)
+	code, out, errOut := runCtl(t, "msa", "-addr", ts.URL, "-plan",
+		"-seqs", "ACGTACGT,ACGACGT,ACGTACG,AGGTACGT,ACCTACGT")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, `"peak_level_bytes"`) || !strings.Contains(out, `"merges"`) {
+		t.Fatalf("msa -plan output is not a plan document:\n%s", out)
+	}
+}

@@ -11,6 +11,8 @@
 //	POST /v1/align        one triple; small requests are coalesced per tick
 //	POST /v1/align/batch  many triples in one submission
 //	POST /v1/plan         dry run: the execution plan for a request, no alignment
+//	POST /v1/msa          progressive N-sequence MSA built from exact 3-way merges
+//	POST /v1/msa/plan     dry run: the guide tree's merge schedule and byte estimates
 //	GET  /healthz         liveness (always 200 while the process runs)
 //	GET  /readyz          readiness (503 once draining)
 //	GET  /statsz          queue/pool gauges, counters, latency quantiles
@@ -79,6 +81,7 @@ func run(args []string, logw io.Writer) error {
 		deadline     = fs.Duration("deadline", 0, "default per-request alignment deadline (0 = none)")
 		maxDeadline  = fs.Duration("max-deadline", 30*time.Second, "cap on per-request deadlines")
 		maxSeq       = fs.Int("max-seq", 4096, "per-sequence residue cap")
+		maxMsaSeqs   = fs.Int("max-msa-seqs", 16, "per-/v1/msa family size cap (hard limit 64)")
 		maxBody      = fs.Int64("max-body", 8<<20, "request body byte cap")
 		maxLattice   = fs.Int64("max-lattice-bytes", 0, "planner-estimated lattice byte cap per alignment; larger requests shed with 413 before queueing (0 = no cap)")
 		memSoft      = fs.Int64("mem-soft-limit", 0, "heap soft limit in bytes: approaching it degrades new admissions through the planner's downgrade ladder, exceeding it sheds with 429 (0 disables the pressure guard)")
@@ -110,6 +113,7 @@ func run(args []string, logw io.Writer) error {
 		DefaultDeadline:    *deadline,
 		MaxDeadline:        *maxDeadline,
 		MaxSequenceLen:     *maxSeq,
+		MaxMsaSequences:    *maxMsaSeqs,
 		MaxBodyBytes:       *maxBody,
 		MaxLatticeBytes:    *maxLattice,
 		MemSoftLimitBytes:  *memSoft,

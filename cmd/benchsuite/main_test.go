@@ -59,8 +59,8 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.id)
 		}
 	}
-	if len(experiments) != 14 {
-		t.Errorf("expected 14 experiments, found %d", len(experiments))
+	if len(experiments) != 15 {
+		t.Errorf("expected 15 experiments, found %d", len(experiments))
 	}
 }
 
@@ -157,6 +157,18 @@ func TestRunF8(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"F8:", "steal-rate", "tile"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunF10(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-reps", "1", "-exp", "f10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"F10:", "fanned time", "serial time", "gap"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("missing %q:\n%s", want, out.String())
 		}

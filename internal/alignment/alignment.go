@@ -71,33 +71,16 @@ type Alignment struct {
 // Columns returns the number of alignment columns.
 func (a *Alignment) Columns() int { return len(a.Moves) }
 
+// Multi returns the alignment in the N-row layout. The move bits carry
+// over directly (ConsumeA/B/C are column-mask bits 0/1/2), so the
+// conversion is loss-free; the three-row API below is a thin wrapper over
+// the Multi operations.
+func (a *Alignment) Multi() *Multi { return FromAlignment(a) }
+
 // Rows renders the three gapped rows. All rows have length Columns().
 func (a *Alignment) Rows() (ra, rb, rc string) {
-	bufA := make([]byte, 0, len(a.Moves))
-	bufB := make([]byte, 0, len(a.Moves))
-	bufC := make([]byte, 0, len(a.Moves))
-	i, j, k := 0, 0, 0
-	for _, m := range a.Moves {
-		if m&ConsumeA != 0 {
-			bufA = append(bufA, a.Triple.A.At(i))
-			i++
-		} else {
-			bufA = append(bufA, '-')
-		}
-		if m&ConsumeB != 0 {
-			bufB = append(bufB, a.Triple.B.At(j))
-			j++
-		} else {
-			bufB = append(bufB, '-')
-		}
-		if m&ConsumeC != 0 {
-			bufC = append(bufC, a.Triple.C.At(k))
-			k++
-		} else {
-			bufC = append(bufC, '-')
-		}
-	}
-	return string(bufA), string(bufB), string(bufC)
+	rows := a.Multi().RowStrings()
+	return rows[0], rows[1], rows[2]
 }
 
 // Validate checks structural integrity: every move is legal and the moves
@@ -156,11 +139,7 @@ func (a *Alignment) columnCodes() [][3]int8 {
 // SPScore recomputes the linear-gap sum-of-pairs score column by column,
 // independent of the DP that produced the alignment.
 func (a *Alignment) SPScore(sch *scoring.Scheme) mat.Score {
-	var total mat.Score
-	for _, col := range a.columnCodes() {
-		total += sch.SPColumn(col[0], col[1], col[2])
-	}
-	return total
+	return a.Multi().SPScore(sch)
 }
 
 // SPScoreAffine recomputes the natural affine sum-of-pairs score: for each
@@ -169,36 +148,7 @@ func (a *Alignment) SPScore(sch *scoring.Scheme) mat.Score {
 // "natural" gap count; the affine DP optimizes the quasi-natural variant,
 // which never exceeds it.
 func (a *Alignment) SPScoreAffine(sch *scoring.Scheme) mat.Score {
-	cols := a.columnCodes()
-	pairs := [3][2]int{{0, 1}, {0, 2}, {1, 2}}
-	var total mat.Score
-	for _, pr := range pairs {
-		inGapX, inGapY := false, false
-		for _, col := range cols {
-			x, y := col[pr[0]], col[pr[1]]
-			switch {
-			case x >= 0 && y >= 0:
-				total += sch.Sub(x, y)
-				inGapX, inGapY = false, false
-			case x >= 0 && y < 0:
-				total += sch.GapExtend()
-				if !inGapY {
-					total += sch.GapOpen()
-				}
-				inGapX, inGapY = false, true
-			case x < 0 && y >= 0:
-				total += sch.GapExtend()
-				if !inGapX {
-					total += sch.GapOpen()
-				}
-				inGapX, inGapY = true, false
-			default:
-				// gap-gap column: removed from the induced pairwise
-				// alignment; gap runs continue across it.
-			}
-		}
-	}
-	return total
+	return a.Multi().SPScoreAffine(sch)
 }
 
 // Stats summarizes alignment conservation.
@@ -271,50 +221,7 @@ func conservationMark(col [3]int8) byte {
 // Format writes a block-wrapped, human-readable rendering with a
 // conservation line, similar to CLUSTAL output.
 func (a *Alignment) Format(w io.Writer, width int) error {
-	if width <= 0 {
-		width = 60
-	}
-	ra, rb, rc := a.Rows()
-	cols := a.columnCodes()
-	marks := make([]byte, len(cols))
-	for i, col := range cols {
-		marks[i] = conservationMark(col)
-	}
-	nameW := 0
-	for _, n := range []string{a.Triple.A.Name(), a.Triple.B.Name(), a.Triple.C.Name()} {
-		if len(n) > nameW {
-			nameW = len(n)
-		}
-	}
-	if nameW < 4 {
-		nameW = 4
-	}
-	for lo := 0; lo < len(ra) || lo == 0 && len(ra) == 0; lo += width {
-		hi := lo + width
-		if hi > len(ra) {
-			hi = len(ra)
-		}
-		rows := []struct{ name, body string }{
-			{a.Triple.A.Name(), ra[lo:hi]},
-			{a.Triple.B.Name(), rb[lo:hi]},
-			{a.Triple.C.Name(), rc[lo:hi]},
-			{"", string(marks[lo:hi])},
-		}
-		for _, r := range rows {
-			if _, err := fmt.Fprintf(w, "%-*s  %s\n", nameW, r.name, r.body); err != nil {
-				return err
-			}
-		}
-		if hi < len(ra) {
-			if _, err := fmt.Fprintln(w); err != nil {
-				return err
-			}
-		}
-		if len(ra) == 0 {
-			break
-		}
-	}
-	return nil
+	return a.Multi().Format(w, width)
 }
 
 // String renders the alignment with the default width.

@@ -1,0 +1,223 @@
+package msa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/seq"
+)
+
+// DefaultGuideK is the k-mer size used for guide-tree distances when the
+// caller does not pick one; it matches the serving layer's sketch probe.
+const DefaultGuideK = 6
+
+// Group is one progressive merge: two or three clusters joined into a new
+// cluster. Members are cluster IDs (leaves are 0..NumLeaves-1, internal
+// clusters are numbered on from there, in creation order); Out is the ID of
+// the merged cluster.
+type Group struct {
+	Members []int
+	Out     int
+}
+
+// Level is one round of the merge schedule. All groups within a level are
+// independent — no group consumes another group's output — so they can be
+// fanned across workers.
+type Level struct {
+	Groups []Group
+}
+
+// GuideTree is the progressive-merge schedule for one family of sequences:
+// a sequence of levels, each holding independent 2- or 3-way merges, ending
+// in a single root cluster covering every leaf.
+type GuideTree struct {
+	// Names holds the leaf names in input order; leaf i is cluster i.
+	Names []string
+	// Levels is the merge schedule, bottom-up.
+	Levels []Level
+	// Root is the cluster ID of the final merge (== leaf 0 for one leaf).
+	Root int
+	// dist[id] holds mean leaf-to-leaf k-mer distances between clusters,
+	// kept for explain output.
+	dist map[[2]int]float64
+}
+
+// Distance returns the average-linkage k-mer distance between two clusters
+// of the tree (0 for a cluster against itself, and for unknown IDs).
+func (t *GuideTree) Distance(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return t.dist[[2]int{a, b}]
+}
+
+// NumLeaves returns the number of input sequences.
+func (t *GuideTree) NumLeaves() int { return len(t.Names) }
+
+// NumMerges returns the number of merge groups across all levels.
+func (t *GuideTree) NumMerges() int {
+	n := 0
+	for _, lv := range t.Levels {
+		n += len(lv.Groups)
+	}
+	return n
+}
+
+// String renders the merge schedule, one level per line — the -explain
+// output of the CLIs.
+func (t *GuideTree) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "guide tree over %d leaves:\n", len(t.Names))
+	for i, name := range t.Names {
+		fmt.Fprintf(&b, "  leaf %d: %s\n", i, name)
+	}
+	for li, lv := range t.Levels {
+		fmt.Fprintf(&b, "  level %d:", li+1)
+		for _, g := range lv.Groups {
+			parts := make([]string, len(g.Members))
+			for i, m := range g.Members {
+				parts[i] = fmt.Sprintf("%d", m)
+			}
+			fmt.Fprintf(&b, " (%s)->%d", strings.Join(parts, ","), g.Out)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// BuildGuideTree clusters the sequences by average-linkage over pairwise
+// k-mer distances and greedily schedules progressive merges: each round
+// groups the closest unused pair, extends it with the closest third cluster
+// when one is available, and repeats until the round cannot form another
+// triple; a final leftover pair merges 2-way, and a single leftover carries
+// into the next round. Ties break deterministically toward the lowest
+// cluster IDs, so the same inputs always produce the same schedule.
+// k ≤ 0 selects DefaultGuideK.
+func BuildGuideTree(seqs []*seq.Sequence, k int) (*GuideTree, error) {
+	n := len(seqs)
+	if n < 1 {
+		return nil, fmt.Errorf("msa: guide tree needs at least 1 sequence, have %d", n)
+	}
+	if k <= 0 {
+		k = DefaultGuideK
+	}
+	names := make([]string, n)
+	for i, s := range seqs {
+		if s == nil {
+			return nil, fmt.Errorf("msa: guide tree sequence %d is nil", i)
+		}
+		if s.Alphabet() != seqs[0].Alphabet() {
+			return nil, fmt.Errorf("msa: guide tree mixes alphabets %s/%s",
+				seqs[0].Alphabet().Name(), s.Alphabet().Name())
+		}
+		names[i] = s.Name()
+	}
+	t := &GuideTree{Names: names, dist: map[[2]int]float64{}}
+	if n == 1 {
+		t.Root = 0
+		return t, nil
+	}
+
+	// Leaf-to-leaf k-mer distances; cluster distances are leaf-set averages.
+	leafDist := make([][]float64, n)
+	profiles := make([]*seq.KmerProfile, n)
+	for i, s := range seqs {
+		profiles[i] = seq.Kmers(s, k)
+	}
+	for i := range leafDist {
+		leafDist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := profiles[i].Distance(profiles[j])
+			leafDist[i][j], leafDist[j][i] = d, d
+		}
+	}
+
+	leavesOf := map[int][]int{}
+	for i := 0; i < n; i++ {
+		leavesOf[i] = []int{i}
+	}
+	clusterDist := func(a, b int) float64 {
+		la, lb := leavesOf[a], leavesOf[b]
+		var sum float64
+		for _, x := range la {
+			for _, y := range lb {
+				sum += leafDist[x][y]
+			}
+		}
+		return sum / float64(len(la)*len(lb))
+	}
+	recordDist := func(a, b int, d float64) {
+		if a > b {
+			a, b = b, a
+		}
+		t.dist[[2]int{a, b}] = d
+	}
+
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	next := n
+	for len(active) > 1 {
+		var groups []Group
+		unused := append([]int(nil), active...)
+		var carried []int
+		for len(unused) >= 2 {
+			// Closest unused pair, lowest IDs on ties.
+			bi, bj, bd := -1, -1, 0.0
+			for ii := 0; ii < len(unused); ii++ {
+				for jj := ii + 1; jj < len(unused); jj++ {
+					d := clusterDist(unused[ii], unused[jj])
+					if bi < 0 || d < bd {
+						bi, bj, bd = ii, jj, d
+					}
+				}
+			}
+			members := []int{unused[bi], unused[bj]}
+			recordDist(unused[bi], unused[bj], bd)
+			rest := make([]int, 0, len(unused)-2)
+			for ii, c := range unused {
+				if ii != bi && ii != bj {
+					rest = append(rest, c)
+				}
+			}
+			if len(rest) > 0 {
+				// Closest third to the pair, lowest ID on ties.
+				bt, btd := -1, 0.0
+				for ti, c := range rest {
+					d := (clusterDist(members[0], c) + clusterDist(members[1], c)) / 2
+					if bt < 0 || d < btd {
+						bt, btd = ti, d
+					}
+				}
+				third := rest[bt]
+				recordDist(members[0], third, clusterDist(members[0], third))
+				recordDist(members[1], third, clusterDist(members[1], third))
+				members = append(members, third)
+				rest = append(rest[:bt], rest[bt+1:]...)
+			}
+			out := next
+			next++
+			groups = append(groups, Group{Members: members, Out: out})
+			leaves := []int{}
+			for _, m := range members {
+				leaves = append(leaves, leavesOf[m]...)
+			}
+			leavesOf[out] = leaves
+			unused = rest
+		}
+		carried = unused
+		t.Levels = append(t.Levels, Level{Groups: groups})
+		active = carried
+		for _, g := range groups {
+			active = append(active, g.Out)
+		}
+	}
+	t.Root = active[0]
+	return t, nil
+}

@@ -1,0 +1,292 @@
+package msa
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/alignment"
+	"repro/internal/seq"
+)
+
+func randomFamily(rng *rand.Rand, n, length int) []*seq.Sequence {
+	letters := seq.DNA.Letters()
+	base := make([]byte, length)
+	for i := range base {
+		base[i] = letters[rng.Intn(len(letters))]
+	}
+	out := make([]*seq.Sequence, n)
+	for si := range out {
+		mut := append([]byte(nil), base...)
+		for i := range mut {
+			if rng.Float64() < 0.15 {
+				mut[i] = letters[rng.Intn(len(letters))]
+			}
+		}
+		// Occasional indel so lengths differ.
+		if len(mut) > 2 && rng.Float64() < 0.5 {
+			cut := rng.Intn(len(mut) - 1)
+			mut = append(mut[:cut], mut[cut+1:]...)
+		}
+		out[si] = seq.MustNew(fmt.Sprintf("s%d", si), string(mut), seq.DNA)
+	}
+	return out
+}
+
+func TestGuideTreeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 1; n <= 12; n++ {
+		seqs := randomFamily(rng, n, 40)
+		gt, err := BuildGuideTree(seqs, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if gt.NumLeaves() != n {
+			t.Fatalf("n=%d: tree has %d leaves", n, gt.NumLeaves())
+		}
+		if n == 1 {
+			if len(gt.Levels) != 0 || gt.Root != 0 {
+				t.Fatalf("n=1: unexpected schedule %+v", gt)
+			}
+			continue
+		}
+		// Every cluster ID is produced exactly once, groups only reference
+		// clusters already available, and the schedule ends in one root.
+		available := map[int]bool{}
+		for i := 0; i < n; i++ {
+			available[i] = true
+		}
+		next := n
+		for li, lv := range gt.Levels {
+			if len(lv.Groups) == 0 {
+				t.Fatalf("n=%d: level %d is empty", n, li)
+			}
+			usedThisLevel := map[int]bool{}
+			for _, g := range lv.Groups {
+				if len(g.Members) < 2 || len(g.Members) > 3 {
+					t.Fatalf("n=%d: group %+v has %d members", n, g, len(g.Members))
+				}
+				for _, m := range g.Members {
+					if !available[m] {
+						t.Fatalf("n=%d level %d: group uses unavailable cluster %d", n, li, m)
+					}
+					if usedThisLevel[m] {
+						t.Fatalf("n=%d level %d: cluster %d used twice in one level", n, li, m)
+					}
+					usedThisLevel[m] = true
+					delete(available, m)
+				}
+				if g.Out != next {
+					t.Fatalf("n=%d: group output %d, want sequential %d", n, g.Out, next)
+				}
+				next++
+			}
+			for _, g := range lv.Groups {
+				available[g.Out] = true
+			}
+		}
+		if len(available) != 1 || !available[gt.Root] {
+			t.Fatalf("n=%d: schedule leaves %v available, root=%d", n, available, gt.Root)
+		}
+	}
+}
+
+func TestGuideTreeDeterministic(t *testing.T) {
+	seqs := randomFamily(rand.New(rand.NewSource(7)), 8, 50)
+	a, err := BuildGuideTree(seqs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildGuideTree(seqs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same inputs produced different schedules:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a.String(), "level 1:") {
+		t.Fatalf("explain rendering missing levels:\n%s", a)
+	}
+}
+
+func TestGuideTreePairsSimilarSequences(t *testing.T) {
+	// Two tight families: the first triple groups within a family, never
+	// across.
+	mk := func(name, s string) *seq.Sequence { return seq.MustNew(name, s, seq.DNA) }
+	seqs := []*seq.Sequence{
+		mk("x1", "ACGTACGTACGTACGTACGT"),
+		mk("y1", "TTTTGGGGCCCCAAAATTTT"),
+		mk("x2", "ACGTACGTACGTACGAACGT"),
+		mk("y2", "TTTTGGGGCCCCAAAATTTA"),
+		mk("x3", "ACGTACGTACGAACGTACGT"),
+		mk("y3", "TTTTGGGGCCACAAAATTTT"),
+	}
+	gt, err := BuildGuideTree(seqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := gt.Levels[0].Groups[0]
+	inX := map[int]bool{0: true, 2: true, 4: true}
+	allX, allY := true, true
+	for _, m := range first.Members {
+		if inX[m] {
+			allY = false
+		} else {
+			allX = false
+		}
+	}
+	if !allX && !allY {
+		t.Fatalf("first group %v mixes the two families", first.Members)
+	}
+}
+
+func TestMergePartsStitchesProfiles(t *testing.T) {
+	a := alignment.NewLeaf(seq.MustNew("a", "ACGT", seq.DNA))
+	b := alignment.NewLeaf(seq.MustNew("b", "AGT", seq.DNA))
+	// Outer alignment: both, both(A/G mismatch col), a-only, both.
+	outer := []alignment.Mask{3, 3, 1, 3}
+	m, err := MergeParts([]*alignment.Multi{a, b}, outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := m.RowStrings()
+	if rows[0] != "ACGT" || rows[1] != "AG-T" {
+		t.Fatalf("rows = %q", rows)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergePartsRejectsBadOuter(t *testing.T) {
+	a := alignment.NewLeaf(seq.MustNew("a", "AC", seq.DNA))
+	b := alignment.NewLeaf(seq.MustNew("b", "AC", seq.DNA))
+	cases := [][]alignment.Mask{
+		{3, 3, 3},    // over-consumes both
+		{3},          // under-consumes both
+		{0, 3, 3},    // all-gap outer column
+		{4, 3, 3},    // bit beyond parts
+		{3, 1, 2, 2}, // over-consumes part 1
+	}
+	for _, outer := range cases {
+		if _, err := MergeParts([]*alignment.Multi{a, b}, outer); err == nil {
+			t.Fatalf("outer %v accepted", outer)
+		}
+	}
+}
+
+func TestMergePartsPreservesInnerGaps(t *testing.T) {
+	// Part with an internal gap: merging must shift its masks, not re-open
+	// its columns ("once a gap, always a gap").
+	inner, err := MergeParts(
+		[]*alignment.Multi{
+			alignment.NewLeaf(seq.MustNew("a", "ACT", seq.DNA)),
+			alignment.NewLeaf(seq.MustNew("b", "AT", seq.DNA)),
+		},
+		[]alignment.Mask{3, 1, 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := alignment.NewLeaf(seq.MustNew("c", "ACT", seq.DNA))
+	m, err := MergeParts([]*alignment.Multi{inner, c}, []alignment.Mask{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := m.RowStrings()
+	if rows[0] != "ACT" || rows[1] != "A-T" || rows[2] != "ACT" {
+		t.Fatalf("rows = %q", rows)
+	}
+}
+
+func TestMergePairAlignsProfiles(t *testing.T) {
+	a := alignment.NewLeaf(seq.MustNew("a", "ACGTACGT", seq.DNA))
+	b := alignment.NewLeaf(seq.MustNew("b", "ACGACGT", seq.DNA))
+	m, err := MergePair(a, b, dnaSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 2 || m.Score != m.SPScore(dnaSch) {
+		t.Fatalf("rows=%d score=%d sp=%d", m.NumRows(), m.Score, m.SPScore(dnaSch))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCenterStarNMatchesTripleCenterStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		fam := randomFamily(rng, 3, 30)
+		tr := seq.Triple{A: fam[0], B: fam[1], C: fam[2]}
+		legacy, err := CenterStar(tr, dnaSch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := CenterStarN(fam, dnaSch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi.Score != legacy.Score {
+			t.Fatalf("trial %d: CenterStarN score %d, triple CenterStar %d", trial, multi.Score, legacy.Score)
+		}
+	}
+}
+
+func TestCenterStarNFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 2, 4, 6, 8} {
+		fam := randomFamily(rng, n, 35)
+		m, err := CenterStarN(fam, dnaSch)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if m.NumRows() != n {
+			t.Fatalf("n=%d: %d rows", n, m.NumRows())
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i, s := range m.Seqs {
+			if s != fam[i] {
+				t.Fatalf("n=%d: row %d out of input order", n, i)
+			}
+		}
+	}
+}
+
+func TestRefineMultiNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		fam := randomFamily(rng, 5, 30)
+		m, err := CenterStarN(fam, dnaSch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := RefineMultiContext(context.Background(), m, dnaSch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Score < m.Score {
+			t.Fatalf("trial %d: refine worsened %d -> %d", trial, m.Score, ref.Score)
+		}
+		if err := ref.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRefineMultiContextCancelled(t *testing.T) {
+	fam := randomFamily(rand.New(rand.NewSource(29)), 4, 25)
+	m, err := CenterStarN(fam, dnaSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RefineMultiContext(ctx, m, dnaSch, 0); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,376 @@
+package msa
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/alignment"
+	"repro/internal/mat"
+	"repro/internal/pairwise"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// OuterMasksFromMoves converts a three-way move list (an exact alignment of
+// three profile consensus rows) into the outer column masks MergeParts
+// consumes: move bits ConsumeA/B/C become part bits 0/1/2.
+func OuterMasksFromMoves(moves []alignment.Move) []alignment.Mask {
+	out := make([]alignment.Mask, len(moves))
+	for i, m := range moves {
+		out[i] = alignment.Mask(m)
+	}
+	return out
+}
+
+// OuterMasksFromOps converts a pairwise op list (an alignment of two profile
+// consensus rows) into outer column masks: OpA consumes part 0, OpB part 1,
+// OpBoth both.
+func OuterMasksFromOps(ops []pairwise.Op) []alignment.Mask {
+	out := make([]alignment.Mask, len(ops))
+	for i, op := range ops {
+		switch op {
+		case pairwise.OpA:
+			out[i] = 1
+		case pairwise.OpB:
+			out[i] = 2
+		default:
+			out[i] = 3
+		}
+	}
+	return out
+}
+
+// MergeParts stitches aligned profiles into one profile along an outer
+// alignment of their consensus rows ("once a gap, always a gap" at profile
+// boundaries). Each part's consensus has one residue per profile column, so
+// outer column masks walk the parts' columns in order: a column of the
+// merged profile ORs together the next column of every consumed part
+// (shifted to its row offset), and leaves the rows of unconsumed parts
+// fully gapped. The result's rows are the parts' rows concatenated in part
+// order; its Score is left zero for the caller to fill.
+func MergeParts(parts []*alignment.Multi, outer []alignment.Mask) (*alignment.Multi, error) {
+	if len(parts) < 1 || len(parts) > alignment.MaxRows {
+		return nil, fmt.Errorf("msa: merge of %d parts", len(parts))
+	}
+	totalRows := 0
+	offsets := make([]int, len(parts))
+	var seqs []*seq.Sequence
+	for pi, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("msa: merge part %d is nil", pi)
+		}
+		offsets[pi] = totalRows
+		totalRows += p.NumRows()
+		seqs = append(seqs, p.Seqs...)
+	}
+	if totalRows > alignment.MaxRows {
+		return nil, fmt.Errorf("msa: merge would produce %d rows; max %d", totalRows, alignment.MaxRows)
+	}
+	limit := alignment.Mask(1)<<uint(len(parts)) - 1
+	cols := make([]alignment.Mask, 0, len(outer))
+	idx := make([]int, len(parts))
+	for oi, om := range outer {
+		if om == 0 || om&^limit != 0 {
+			return nil, fmt.Errorf("msa: outer column %d mask %#x invalid for %d parts", oi, uint64(om), len(parts))
+		}
+		var col alignment.Mask
+		for pi, p := range parts {
+			if !om.Consumes(pi) {
+				continue
+			}
+			if idx[pi] >= p.Columns() {
+				return nil, fmt.Errorf("msa: outer alignment consumes %d+ columns of part %d, which has %d",
+					idx[pi]+1, pi, p.Columns())
+			}
+			col |= p.Cols[idx[pi]] << uint(offsets[pi])
+			idx[pi]++
+		}
+		cols = append(cols, col)
+	}
+	for pi, p := range parts {
+		if idx[pi] != p.Columns() {
+			return nil, fmt.Errorf("msa: outer alignment consumes %d columns of part %d, which has %d",
+				idx[pi], pi, p.Columns())
+		}
+	}
+	m := &alignment.Multi{Seqs: seqs, Cols: cols}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("msa: merged profile invalid: %w", err)
+	}
+	return m, nil
+}
+
+// MergePair merges two profiles through an optimal pairwise alignment of
+// their consensus rows — the leftover 2-way merge of the guide-tree
+// schedule. Affine schemes use the Gotoh aligner for the outer alignment.
+func MergePair(a, b *alignment.Multi, sch *scoring.Scheme) (*alignment.Multi, error) {
+	ca, cb := a.ConsensusSeq("a"), b.ConsensusSeq("b")
+	var res pairwise.Result
+	if sch.Affine() {
+		res = pairwise.GlobalAffine(ca.Codes(), cb.Codes(), sch)
+	} else {
+		res = pairwise.Global(ca.Codes(), cb.Codes(), sch)
+	}
+	m, err := MergeParts([]*alignment.Multi{a, b}, OuterMasksFromOps(res.Ops))
+	if err != nil {
+		return nil, err
+	}
+	m.Score = m.SPScoreFor(sch)
+	return m, nil
+}
+
+// CenterStarN generalizes the pairwise center-star heuristic to N
+// sequences: the center maximizes its summed optimal pairwise score against
+// all others, each satellite is aligned pairwise against the center, and
+// the star is merged with the "once a gap, always a gap" rule. Rows come
+// back in input order. This is the pre-guide-tree baseline the progressive
+// 3-way path is measured against.
+func CenterStarN(seqs []*seq.Sequence, sch *scoring.Scheme) (*alignment.Multi, error) {
+	n := len(seqs)
+	if n < 1 || n > alignment.MaxRows {
+		return nil, fmt.Errorf("msa: center-star over %d sequences", n)
+	}
+	if n == 1 {
+		m := alignment.NewLeaf(seqs[0])
+		m.Score = 0
+		return m, nil
+	}
+	codes := make([][]int8, n)
+	for i, s := range seqs {
+		codes[i] = s.Codes()
+	}
+	// Summed optimal pairwise score per candidate center.
+	sums := make([]mat.Score, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var s mat.Score
+			if sch.Affine() {
+				s = pairwise.GlobalAffine(codes[i], codes[j], sch).Score
+			} else {
+				s = pairwise.GlobalScore(codes[i], codes[j], sch)
+			}
+			sums[i] += s
+			sums[j] += s
+		}
+	}
+	center := 0
+	for i := 1; i < n; i++ {
+		if sums[i] > sums[center] {
+			center = i
+		}
+	}
+	sats := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != center {
+			sats = append(sats, i)
+		}
+	}
+	opLists := make([][]pairwise.Op, len(sats))
+	for si, s := range sats {
+		if sch.Affine() {
+			opLists[si] = pairwise.GlobalAffine(codes[center], codes[s], sch).Ops
+		} else {
+			opLists[si] = pairwise.Global(codes[center], codes[s], sch).Ops
+		}
+	}
+	cols := mergeStarMasks(opLists)
+	// Rows are [center, sats...]; restore input order.
+	ordered := append([]*seq.Sequence{seqs[center]}, make([]*seq.Sequence, 0, len(sats))...)
+	for _, s := range sats {
+		ordered = append(ordered, seqs[s])
+	}
+	star := &alignment.Multi{Seqs: ordered, Cols: cols}
+	perm := make([]int, n) // row i of result = star row perm[i]
+	starRowOf := make([]int, n)
+	starRowOf[center] = 0
+	for si, s := range sats {
+		starRowOf[s] = si + 1
+	}
+	for i := 0; i < n; i++ {
+		perm[i] = starRowOf[i]
+	}
+	m, err := star.Reorder(perm)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("msa: center-star produced inconsistent profile: %w", err)
+	}
+	m.Score = m.SPScoreFor(sch)
+	return m, nil
+}
+
+// mergeStarMasks merges N-1 center-vs-satellite op lists into column masks
+// over rows [center, sat1, sat2, ...]: the N-row generalization of
+// mergeStar. Satellite inserts drain in satellite order (deterministic),
+// then a center-consuming column ORs in every satellite matching there.
+func mergeStarMasks(opLists [][]pairwise.Op) []alignment.Mask {
+	pos := make([]int, len(opLists))
+	var cols []alignment.Mask
+	for {
+		inserted := false
+		for si, ops := range opLists {
+			if pos[si] < len(ops) && ops[pos[si]] == pairwise.OpB {
+				cols = append(cols, alignment.Mask(1)<<uint(si+1))
+				pos[si]++
+				inserted = true
+				break
+			}
+		}
+		if inserted {
+			continue
+		}
+		done := true
+		for si, ops := range opLists {
+			if pos[si] < len(ops) {
+				done = false
+				break
+			}
+			_ = si
+		}
+		if done {
+			break
+		}
+		// Every pending op consumes the center.
+		col := alignment.Mask(1)
+		for si, ops := range opLists {
+			if pos[si] < len(ops) {
+				if ops[pos[si]] == pairwise.OpBoth {
+					col |= alignment.Mask(1) << uint(si+1)
+				}
+				pos[si]++
+			}
+		}
+		cols = append(cols, col)
+	}
+	return cols
+}
+
+// RefineMultiContext improves an N-row profile by iterative refinement: one
+// row at a time is removed and optimally re-aligned against the profile of
+// the remaining rows, keeping the result whenever the scheme's SP objective
+// improves. It honors ctx between re-alignments. maxRounds ≤ 0 selects the
+// same default as Refine.
+func RefineMultiContext(ctx context.Context, m *alignment.Multi, sch *scoring.Scheme, maxRounds int) (*alignment.Multi, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("msa: refine input: %w", err)
+	}
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	n := m.NumRows()
+	cur := &alignment.Multi{Seqs: m.Seqs, Cols: append([]alignment.Mask(nil), m.Cols...)}
+	cur.Score = cur.SPScoreFor(sch)
+	if n < 2 {
+		return cur, nil
+	}
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for out := 0; out < n; out++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cand, err := realignOneMulti(cur, sch, out)
+			if err != nil {
+				return nil, err
+			}
+			cand.Score = cand.SPScoreFor(sch)
+			if cand.Score > cur.Score {
+				cur = cand
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// realignOneMulti removes row `out` from the profile and re-aligns its
+// sequence optimally (linear objective) against the profile induced by the
+// remaining rows — the N-row generalization of realignOne.
+func realignOneMulti(cur *alignment.Multi, sch *scoring.Scheme, out int) (*alignment.Multi, error) {
+	n := cur.NumRows()
+	outBit := alignment.Mask(1) << uint(out)
+	allCodes := cur.ColumnCodes()
+	type profCol struct {
+		mask  alignment.Mask // remaining-row consumption bits
+		codes []int8         // all-row codes; position out ignored
+	}
+	var prof []profCol
+	for ci, c := range cur.Cols {
+		rest := c &^ outBit
+		if rest == 0 {
+			continue
+		}
+		prof = append(prof, profCol{mask: rest, codes: allCodes[ci]})
+	}
+
+	r := cur.Seqs[out].Codes()
+	nr, mc := len(r), len(prof)
+	f := mat.NewPlane(nr+1, mc+1)
+	matchCost := func(ri int8, c profCol) mat.Score {
+		var s mat.Score
+		for i, code := range c.codes {
+			if i != out {
+				s += sch.Pair(ri, code)
+			}
+		}
+		return s
+	}
+	gapRCost := func(c profCol) mat.Score {
+		var s mat.Score
+		for i, code := range c.codes {
+			if i != out {
+				s += sch.Pair(scoring.Gap, code)
+			}
+		}
+		return s
+	}
+	gapColCost := mat.Score(n-1) * sch.GapExtend()
+	for j := 1; j <= mc; j++ {
+		f.Set(0, j, f.At(0, j-1)+gapRCost(prof[j-1]))
+	}
+	for i := 1; i <= nr; i++ {
+		f.Set(i, 0, f.At(i-1, 0)+gapColCost)
+		for j := 1; j <= mc; j++ {
+			best := f.At(i-1, j-1) + matchCost(r[i-1], prof[j-1])
+			if v := f.At(i-1, j) + gapColCost; v > best {
+				best = v
+			}
+			if v := f.At(i, j-1) + gapRCost(prof[j-1]); v > best {
+				best = v
+			}
+			f.Set(i, j, best)
+		}
+	}
+
+	var rev []alignment.Mask
+	i, j := nr, mc
+	for i > 0 || j > 0 {
+		v := f.At(i, j)
+		switch {
+		case i > 0 && j > 0 && v == f.At(i-1, j-1)+matchCost(r[i-1], prof[j-1]):
+			rev = append(rev, prof[j-1].mask|outBit)
+			i, j = i-1, j-1
+		case i > 0 && v == f.At(i-1, j)+gapColCost:
+			rev = append(rev, outBit)
+			i--
+		case j > 0 && v == f.At(i, j-1)+gapRCost(prof[j-1]):
+			rev = append(rev, prof[j-1].mask)
+			j--
+		default:
+			return nil, fmt.Errorf("msa: multi refine traceback stuck at (%d,%d)", i, j)
+		}
+	}
+	cols := make([]alignment.Mask, len(rev))
+	for k := range rev {
+		cols[k] = rev[len(rev)-1-k]
+	}
+	res := &alignment.Multi{Seqs: cur.Seqs, Cols: cols}
+	if err := res.Validate(); err != nil {
+		return nil, fmt.Errorf("msa: multi refine produced inconsistent profile: %w", err)
+	}
+	return res, nil
+}

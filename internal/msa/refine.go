@@ -1,6 +1,7 @@
 package msa
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alignment"
@@ -18,6 +19,13 @@ import (
 // never above the exact optimum, so it remains a valid Carrillo–Lipman
 // lower bound.
 func Refine(aln *alignment.Alignment, sch *scoring.Scheme, maxRounds int) (*alignment.Alignment, error) {
+	return RefineContext(context.Background(), aln, sch, maxRounds)
+}
+
+// RefineContext is Refine with cooperative cancellation: the context is
+// checked before every per-sequence re-alignment, and cancellation returns
+// the context's error.
+func RefineContext(ctx context.Context, aln *alignment.Alignment, sch *scoring.Scheme, maxRounds int) (*alignment.Alignment, error) {
 	if err := aln.Validate(); err != nil {
 		return nil, fmt.Errorf("msa: refine input: %w", err)
 	}
@@ -29,6 +37,9 @@ func Refine(aln *alignment.Alignment, sch *scoring.Scheme, maxRounds int) (*alig
 	for round := 0; round < maxRounds; round++ {
 		improved := false
 		for out := 0; out < 3; out++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cand, err := realignOne(cur, sch, out)
 			if err != nil {
 				return nil, err

@@ -147,3 +147,20 @@ func TestCenterStarRefined(t *testing.T) {
 		t.Fatalf("pruned with refined bound %d != optimum %d", aln.Score, opt.Score)
 	}
 }
+
+func TestRefineContextCancelled(t *testing.T) {
+	tr := triple(t, "ACGTACGTAC", "ACGTAACGTC", "ACGGTACGAC")
+	aln, err := CenterStar(tr, dnaSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RefineContext(ctx, aln, dnaSch, 0); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The uncancelled path still refines.
+	if _, err := RefineContext(context.Background(), aln, dnaSch, 0); err != nil {
+		t.Fatal(err)
+	}
+}

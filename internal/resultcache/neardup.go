@@ -1,6 +1,7 @@
 package resultcache
 
 import (
+	"encoding/binary"
 	"math"
 
 	"repro/internal/mat"
@@ -19,15 +20,23 @@ type Candidate struct {
 	Identity float64
 }
 
-// Nearest scans the cache for the entry most similar to the probe sketch
-// among entries with the same Meta — the same scoring scheme and algorithm
+// Nearest scans the cache for an entry similar to the probe sketch among
+// entries with the same Meta — the same scoring scheme and algorithm
 // request, because a cached score only seeds a valid bound under identical
 // scoring semantics. Entries below minIdentity (or without a sketch, or
 // with a sketch of a different k) are ignored.
 //
-// The scan is linear over the cache and costs one profile comparison per
-// candidate; at serving-cache sizes (thousands of entries) that is
-// microseconds against the milliseconds-to-seconds alignment it may save.
+// The scan is linear over the cache, but two things keep its constant
+// small. The Meta digest is filtered first — an 8-byte prefix word
+// compare rejects almost every foreign-scheme entry before the full
+// 32-byte compare, and both run before any sketch arithmetic, so a
+// mismatched entry costs a couple of integer compares instead of a profile
+// intersection. And the scan returns the first entry at or above
+// minIdentity rather than ranking the whole cache: any candidate meeting
+// the threshold seeds an equally valid bound (the bounded re-align proves
+// or rejects it regardless), so finishing the scan buys nothing once one
+// is in hand.
+//
 // Correctness never depends on the answer: the prescreen only proposes a
 // seed, and the bounded re-align either proves it or the caller falls back
 // to a full plan — so Nearest deliberately skips checksum verification,
@@ -37,21 +46,21 @@ func (c *Cache) Nearest(sk *seq.TripleSketch, meta Meta, minIdentity float64) (C
 	if c == nil || sk == nil {
 		return Candidate{}, false
 	}
+	metaPrefix := binary.BigEndian.Uint64(meta[:8])
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	best := Candidate{Identity: -1}
-	found := false
 	for _, e := range c.entries {
-		if e.meta != meta || e.sketch == nil || e.sketch.K() != sk.K() {
+		if binary.BigEndian.Uint64(e.meta[:8]) != metaPrefix || e.meta != meta {
 			continue
 		}
-		id := sk.Identity(e.sketch)
-		if id >= minIdentity && id > best.Identity {
-			best = Candidate{Score: e.res.Score, Identity: id}
-			found = true
+		if e.sketch == nil || e.sketch.K() != sk.K() {
+			continue
+		}
+		if id := sk.Identity(e.sketch); id >= minIdentity {
+			return Candidate{Score: e.res.Score, Identity: id}, true
 		}
 	}
-	return best, found
+	return Candidate{}, false
 }
 
 // SeedBound turns a near-duplicate candidate into a lower bound for the

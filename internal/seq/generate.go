@@ -136,3 +136,15 @@ func (g *Generator) resize(s *Sequence, n int) *Sequence {
 	copy(out, res)
 	return &Sequence{name: s.name, residues: out, alpha: s.alpha}
 }
+
+// RelatedFamily generates count sequences descended from one random
+// ancestor of length n, each mutated independently under model m — the
+// N-sequence generalization of RelatedTriple for MSA workloads.
+func (g *Generator) RelatedFamily(count, n int, m MutationModel) []*Sequence {
+	anc := g.Random("ancestor", n)
+	out := make([]*Sequence, count)
+	for i := range out {
+		out[i] = g.Mutate(fmt.Sprintf("s%d", i), anc, m)
+	}
+	return out
+}

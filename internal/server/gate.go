@@ -93,6 +93,12 @@ type stats struct {
 	plannedBounded     atomic.Int64 // served plans that selected a bounded-search kernel
 	prunedCellsSkipped atomic.Int64 // lattice cells the Carrillo–Lipman kernels never evaluated
 
+	msaRequests      atomic.Int64 // /v1/msa requests admitted to execution
+	msaCompleted     atomic.Int64 // /v1/msa requests answered 200
+	msaSequences     atomic.Int64 // sequences aligned across completed MSA requests
+	msaMerges        atomic.Int64 // progressive merges executed by completed MSA requests
+	msaBatchedMerges atomic.Int64 // MSA merges fanned through a shared batch submission
+
 	panicsContained     atomic.Int64 // panics recovered instead of crashing the process
 	retriesObserved     atomic.Int64 // requests arriving with an X-Retry-Attempt header
 	memPressureDegraded atomic.Int64 // admissions routed through the degrade ladder

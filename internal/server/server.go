@@ -88,6 +88,9 @@ type Config struct {
 	MaxBodyBytes   int64
 	MaxSequenceLen int
 	MaxBatchItems  int
+	// MaxMsaSequences caps the family size per /v1/msa request (default
+	// 16, hard-capped by the 64-row profile mask width).
+	MaxMsaSequences int
 	// MaxLatticeBytes, when positive, caps the planner-estimated lattice
 	// footprint of any single alignment (each batch item counts
 	// separately). Requests planning a larger allocation are shed with 413
@@ -158,6 +161,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 256
 	}
+	if c.MaxMsaSequences <= 0 {
+		c.MaxMsaSequences = 16
+	}
+	if c.MaxMsaSequences > repro.MaxMSASequences {
+		c.MaxMsaSequences = repro.MaxMSASequences
+	}
 	if c.CacheBytes > 0 && c.CacheNearDupIdentity == 0 {
 		c.CacheNearDupIdentity = 0.90
 	}
@@ -208,6 +217,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
 	s.mux.HandleFunc("POST /v1/align/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/msa", s.handleMsa)
+	s.mux.HandleFunc("POST /v1/msa/plan", s.handleMsaPlan)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -298,6 +309,18 @@ type Statsz struct {
 	PlannedBounded     int64 `json:"planned_bounded"`
 	PrunedCellsSkipped int64 `json:"pruned_cells_skipped"`
 
+	// Progressive-MSA counters. MsaRequests counts /v1/msa requests
+	// admitted to execution; MsaCompleted counts the ones answered 200;
+	// MsaSequences sums their family sizes; MsaMerges counts the
+	// progressive merges those runs executed; MsaBatchedMerges counts the
+	// merges that fanned through a shared batch (LPT-scheduled) submission
+	// rather than running serially.
+	MsaRequests      int64 `json:"msa_requests"`
+	MsaCompleted     int64 `json:"msa_completed"`
+	MsaSequences     int64 `json:"msa_sequences"`
+	MsaMerges        int64 `json:"msa_merges"`
+	MsaBatchedMerges int64 `json:"msa_batched_merges"`
+
 	// Robustness counters. PanicsContained counts panics the serving and
 	// scheduling layers recovered instead of crashing (contained kernel
 	// panics and flush panics); WatchdogStalls counts parallel runs the
@@ -354,6 +377,11 @@ func (s *Server) snapshot() Statsz {
 	st.PlannedPacked = s.stats.plannedPacked.Load()
 	st.PlannedBounded = s.stats.plannedBounded.Load()
 	st.PrunedCellsSkipped = s.stats.prunedCellsSkipped.Load()
+	st.MsaRequests = s.stats.msaRequests.Load()
+	st.MsaCompleted = s.stats.msaCompleted.Load()
+	st.MsaSequences = s.stats.msaSequences.Load()
+	st.MsaMerges = s.stats.msaMerges.Load()
+	st.MsaBatchedMerges = s.stats.msaBatchedMerges.Load()
 	st.PanicsContained = s.stats.panicsContained.Load()
 	st.RetriesObserved = s.stats.retriesObserved.Load()
 	st.MemPressureDegraded = s.stats.memPressureDegraded.Load()

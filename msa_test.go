@@ -1,0 +1,230 @@
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/msa"
+)
+
+func msaFamily(seed int64, count, length int, sub float64) []*Sequence {
+	g := NewGenerator(DNA, seed)
+	return g.RelatedFamily(count, length, MutationModel{
+		SubstitutionRate: sub, InsertionRate: sub / 4, DeletionRate: sub / 4,
+	})
+}
+
+func TestAlignMsaEndToEnd(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		fam := msaFamily(int64(100+n), n, 30, 0.15)
+		res, err := AlignMSA(context.Background(), fam, MSAOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Profile.NumRows() != n {
+			t.Fatalf("n=%d: %d rows", n, res.Profile.NumRows())
+		}
+		if err := res.Profile.Validate(); err != nil {
+			t.Fatalf("n=%d: invalid profile: %v", n, err)
+		}
+		for i, s := range res.Profile.Seqs {
+			if s != fam[i] {
+				t.Fatalf("n=%d: row %d is %q, want input order", n, i, s.Name())
+			}
+		}
+		if got := res.Profile.SPScoreFor(DefaultSchemeMust(t)); got != res.Score {
+			t.Fatalf("n=%d: reported score %d, recomputed %d", n, res.Score, got)
+		}
+		if res.OptimalityGap < 0 {
+			t.Fatalf("n=%d: score %d beats Carrillo-Lipman bound %d", n, res.Score, res.UpperBound)
+		}
+		if res.Tree == nil || res.Tree.NumLeaves() != n {
+			t.Fatalf("n=%d: missing or wrong guide tree", n)
+		}
+		if len(res.Merges) == 0 {
+			t.Fatalf("n=%d: no merges recorded", n)
+		}
+	}
+}
+
+func DefaultSchemeMust(t *testing.T) *Scheme {
+	t.Helper()
+	sch, err := DefaultScheme(DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func TestAlignMsaTripleBitIdenticalToAlign(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := NewGenerator(DNA, 200+seed)
+		tr := g.RelatedTriple(25+int(seed)*7, MutationModel{SubstitutionRate: 0.2, InsertionRate: 0.05, DeletionRate: 0.05})
+		direct, err := Align(tr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := AlignMSA(context.Background(), []*Sequence{tr.A, tr.B, tr.C}, MSAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Score != direct.Score {
+			t.Fatalf("seed %d: msa score %d, align score %d", seed, res.Score, direct.Score)
+		}
+		wantRows := direct.Alignment.Multi().RowStrings()
+		gotRows := res.Profile.RowStrings()
+		for i := range wantRows {
+			if gotRows[i] != wantRows[i] {
+				t.Fatalf("seed %d: msa row %d differs from align:\n%s\n%s", seed, i, gotRows[i], wantRows[i])
+			}
+		}
+	}
+}
+
+// TestAlignMsaBeatsCenterStarSuite is the committed property suite: over
+// 20+ random 4-8 sequence families the 3-way-core progressive result never
+// scores below the pairwise center-star baseline it replaced.
+func TestAlignMsaBeatsCenterStarSuite(t *testing.T) {
+	sch := DefaultSchemeMust(t)
+	families := 0
+	for seed := int64(0); seed < 22; seed++ {
+		n := 4 + int(seed)%5 // 4..8
+		fam := msaFamily(300+seed, n, 24+int(seed%4)*8, 0.25)
+		res, err := AlignMSA(context.Background(), fam, MSAOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cs, err := msa.CenterStarN(fam, sch)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Score < cs.Score {
+			t.Fatalf("seed %d (n=%d): progressive %d below center-star %d", seed, n, res.Score, cs.Score)
+		}
+		if res.CenterStarScore != cs.Score {
+			t.Fatalf("seed %d: recorded baseline %d, recomputed %d", seed, res.CenterStarScore, cs.Score)
+		}
+		families++
+	}
+	if families < 20 {
+		t.Fatalf("suite covered only %d families", families)
+	}
+}
+
+// TestAlignMsaMergesRunThroughBatchPath pins the scheduler wiring: a family
+// whose first guide-tree level holds two independent triples must fan them
+// through one AlignBatchItemsContext submission (BatchSize > 1), and the
+// serial knob must produce the same alignment without the batch path.
+func TestAlignMsaMergesRunThroughBatchPath(t *testing.T) {
+	fam := msaFamily(77, 6, 40, 0.2)
+	fanned, err := AlignMSA(context.Background(), fam, MSAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fanned.BatchedMerges < 2 {
+		t.Fatalf("BatchedMerges = %d, want >= 2 for a 6-sequence family", fanned.BatchedMerges)
+	}
+	sawBatch := false
+	for _, m := range fanned.Merges {
+		if m.NWay == 3 && m.BatchSize > 1 {
+			sawBatch = true
+		}
+	}
+	if !sawBatch {
+		t.Fatal("no 3-way merge recorded a shared batch submission")
+	}
+	serial, err := AlignMSA(context.Background(), fam, MSAOptions{SerialMerges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.BatchedMerges != 0 {
+		t.Fatalf("serial run recorded %d batched merges", serial.BatchedMerges)
+	}
+	if serial.Score != fanned.Score {
+		t.Fatalf("serial score %d != fanned score %d", serial.Score, fanned.Score)
+	}
+}
+
+func TestAlignMsaBudgetSplit(t *testing.T) {
+	fam := msaFamily(91, 6, 60, 0.2)
+	res, err := AlignMSA(context.Background(), fam, MSAOptions{
+		Options: Options{MaxMemoryBytes: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Profile.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every 3-way merge planned under a slice of the request budget.
+	for _, m := range res.Merges {
+		if m.NWay == 3 && m.Plan == nil {
+			t.Fatalf("merge %v has no plan", m.Members)
+		}
+	}
+}
+
+func TestAlignMsaRejectsBadInput(t *testing.T) {
+	g := NewGenerator(DNA, 5)
+	one := []*Sequence{g.Random("a", 10)}
+	if _, err := AlignMSA(context.Background(), one, MSAOptions{}); err == nil {
+		t.Fatal("single sequence accepted")
+	}
+	if _, err := AlignMSA(context.Background(), nil, MSAOptions{}); err == nil {
+		t.Fatal("empty family accepted")
+	}
+	p := NewGenerator(Protein, 6)
+	mixed := []*Sequence{g.Random("a", 10), p.Random("b", 10)}
+	if _, err := AlignMSA(context.Background(), mixed, MSAOptions{}); err == nil {
+		t.Fatal("mixed alphabets accepted")
+	}
+}
+
+func TestAlignMsaCancelled(t *testing.T) {
+	fam := msaFamily(13, 6, 30, 0.2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AlignMSA(ctx, fam, MSAOptions{}); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}
+
+func TestPlanMsaShape(t *testing.T) {
+	fam := msaFamily(23, 7, 50, 0.2)
+	mp, err := PlanMSA(fam, MSAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.NumSequences != 7 {
+		t.Fatalf("NumSequences = %d", mp.NumSequences)
+	}
+	if len(mp.Merges) != mp.Tree.NumMerges() {
+		t.Fatalf("%d merge plans for %d scheduled merges", len(mp.Merges), mp.Tree.NumMerges())
+	}
+	if mp.PeakLevelBytes == 0 || mp.TotalEstCells == 0 {
+		t.Fatalf("empty estimates: %+v", mp)
+	}
+	for _, m := range mp.Merges {
+		if m.NWay == 3 && m.Plan == nil {
+			t.Fatalf("3-way merge %v without a plan", m.Members)
+		}
+		if m.EstBytes == 0 {
+			t.Fatalf("merge %v has no byte estimate", m.Members)
+		}
+	}
+}
+
+func TestAlignMsaAffineScheme(t *testing.T) {
+	g := NewGenerator(Protein, 31)
+	fam := g.RelatedFamily(5, 25, MutationModel{SubstitutionRate: 0.2, InsertionRate: 0.05, DeletionRate: 0.05})
+	res, err := AlignMSA(context.Background(), fam, MSAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Profile.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalityGap < 0 {
+		t.Fatalf("affine score %d beats bound %d", res.Score, res.UpperBound)
+	}
+}

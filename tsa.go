@@ -320,6 +320,12 @@ func ReadTripleFASTA(r io.Reader, alpha *Alphabet) (Triple, error) {
 	return seq.ReadTripleFASTA(r, alpha)
 }
 
+// ReadFASTA reads all FASTA records from r — the N-sequence input path of
+// AlignMSA.
+func ReadFASTA(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
+	return seq.ReadFASTA(r, alpha)
+}
+
 // WriteFASTA writes sequences in FASTA format wrapped at width columns.
 func WriteFASTA(w io.Writer, seqs []*Sequence, width int) error {
 	return seq.WriteFASTA(w, seqs, width)
